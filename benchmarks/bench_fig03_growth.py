@@ -1,0 +1,15 @@
+"""Figure 3: number of non-zero centrality edges vs number of hub queries.
+
+Paper: the TT curve flattens after ~20 queries — most centrality edges are
+shared across queries, which is what makes a 20-hub CG sufficient.
+"""
+
+
+def test_fig03_edge_growth(record_experiment):
+    result = record_experiment("fig03", floatfmt=".0f")
+    for col in range(1, len(result.headers)):
+        series = [row[col] for row in result.rows]
+        assert all(b >= a for a, b in zip(series, series[1:]))
+        # second half contributes less than the first hub alone
+        tail_growth = series[-1] - series[len(series) // 2]
+        assert tail_growth < series[0]

@@ -1,0 +1,21 @@
+"""Figure 5: Subway GEN/TRANS/COMP/ATOMIC of CG-2Phase, normalized to the
+Subway baseline.
+
+Paper: substantial reductions (values well below 1) across categories for
+the weighted queries; ATOMIC drops because phase 1 uses the small CG and
+phase 2 finds nearly all values already precise.
+"""
+
+import numpy as np
+
+
+def test_fig05_subway_cost_breakdown(record_experiment):
+    result = record_experiment("fig05")
+    atomic = [row[5] for row in result.rows]
+    trans = [row[3] for row in result.rows]
+    # reductions on average (normalized values below 1)
+    assert np.mean(atomic) < 1.0
+    assert np.mean(trans) < 1.0
+    for row in result.rows:
+        for cell in row[2:]:
+            assert 0 <= cell < 3.0

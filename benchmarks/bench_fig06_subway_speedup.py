@@ -1,0 +1,14 @@
+"""Figure 6 (+ Table 7 companion): Subway speedups from CG vs AG proxies.
+
+Paper: CG 1.79-4.48x; AG much lower (0.7-3.1x) due to imprecision.
+"""
+
+import numpy as np
+
+
+def test_fig06_subway_cg_vs_ag(record_experiment):
+    result = record_experiment("fig06")
+    cg = np.array([row[2:] for row in result.rows if row[0] == "CG"], float)
+    ag = np.array([row[2:] for row in result.rows if row[0] == "AG"], float)
+    assert cg.mean() > ag.mean()
+    assert cg.mean() > 1.0

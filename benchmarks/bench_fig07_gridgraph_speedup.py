@@ -1,0 +1,18 @@
+"""Figure 7: GridGraph speedups from CG vs AG bootstrapping.
+
+Paper: high-precision queries (SSNP/SSWP/REACH) reach 13.62x; SSSP and WCC
+are modest; AG ranges from 1.58x down to 0.57x slowdowns.
+"""
+
+import numpy as np
+
+
+def test_fig07_gridgraph_cg_vs_ag(record_experiment):
+    result = record_experiment("fig07")
+    rows = {(row[0], row[1]): row[2:] for row in result.rows}
+    cg_mean = np.mean([v for (p, q), v in rows.items() if p == "CG"])
+    ag_mean = np.mean([v for (p, q), v in rows.items() if p == "AG"])
+    assert cg_mean > ag_mean
+    # High-precision queries beat SSSP on average (paper's key shape).
+    cg = {q: np.mean(v) for (p, q), v in rows.items() if p == "CG"}
+    assert max(cg["SSNP"], cg["SSWP"], cg["REACH"]) > cg["SSSP"]

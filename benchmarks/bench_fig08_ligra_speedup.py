@@ -1,0 +1,16 @@
+"""Figure 8 (+ Table 10 companion): Ligra speedups from CG vs AG proxies.
+
+Paper: REACH up to 9.31x, SSWP 2.71-4.42x, SSSP 1.08-1.44x; AGs frequently
+produce slowdowns.
+"""
+
+import numpy as np
+
+
+def test_fig08_ligra_cg_vs_ag(record_experiment):
+    result = record_experiment("fig08")
+    rows = {(row[0], row[1]): row[2:] for row in result.rows}
+    cg = {q: np.mean(v) for (p, q), v in rows.items() if p == "CG"}
+    ag = {q: np.mean(v) for (p, q), v in rows.items() if p == "AG"}
+    assert np.mean(list(cg.values())) > np.mean(list(ag.values()))
+    assert cg["REACH"] == max(cg.values())  # paper's strongest Ligra query

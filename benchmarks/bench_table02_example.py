@@ -1,0 +1,11 @@
+"""Table 2: the worked example's all-pairs tables, reproduced exactly.
+
+This is the one experiment where absolute numbers must match the paper
+cell-for-cell (the example graph is fully reconstructible from the table).
+"""
+
+
+def test_table02_worked_example(record_experiment):
+    result = record_experiment("table02", floatfmt=".0f")
+    assert all(row[-1] is True for row in result.rows)
+    assert len(result.rows) == 18  # 9 sources x {G, CG}

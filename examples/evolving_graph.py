@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Core graphs on an evolving graph: exactness kept, quality maintained.
+
+Streams batches of edge insertions and deletions into an
+:class:`EvolvingCoreGraph`. Every answer stays exact (asserted); what
+decays is the core phase's precision — and the maintenance policy rebuilds
+the CG when a sampled probe crosses the threshold.
+
+Run: ``python examples/evolving_graph.py``
+"""
+
+import numpy as np
+
+from repro.core import EvolvingCoreGraph
+from repro.engines.frontier import evaluate_query
+from repro.generators.rmat import rmat
+from repro.graph.mutate import random_edge_batch
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import SSSP
+
+
+def main() -> None:
+    g = ligra_weights(rmat(11, 10, seed=181), seed=182)
+    ev = EvolvingCoreGraph(
+        g, SSSP, num_hubs=20, rebuild_below_precision=95.0
+    )
+    print(f"t=0  {ev!r}  probe={ev.probe_precision():.1f}%\n")
+
+    rng = np.random.default_rng(9)
+    for t in range(1, 6):
+        inserts = random_edge_batch(ev.graph, 1500, seed=200 + t)
+        ev.insert_edges(inserts)
+        src = ev.graph.edge_sources()
+        victims = rng.integers(0, ev.graph.num_edges, 300)
+        ev.delete_edges(
+            [(int(src[i]), int(ev.graph.dst[i])) for i in victims]
+        )
+
+        source = int(rng.choice(np.flatnonzero(ev.graph.out_degree() > 0)))
+        res = ev.answer(source)
+        truth = evaluate_query(ev.graph, SSSP, source)
+        assert np.array_equal(res.values, truth), "exactness must survive"
+
+        rebuilt = ev.maybe_rebuild()
+        print(f"t={t}  probe={ev.stats.last_probe_precision:5.1f}%  "
+              f"{'REBUILT' if rebuilt else 'kept   '}  {ev!r}")
+
+    print("\nEvery answer above was verified exact against direct "
+          "evaluation;\nthe maintenance policy only manages *speed*, "
+          "never correctness.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The paper's Limitations section, made concrete: road-network graphs.
+
+§2.1: "The above observations hold for irregular graphs with power-law
+distribution. For other kinds of graphs, core graphs may have different
+forms and different degree of precision." A 2D lattice (road-network-like)
+has no hubs: every vertex has degree ≈ 4, so 20 "highest-degree" vertices
+explain almost none of the shortest-path structure. This demo contrasts the
+same recipe on a power-law graph and a lattice of similar size.
+
+Run: ``python examples/limitations_road_network.py``
+"""
+
+import numpy as np
+
+from repro import SSSP, build_core_graph
+from repro.core.precision import measure_precision
+from repro.generators.random_graphs import lattice_graph
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.harness.tables import render_table
+
+
+def study(name, g, sources):
+    cg = build_core_graph(g, SSSP, num_hubs=20)
+    rep = measure_precision(g, cg, SSSP, sources)
+    return [name, g.num_vertices, g.num_edges,
+            100 * cg.edge_fraction, rep.pct_precise, rep.avg_error_pct]
+
+
+def main() -> None:
+    rng = np.random.default_rng(17)
+    powerlaw = ligra_weights(rmat(12, 8, seed=21), seed=22)
+    lattice = lattice_graph(64, 64, seed=23)
+
+    rows = []
+    for name, g in (("power-law (R-MAT)", powerlaw),
+                    ("road lattice 64x64", lattice)):
+        sources = rng.choice(
+            np.flatnonzero(g.out_degree() > 0), 5, replace=False
+        )
+        rows.append(study(name, g, [int(s) for s in sources]))
+
+    print(render_table(
+        ["graph", "|V|", "|E|", "CG % edges", "precision %", "avg err %"],
+        rows,
+        title="SSSP core graphs: power-law vs road network (paper §2.1 "
+        "Limitations)",
+    ))
+    print(
+        "\nOn the lattice the 'high-degree hubs proxy high centrality' "
+        "assumption fails:\nhub queries trace only a few corridors, so "
+        "either precision drops or the CG\nkeeps most of the graph — the "
+        "regime the paper explicitly scopes out."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+#!/usr/bin/env python
+"""R-MAT connectivity study: how graph structure shapes the core graph.
+
+The paper's Table 13: RMAT2 (denser, locally connected) yields the smallest
+CGs, RMAT3 (more long-range connections) the largest, and precision stays
+above 91% on all of them. This demo regenerates that comparison and also
+varies the number of hubs to show the Fig. 3 saturation effect.
+
+Run: ``python examples/rmat_study.py``
+"""
+
+from repro import SSSP, SSWP, build_core_graph
+from repro.core.precision import measure_precision
+from repro.datasets.zoo import RMAT_NAMES, load_zoo_graph, zoo_entry
+from repro.harness.tables import render_table
+
+
+def main() -> None:
+    rows = []
+    for name in RMAT_NAMES:
+        g = load_zoo_graph(name)
+        entry = zoo_entry(name)
+        row = [name, str(entry.params)]
+        for spec in (SSSP, SSWP):
+            cg = build_core_graph(g, spec, num_hubs=20)
+            rep = measure_precision(g, cg, spec, sources=[1, 2, 3, 4, 5])
+            row += [100 * cg.edge_fraction, rep.pct_precise]
+        rows.append(row)
+    print(render_table(
+        ["G", "(a,b,c,d)", "SSSP CG %", "SSSP prec %",
+         "SSWP CG %", "SSWP prec %"],
+        rows,
+        title="Core graphs across R-MAT connectivity regimes (Table 13)",
+    ))
+
+    print("\nHub-count saturation on RMAT1 (the Fig. 3 effect):")
+    g = load_zoo_graph("RMAT1")
+    cg = build_core_graph(g, SSSP, num_hubs=32, track_growth=True,
+                          connectivity=False)
+    for q in (1, 2, 4, 8, 16, 32):
+        print(f"   {q:3d} hub queries -> {int(cg.growth[q - 1]):>7,} "
+              "centrality edges")
+
+
+if __name__ == "__main__":
+    main()

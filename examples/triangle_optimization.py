@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Theorem 1 in action: certifying precise vertices from hub distances.
+
+After the core phase, a vertex whose CG value meets a hub-distance bound is
+*provably* precise, so the completion phase can skip its incoming edges
+(the paper's Table 12 shows this lifting Ligra's SSWP speedup from 3.82x to
+7.30x on FR). This demo runs SSWP/SSNP with and without the optimization
+and reports certificates issued and work saved.
+
+Run: ``python examples/triangle_optimization.py``
+"""
+
+import numpy as np
+
+from repro import SSNP, SSWP, build_core_graph, evaluate_query, two_phase
+from repro.datasets.zoo import load_zoo_graph
+
+
+def main() -> None:
+    g = load_zoo_graph("TT")
+    print(f"graph: {g}\n")
+    rng = np.random.default_rng(5)
+    sources = rng.choice(np.flatnonzero(g.out_degree() > 0), 5, replace=False)
+
+    for spec in (SSWP, SSNP):
+        cg = build_core_graph(g, spec, num_hubs=20)
+        plain_edges = tri_edges = certified = 0
+        for s in sources:
+            s = int(s)
+            truth = evaluate_query(g, spec, s)
+            plain = two_phase(g, cg, spec, s)
+            tri = two_phase(g, cg, spec, s, triangle=True)
+            assert np.array_equal(plain.values, truth)
+            assert np.array_equal(tri.values, truth)
+            plain_edges += plain.phase2.edges_processed
+            tri_edges += tri.phase2.edges_processed
+            certified += tri.certified_precise
+        n = g.num_vertices * len(sources)
+        print(f"{spec.name}: CG has {100 * cg.edge_fraction:.1f}% of edges")
+        print(f"   certificates issued: {certified:,} "
+              f"({100 * certified / n:.1f}% of vertex results)")
+        print(f"   completion-phase edge visits: {plain_edges:,} -> "
+              f"{tri_edges:,} "
+              f"({100 * (1 - tri_edges / max(1, plain_edges)):.1f}% saved)\n")
+
+
+if __name__ == "__main__":
+    main()

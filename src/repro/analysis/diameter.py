@@ -1,0 +1,66 @@
+"""Effective-diameter estimation by sampled BFS.
+
+The number of iterations every system in this package runs is governed by
+the graph's (effective) diameter — power-law graphs converge in a dozen
+rounds where lattices take hundreds. The estimator runs BFS from a vertex
+sample and reports hop-distance percentiles, the standard "effective
+diameter" methodology.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.engines.frontier import evaluate_query
+from repro.graph.csr import Graph
+from repro.queries.specs import BFS
+
+
+@dataclass
+class DiameterEstimate:
+    """Sampled hop-distance distribution."""
+
+    samples: int
+    max_observed: int
+    effective_90: float  # 90th-percentile finite hop distance
+    median: float
+    mean: float
+
+
+def estimate_effective_diameter(
+    g: Graph,
+    samples: int = 8,
+    percentile: float = 90.0,
+    seed: int = 0,
+    rng: Optional[np.random.Generator] = None,
+) -> DiameterEstimate:
+    """BFS from ``samples`` random sources; summarize finite distances."""
+    if samples < 1:
+        raise ValueError("samples must be >= 1")
+    if not 0 < percentile <= 100:
+        raise ValueError("percentile must be in (0, 100]")
+    rng = rng or np.random.default_rng(seed)
+    candidates = np.flatnonzero(g.out_degree() > 0)
+    if candidates.size == 0:
+        return DiameterEstimate(0, 0, 0.0, 0.0, 0.0)
+    k = min(samples, candidates.size)
+    sources = rng.choice(candidates, k, replace=False)
+    finite_all = []
+    for s in sources:
+        levels = evaluate_query(g, BFS, int(s))
+        finite = levels[np.isfinite(levels) & (levels > 0)]
+        if finite.size:
+            finite_all.append(finite)
+    if not finite_all:
+        return DiameterEstimate(k, 0, 0.0, 0.0, 0.0)
+    distances = np.concatenate(finite_all)
+    return DiameterEstimate(
+        samples=k,
+        max_observed=int(distances.max()),
+        effective_90=float(np.percentile(distances, percentile)),
+        median=float(np.median(distances)),
+        mean=float(distances.mean()),
+    )

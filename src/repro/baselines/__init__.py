@@ -1,0 +1,14 @@
+"""Prior proxy-graph baselines the paper compares against (§3.4)."""
+
+from repro.baselines.abstraction import build_abstraction_graph
+from repro.baselines.sampled import build_sampled_graph
+from repro.baselines.reduced import build_reduced_graph, ReducedGraph
+from repro.baselines.unionfind import UnionFind
+
+__all__ = [
+    "build_abstraction_graph",
+    "build_sampled_graph",
+    "build_reduced_graph",
+    "ReducedGraph",
+    "UnionFind",
+]

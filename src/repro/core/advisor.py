@@ -1,0 +1,128 @@
+"""When is a core graph worth using? A calibrated per-query advisor.
+
+The paper's §2.1 Limitations: outside the power-law regime "core graphs may
+have different forms and different degree of precision" — e.g. on a road
+lattice the CG keeps most edges yet answers few vertices precisely, and a
+2Phase run just wastes its core phase. This advisor measures the CG's
+actual quality on a few calibration queries and predicts, per future query,
+whether bootstrapping beats direct evaluation:
+
+    direct   ≈ baseline edge visits
+    2phase   ≈ cg_edges_visited + completion edge visits
+
+both taken from the calibration sample. The decision is a simple expected-
+work comparison with a safety margin, so a CG on a lattice is (correctly)
+advised against while the same code on a power-law graph advises in favor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.core.twophase import TwoPhaseResult, two_phase
+from repro.engines.frontier import evaluate_query
+from repro.engines.stats import RunStats
+from repro.graph.csr import Graph
+from repro.queries.base import QuerySpec
+
+
+@dataclass
+class Calibration:
+    """Measured work profile of one (graph, CG, query-kind) pairing."""
+
+    spec_name: str
+    samples: int
+    avg_direct_edges: float
+    avg_two_phase_edges: float
+    avg_precision_pct: float
+
+    @property
+    def expected_speedup(self) -> float:
+        """Work ratio direct / 2phase (edge visits as the work proxy)."""
+        if self.avg_two_phase_edges <= 0:
+            return float("inf")
+        return self.avg_direct_edges / self.avg_two_phase_edges
+
+
+class CoreGraphAdvisor:
+    """Calibrate once on sample queries, then advise per future query."""
+
+    def __init__(
+        self,
+        g: Graph,
+        cg: CoreGraph,
+        spec: QuerySpec,
+        margin: float = 1.05,
+    ) -> None:
+        """``margin``: required expected work ratio before advising the
+        2Phase path (hedge against sampling noise)."""
+        if margin <= 0:
+            raise ValueError("margin must be positive")
+        self.g = g
+        self.cg = cg
+        self.spec = spec
+        self.margin = margin
+        self.calibration: Optional[Calibration] = None
+
+    # ------------------------------------------------------------------
+    def calibrate(self, sources: Sequence[int]) -> Calibration:
+        """Run the sample queries both ways and record the work profile."""
+        if not len(sources):
+            raise ValueError("need at least one calibration source")
+        direct_edges, two_phase_edges, precise_pct = [], [], []
+        n = self.g.num_vertices
+        for s in sources:
+            s = int(s)
+            baseline = RunStats()
+            truth = evaluate_query(self.g, self.spec, s, stats=baseline)
+            res = two_phase(self.g, self.cg, self.spec, s)
+            direct_edges.append(baseline.edges_processed)
+            two_phase_edges.append(res.total.edges_processed)
+            cg_vals = evaluate_query(self.cg.graph, self.spec, s)
+            precise = self.spec.values_equal(cg_vals, truth)
+            precise_pct.append(100.0 * precise.sum() / n)
+        self.calibration = Calibration(
+            spec_name=self.spec.name,
+            samples=len(sources),
+            avg_direct_edges=float(np.mean(direct_edges)),
+            avg_two_phase_edges=float(np.mean(two_phase_edges)),
+            avg_precision_pct=float(np.mean(precise_pct)),
+        )
+        return self.calibration
+
+    # ------------------------------------------------------------------
+    @property
+    def recommends_core_graph(self) -> bool:
+        """True when the calibrated work ratio clears the margin."""
+        if self.calibration is None:
+            raise RuntimeError("calibrate() first")
+        return self.calibration.expected_speedup >= self.margin
+
+    def answer(
+        self, source: Optional[int] = None, triangle: bool = False
+    ) -> Union[TwoPhaseResult, np.ndarray]:
+        """Evaluate one query via whichever path the calibration favors.
+
+        Returns a :class:`TwoPhaseResult` when the CG path is taken, or
+        the bare value array from direct evaluation otherwise.
+        """
+        if self.recommends_core_graph:
+            return two_phase(
+                self.g, self.cg, self.spec, source, triangle=triangle
+            )
+        return evaluate_query(self.g, self.spec, source)
+
+    def __repr__(self) -> str:
+        state = "uncalibrated"
+        if self.calibration is not None:
+            verdict = "use CG" if self.recommends_core_graph else "go direct"
+            state = (
+                f"{self.calibration.expected_speedup:.2f}x expected, "
+                f"{self.calibration.avg_precision_pct:.1f}% precise -> "
+                f"{verdict}"
+            )
+        return f"CoreGraphAdvisor({self.spec.name}: {state})"

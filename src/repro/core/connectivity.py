@@ -1,0 +1,36 @@
+"""Additional connectivity edges (Algorithm 1, lines 8–12).
+
+After the centrality edges of the hub queries are collected, every vertex
+with non-zero out-degree that has no out-edge in the core graph gets one:
+the lowest-weight out-edge for MIN-style queries (more likely to lie on
+shortest/narrowest paths) or the highest-weight one for SSWP.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.queries.base import QuerySpec
+
+
+def add_connectivity_edges(g: Graph, edge_mask: np.ndarray, spec: QuerySpec) -> int:
+    """Mutate ``edge_mask`` to connect out-edge-less vertices; return #added."""
+    edge_mask = np.asarray(edge_mask)
+    if edge_mask.shape != g.dst.shape:
+        raise ValueError("edge_mask must parallel the edge array")
+    has_cg_out = np.zeros(g.num_vertices, dtype=bool)
+    if edge_mask.any():
+        has_cg_out[g.edge_sources()[edge_mask]] = True
+    missing = np.flatnonzero((g.out_degree() > 0) & ~has_cg_out)
+    weights = g.edge_weights()
+    for u in missing:
+        lo, hi = int(g.offsets[u]), int(g.offsets[u + 1])
+        if spec.connectivity_pick == "min":
+            pick = lo + int(np.argmin(weights[lo:hi]))
+        elif spec.connectivity_pick == "max":
+            pick = lo + int(np.argmax(weights[lo:hi]))
+        else:  # "any": the first stored out-edge
+            pick = lo
+        edge_mask[pick] = True
+    return int(missing.size)

@@ -1,0 +1,97 @@
+"""The CoreGraph container: the proxy graph plus its identification metadata.
+
+A core graph keeps every vertex of the original graph and a subset of its
+edges — those witnessed to have non-zero betweenness centrality by hub
+queries, plus the connectivity edges Algorithm 1 adds. The container also
+carries the hub query results (needed by the Theorem 1 triangle-inequality
+certificates) and bookkeeping used by the paper's studies (edge-growth curve
+for Fig. 3, forward selection counts for Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+
+@dataclass
+class HubData:
+    """Query results for one hub vertex ``h`` on the *full* graph.
+
+    ``forward[v]`` is ``Q(h).Val(v)`` — the property value from ``h`` to
+    ``v``; ``backward[v]`` is the value from ``v`` to ``h`` (the query on the
+    transpose graph). These are exactly the ``dist(h, ·).G`` / ``dist(·, h).G``
+    terms in Theorem 1.
+    """
+
+    hub: int
+    forward: np.ndarray
+    backward: np.ndarray
+
+
+@dataclass
+class CoreGraph:
+    """A core graph and the provenance of its edges.
+
+    Attributes
+    ----------
+    graph:
+        The CG itself: same vertex set as the source graph, subset of edges.
+    edge_mask:
+        Boolean mask over the *source* graph's CSR edge array marking the
+        edges included in the CG (centrality + connectivity edges).
+    spec_name:
+        The query kind the CG was specialized for (``"REACH"`` for the
+        general CG shared by REACH and WCC).
+    hubs:
+        The high-degree vertices whose queries identified the edges.
+    hub_data:
+        Per-hub forward/backward full-graph query values (empty when the
+        builder was asked not to retain them).
+    growth:
+        ``growth[i]`` = number of centrality edges accumulated after
+        processing hubs ``0..i`` (Fig. 3). ``None`` unless tracked.
+    forward_selection_counts:
+        Per-source-edge count of forward hub queries that selected the edge
+        (Table 1). ``None`` unless tracked.
+    connectivity_edges:
+        Number of edges added by the well-connectedness pass.
+    source_num_edges:
+        ``|E|`` of the graph the CG was derived from.
+    """
+
+    graph: Graph
+    edge_mask: np.ndarray
+    spec_name: str
+    hubs: np.ndarray
+    hub_data: List[HubData] = field(default_factory=list)
+    growth: Optional[np.ndarray] = None
+    forward_selection_counts: Optional[np.ndarray] = None
+    connectivity_edges: int = 0
+    source_num_edges: int = 0
+
+    @property
+    def num_vertices(self) -> int:
+        return self.graph.num_vertices
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def edge_fraction(self) -> float:
+        """Fraction of the source graph's edges retained (Table 4 metric)."""
+        if self.source_num_edges == 0:
+            return 0.0
+        return self.num_edges / self.source_num_edges
+
+    def __repr__(self) -> str:
+        pct = 100.0 * self.edge_fraction
+        return (
+            f"CoreGraph(spec={self.spec_name}, edges={self.num_edges} "
+            f"[{pct:.2f}% of {self.source_num_edges}], hubs={len(self.hubs)})"
+        )

@@ -1,0 +1,165 @@
+"""Core-graph maintenance under graph evolution.
+
+The authors' companion work (CommonGraph, JetStream, MEGA) targets evolving
+graphs; this module works out what evolution means for core graphs:
+
+* **Insertions are free for correctness.** The 2Phase algorithm is exact
+  for *any* subgraph proxy, so a CG built yesterday still yields exact
+  results on today's grown graph — only its *quality* (core-phase
+  precision, hence speedup) decays as new solution paths appear outside it.
+* **Deletions are not.** Exactness requires ``CG ⊆ G`` (core-phase values
+  must stay on the pessimistic side of the lattice); a deleted full-graph
+  edge must therefore be dropped from the CG too.
+* **Theorem 1 certificates survive neither direction.** The hub values
+  they compare against were computed on the build-time graph; insertions
+  can improve true values below a stale bound and deletions can invalidate
+  the hub values themselves, so the maintainer disables the triangle
+  optimization after *any* churn until the next rebuild (see
+  ``docs/theory.md``).
+
+:class:`EvolvingCoreGraph` applies both rules, tracks staleness, and
+rebuilds when a sampled precision probe drops below a threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.core.dispatch import build_cg
+from repro.core.precision import measure_precision
+from repro.core.twophase import TwoPhaseResult, two_phase
+from repro.graph.csr import Graph
+from repro.graph.mutate import add_edges, remove_edges
+from repro.queries.base import QuerySpec
+
+
+@dataclass
+class MaintenanceStats:
+    """Churn bookkeeping since the last (re)build."""
+
+    inserted_edges: int = 0
+    deleted_edges: int = 0
+    rebuilds: int = 0
+    last_probe_precision: float = 100.0
+
+
+class EvolvingCoreGraph:
+    """A (graph, core graph) pair that absorbs edge churn safely."""
+
+    def __init__(
+        self,
+        g: Graph,
+        spec: QuerySpec,
+        num_hubs: int = 20,
+        rebuild_below_precision: float = 95.0,
+        probe_sources: int = 3,
+        probe_seed: int = 7,
+    ) -> None:
+        self.spec = spec
+        self.num_hubs = num_hubs
+        self.rebuild_below_precision = rebuild_below_precision
+        self.probe_sources = probe_sources
+        self.probe_seed = probe_seed
+        self.graph = g
+        self.cg: CoreGraph = build_cg(g, spec, num_hubs=num_hubs)
+        self.stats = MaintenanceStats()
+        self._triangle_safe = True
+
+    # ------------------------------------------------------------------
+    # Churn
+    # ------------------------------------------------------------------
+    def insert_edges(self, edges: Iterable) -> None:
+        """Grow the full graph; the CG is untouched (still a subgraph).
+
+        Exactness of 2Phase answers is unaffected, but Theorem 1
+        certificates become unsound: a new edge can improve true values
+        below a bound computed from the build-time hub values (e.g. a
+        fresh shortcut toward a hub shrinks ``B[s]`` while the stored one
+        doesn't), so the triangle pass is disabled until the next rebuild.
+        """
+        edges = list(edges)
+        self.graph = add_edges(self.graph, edges)
+        self.stats.inserted_edges += len(edges)
+        if edges:
+            self._triangle_safe = False
+
+    def delete_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
+        """Shrink the full graph AND the CG (the ``CG ⊆ G`` invariant).
+
+        Hub values become stale, so Theorem 1 certificates are disabled
+        until the next rebuild.
+        """
+        pairs = list(pairs)
+        self.graph, removed_full = remove_edges(self.graph, pairs)
+        cg_graph, removed_cg = remove_edges(self.cg.graph, pairs)
+        if removed_cg.any():
+            self.cg = CoreGraph(
+                graph=cg_graph,
+                edge_mask=self.cg.edge_mask,  # provenance of the old build
+                spec_name=self.cg.spec_name,
+                hubs=self.cg.hubs,
+                hub_data=self.cg.hub_data,
+                connectivity_edges=self.cg.connectivity_edges,
+                source_num_edges=self.graph.num_edges,
+            )
+        self.stats.deleted_edges += int(removed_full.sum())
+        if pairs:
+            self._triangle_safe = False
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def answer(
+        self, source: Optional[int] = None, triangle: bool = False
+    ) -> TwoPhaseResult:
+        """Exact 2Phase evaluation on the current graph."""
+        use_triangle = triangle and self._triangle_safe
+        return two_phase(
+            self.graph, self.cg, self.spec, source, triangle=use_triangle
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance policy
+    # ------------------------------------------------------------------
+    def probe_precision(self, sources: Optional[Sequence[int]] = None) -> float:
+        """Sampled core-phase precision on the current graph."""
+        if sources is None:
+            rng = np.random.default_rng(self.probe_seed)
+            candidates = np.flatnonzero(self.graph.out_degree() > 0)
+            if candidates.size == 0:
+                return 100.0
+            k = min(self.probe_sources, candidates.size)
+            sources = rng.choice(candidates, k, replace=False)
+        report = measure_precision(
+            self.graph, self.cg, self.spec, [int(s) for s in sources]
+        )
+        self.stats.last_probe_precision = report.pct_precise
+        return report.pct_precise
+
+    def maybe_rebuild(self) -> bool:
+        """Probe quality; rebuild the CG when it fell below the threshold.
+
+        Returns True when a rebuild happened.
+        """
+        if self.probe_precision() >= self.rebuild_below_precision:
+            return False
+        self.rebuild()
+        return True
+
+    def rebuild(self) -> None:
+        """Re-identify the CG on the current graph (the one-time cost)."""
+        self.cg = build_cg(self.graph, self.spec, num_hubs=self.num_hubs)
+        self.stats.rebuilds += 1
+        self._triangle_safe = True
+
+    def __repr__(self) -> str:
+        return (
+            f"EvolvingCoreGraph({self.spec.name}, |E|={self.graph.num_edges}, "
+            f"cg={100 * self.cg.num_edges / max(1, self.graph.num_edges):.1f}%, "
+            f"+{self.stats.inserted_edges}/-{self.stats.deleted_edges} edges, "
+            f"{self.stats.rebuilds} rebuilds)"
+        )

@@ -1,0 +1,68 @@
+"""Core graphs and non-monotonic algorithms: the paper's open problem.
+
+For monotonic queries the 2Phase algorithm is *exact* because core-phase
+values sit on the correct side of the value lattice and the completion
+phase only improves them. PageRank has no such lattice: a CG-bootstrapped
+run is merely a warm start of the full-graph power iteration. This module
+quantifies what that warm start buys (iterations saved) and what it cannot
+guarantee (the core-phase vector itself can be arbitrarily wrong), backing
+the paper's closing remark in §2.1 with measurements
+(``benchmarks/bench_ablation_pagerank.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.graph.csr import Graph
+from repro.queries.pagerank import PageRankResult, pagerank
+
+
+@dataclass
+class WarmStartStudy:
+    """Measured effect of CG-bootstrapping PageRank."""
+
+    cold: PageRankResult
+    warm: PageRankResult
+    phase1: PageRankResult
+    phase1_error_l1: float      # how wrong the CG-only ranks are
+    iterations_saved: int
+    final_divergence_l1: float  # warm vs cold fixed points (≈ tol)
+
+    @property
+    def iteration_reduction_pct(self) -> float:
+        if self.cold.iterations == 0:
+            return 0.0
+        return 100.0 * self.iterations_saved / self.cold.iterations
+
+
+def bootstrap_pagerank(
+    g: Graph,
+    proxy: Union[CoreGraph, Graph],
+    damping: float = 0.85,
+    tol: float = 1e-12,
+    max_iterations: int = 500,
+) -> WarmStartStudy:
+    """Run PageRank cold and CG-warm-started; measure the difference.
+
+    The warm start runs PageRank to convergence on the proxy graph, then
+    uses those ranks to initialize the full-graph iteration.
+    """
+    proxy_g = proxy.graph if isinstance(proxy, CoreGraph) else proxy
+    if proxy_g.num_vertices != g.num_vertices:
+        raise ValueError("proxy must share the full graph's vertex set")
+    cold = pagerank(g, damping, tol, max_iterations)
+    phase1 = pagerank(proxy_g, damping, tol, max_iterations)
+    warm = pagerank(g, damping, tol, max_iterations, init=phase1.ranks)
+    return WarmStartStudy(
+        cold=cold,
+        warm=warm,
+        phase1=phase1,
+        phase1_error_l1=float(np.abs(phase1.ranks - cold.ranks).sum()),
+        iterations_saved=cold.iterations - warm.iterations,
+        final_divergence_l1=float(np.abs(warm.ranks - cold.ranks).sum()),
+    )

@@ -1,0 +1,101 @@
+"""Measuring proxy-graph precision (Tables 5, 13c, 15, 16).
+
+A vertex's result is *precise* when the query converged on the proxy graph
+to the same value as on the full graph. The paper reports the average
+percentage of precise vertices over ten random queries, the maximum number
+of imprecise vertices, and (for SSSP) the average percentage error of the
+imprecise values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.engines.frontier import evaluate_query
+from repro.graph.csr import Graph
+from repro.queries.base import QuerySpec
+
+
+@dataclass
+class PrecisionReport:
+    """Aggregated precision of one proxy graph for one query kind."""
+
+    spec_name: str
+    num_queries: int
+    pct_precise: float
+    max_imprecise: int
+    avg_error_pct: float
+    per_query_pct: List[float] = field(default_factory=list)
+
+    def __str__(self) -> str:
+        return (
+            f"{self.spec_name}: {self.pct_precise:.1f}% precise "
+            f"(max {self.max_imprecise} imprecise, "
+            f"avg err {self.avg_error_pct:.2f}%)"
+        )
+
+
+def _proxy_graph(proxy: Union[CoreGraph, Graph]) -> Graph:
+    return proxy.graph if isinstance(proxy, CoreGraph) else proxy
+
+
+def compare_values(
+    spec: QuerySpec, proxy_vals: np.ndarray, true_vals: np.ndarray
+) -> np.ndarray:
+    """Per-vertex precision mask (equal values, infinities matching)."""
+    return spec.values_equal(proxy_vals, true_vals)
+
+
+def measure_precision(
+    g: Graph,
+    proxy: Union[CoreGraph, Graph],
+    spec: QuerySpec,
+    sources: Optional[Sequence[int]] = None,
+    true_values: Optional[Sequence[np.ndarray]] = None,
+) -> PrecisionReport:
+    """Evaluate ``spec`` on the proxy and the full graph; compare per vertex.
+
+    ``sources`` is ignored for multi-source queries (WCC), which run once.
+    ``true_values`` may supply precomputed full-graph results (parallel to
+    ``sources``) to amortize ground truth across proxies.
+    """
+    proxy_g = _proxy_graph(proxy)
+    if spec.multi_source:
+        source_list: List[Optional[int]] = [None]
+    else:
+        if sources is None:
+            raise ValueError(f"{spec.name} requires sources")
+        source_list = [int(s) for s in sources]
+
+    pcts: List[float] = []
+    max_imprecise = 0
+    errors: List[float] = []
+    n = g.num_vertices
+    for i, s in enumerate(source_list):
+        truth = (
+            np.asarray(true_values[i])
+            if true_values is not None
+            else evaluate_query(g, spec, s)
+        )
+        approx = evaluate_query(proxy_g, spec, s)
+        precise = compare_values(spec, approx, truth)
+        imprecise = int(n - precise.sum())
+        pcts.append(100.0 * (n - imprecise) / n)
+        max_imprecise = max(max_imprecise, imprecise)
+        bad = ~precise
+        finite = bad & np.isfinite(truth) & np.isfinite(approx) & (truth != 0)
+        if finite.any():
+            rel = np.abs(approx[finite] - truth[finite]) / np.abs(truth[finite])
+            errors.append(100.0 * float(rel.mean()))
+    return PrecisionReport(
+        spec_name=spec.name,
+        num_queries=len(source_list),
+        pct_precise=float(np.mean(pcts)),
+        max_imprecise=max_imprecise,
+        avg_error_pct=float(np.mean(errors)) if errors else 0.0,
+        per_query_pct=pcts,
+    )

@@ -1,0 +1,84 @@
+"""Memoized query answering over a CoreGraphIndex.
+
+The paper's workload is "all future queries" over one graph; repeated
+sources are common (hubs get queried constantly). This store fronts a
+:class:`~repro.core.index.CoreGraphIndex` with an LRU of converged value
+arrays keyed by (query kind, source), so a repeated query costs a dict
+lookup.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.index import CoreGraphIndex
+from repro.queries.base import QuerySpec
+from repro.queries.registry import get_spec
+
+
+@dataclass
+class StoreStats:
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class QueryResultStore:
+    """LRU-cached exact query answers."""
+
+    def __init__(self, index: CoreGraphIndex, capacity: int = 128) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.index = index
+        self.capacity = capacity
+        self.stats = StoreStats()
+        self._cache: "OrderedDict[Tuple[str, Optional[int]], np.ndarray]" = (
+            OrderedDict()
+        )
+
+    def query(
+        self, spec: Union[QuerySpec, str], source: Optional[int] = None
+    ) -> np.ndarray:
+        """Converged values for ``(spec, source)``; cached after first use.
+
+        Returned arrays are read-only views — copy before mutating.
+        """
+        spec = get_spec(spec) if isinstance(spec, str) else spec
+        key = (spec.name, None if spec.multi_source else int(source))
+        if key in self._cache:
+            self.stats.hits += 1
+            self._cache.move_to_end(key)
+            return self._cache[key]
+        self.stats.misses += 1
+        result = self.index.answer(spec, key[1])
+        values = result.values
+        values.setflags(write=False)
+        self._cache[key] = values
+        if len(self._cache) > self.capacity:
+            self._cache.popitem(last=False)
+            self.stats.evictions += 1
+        return values
+
+    def invalidate(self) -> int:
+        """Drop every cached answer (call after the graph changes)."""
+        dropped = len(self._cache)
+        self._cache.clear()
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryResultStore({len(self._cache)}/{self.capacity} cached, "
+            f"{100 * self.stats.hit_rate:.0f}% hit rate)"
+        )

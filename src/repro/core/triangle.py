@@ -1,0 +1,105 @@
+"""Triangle-inequality precision certificates (Theorem 1, §2.2).
+
+After the core phase computes ``Val(s, v).CG`` for every vertex, some values
+can be *proven* precise from the hub queries' full-graph results, because
+the core graph is a subgraph (its values can only be worse than the full
+graph's) while the graph triangle inequality bounds how good the full-graph
+value can be. Vertices holding a certificate have their incoming edges
+removed from the completion phase — propagation into them is provably
+wasted work.
+
+Derivations per query kind (hub ``h``; ``F[v] = Q(h).Val(v)`` forward on
+``G``, ``B[v] = Val(v → h)`` backward on ``G``; ``cg[v]`` the core-phase
+value from source ``s``):
+
+* **SSSP** (Theorem 1 verbatim): ``dist(s,v).G >= B[s] - B[v]`` and
+  ``dist(s,v).G >= F[v] - F[s]``; since ``cg >= dist.G``, equality with
+  either bound certifies precision.
+* **Viterbi** (multiplicative analogue): ``prob(s,v)*prob(v,h) <= prob(s,h)``
+  gives ``prob(s,v).G <= B[s]/B[v]``, and symmetrically ``<= F[v]/F[s]``;
+  since ``cg <= prob.G``, equality certifies.
+* **SSWP**: from ``width(s,h) >= min(width(s,v), width(v,h))``, whenever
+  ``B[v] > B[s]`` the min must be ``width(s,v)``, so ``width(s,v).G <=
+  B[s]``; equality of ``cg`` with ``B[s]`` certifies. Symmetrically with
+  ``F[s] > F[v]`` and bound ``F[v]``.
+* **SSNP**: dual of SSWP — ``B[v] < B[s]`` forces ``nar(s,v).G >= B[s]``,
+  and ``F[s] < F[v]`` forces ``nar(s,v).G >= F[v]``.
+* **REACH**: a vertex reached in the CG is reached in ``G`` (subgraph), so
+  ``cg == 1`` is itself a certificate; no hub data needed.
+
+WCC has no per-source triangle structure; it is not supported (the paper
+applies the optimization to SSNP, Viterbi, and SSWP — Table 12).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.queries.base import QuerySpec
+
+_SUPPORTED = {"SSSP", "BFS", "SSNP", "SSWP", "Viterbi", "REACH"}
+
+
+def supports_triangle(spec: QuerySpec) -> bool:
+    """Whether Theorem 1 certificates are implemented for ``spec``."""
+    return spec.name in _SUPPORTED
+
+
+def _finite(a: np.ndarray) -> np.ndarray:
+    return np.isfinite(a)
+
+
+def certify_precise(
+    cg: CoreGraph, spec: QuerySpec, source: int, cg_vals: np.ndarray
+) -> np.ndarray:
+    """Boolean mask of vertices whose core-phase value is provably precise.
+
+    ``cg_vals`` is the converged core-phase value array for ``source``.
+    Certificates are sound but incomplete: a False entry says nothing.
+    """
+    if not supports_triangle(spec):
+        raise ValueError(f"triangle optimization not supported for {spec.name}")
+    n = cg_vals.shape[0]
+    certified = np.zeros(n, dtype=bool)
+
+    if spec.name == "REACH":
+        # Subgraph reachability implies full-graph reachability.
+        return cg_vals == 1.0
+
+    for hub_data in cg.hub_data:
+        F, B = hub_data.forward, hub_data.backward
+        f_s, b_s = F[source], B[source]
+        if spec.name in ("SSSP", "BFS"):
+            # BFS is unit-weight SSSP; the additive bounds apply verbatim.
+            if np.isfinite(b_s):
+                bound = b_s - B
+                certified |= _finite(B) & spec.values_equal(cg_vals, bound)
+            if np.isfinite(f_s):
+                bound = F - f_s
+                certified |= _finite(F) & spec.values_equal(cg_vals, bound)
+        elif spec.name == "Viterbi":
+            if b_s > 0.0:
+                with np.errstate(divide="ignore", invalid="ignore"):
+                    bound = np.where(B > 0.0, b_s / B, np.nan)
+                certified |= (B > 0.0) & spec.values_equal(cg_vals, bound)
+            if f_s > 0.0:
+                bound = F / f_s
+                certified |= (F > 0.0) & spec.values_equal(cg_vals, bound)
+        elif spec.name == "SSWP":
+            if np.isfinite(b_s) or np.isposinf(b_s):
+                certified |= (B > b_s) & spec.values_equal(
+                    cg_vals, np.full(n, b_s)
+                )
+            certified |= (
+                (f_s > F) & _finite(F) & spec.values_equal(cg_vals, F)
+            )
+        elif spec.name == "SSNP":
+            if np.isfinite(b_s) or np.isneginf(b_s):
+                certified |= (B < b_s) & spec.values_equal(
+                    cg_vals, np.full(n, b_s)
+                )
+            certified |= (
+                (f_s < F) & _finite(F) & spec.values_equal(cg_vals, F)
+            )
+    return certified

@@ -1,0 +1,124 @@
+"""Two-phase query evaluation (Algorithm 3).
+
+The Core Phase converges the query on the small in-memory core graph; the
+Completion Phase resumes on the full graph from every impacted vertex,
+applying the ``FirstPhase2Visit`` rule so all reachable vertices push their
+full-graph out-edges at least once, which guarantees 100% precise results.
+With ``triangle=True`` the Theorem 1 certificates additionally remove the
+incoming edges of provably precise vertices from the completion phase.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph
+from repro.core.triangle import certify_precise
+from repro.engines.frontier import run_push, symmetric_view
+from repro.engines.stats import RunStats
+from repro.graph.csr import Graph
+from repro.queries.base import QuerySpec
+
+
+@dataclass
+class TwoPhaseResult:
+    """Outcome of one 2Phase evaluation.
+
+    ``values`` is precise for every vertex (the 2Phase guarantee). The two
+    ``RunStats`` expose the per-phase work; ``impacted`` is the size of the
+    completion phase's initial frontier and ``certified_precise`` counts the
+    vertices whose in-edges the triangle optimization removed.
+    """
+
+    values: np.ndarray
+    phase1: RunStats = field(default_factory=RunStats)
+    phase2: RunStats = field(default_factory=RunStats)
+    impacted: int = 0
+    certified_precise: int = 0
+
+    @property
+    def total(self) -> RunStats:
+        return self.phase1.merged_with(self.phase2)
+
+
+def _proxy_graph(proxy: Union[CoreGraph, Graph]) -> Graph:
+    return proxy.graph if isinstance(proxy, CoreGraph) else proxy
+
+
+def two_phase(
+    g: Graph,
+    proxy: Union[CoreGraph, Graph],
+    spec: QuerySpec,
+    source: Optional[int] = None,
+    triangle: bool = False,
+    keep_frontier: bool = False,
+) -> TwoPhaseResult:
+    """Evaluate ``spec`` from ``source`` via the 2Phase algorithm.
+
+    ``proxy`` is normally a :class:`CoreGraph` but any same-vertex-set
+    subgraph (e.g. an Abstraction Graph or Sampled Graph baseline) works —
+    the completion phase repairs whatever imprecision the proxy leaves.
+    ``triangle`` requires a :class:`CoreGraph` with retained hub values.
+    """
+    proxy_g = _proxy_graph(proxy)
+    if proxy_g.num_vertices != g.num_vertices:
+        raise ValueError("proxy graph must share the full graph's vertex set")
+
+    n = g.num_vertices
+    phase1_stats = RunStats()
+    work_cg = symmetric_view(proxy_g) if spec.symmetric else proxy_g
+    vals = spec.initial_values(n, source)
+    frontier = spec.initial_frontier(n, source)
+    run_push(
+        work_cg, spec, vals, frontier,
+        stats=phase1_stats, keep_frontier=keep_frontier,
+    )
+
+    if spec.multi_source:
+        # Initialization impacts every vertex (each starts with its own
+        # label), so the completion phase must start from all of them.
+        impacted = np.arange(n, dtype=np.int64)
+    else:
+        impacted = np.flatnonzero(spec.reached(vals))
+
+    # Reduced(E): remove the incoming edges of provably precise vertices.
+    # Lattice saturation (REACH's val == 1) is always available; Theorem 1's
+    # hub-distance certificates are the optional triangle optimization.
+    blocked = spec.saturated(vals)
+    certified = 0
+    if triangle:
+        if not isinstance(proxy, CoreGraph):
+            raise ValueError("triangle optimization requires a CoreGraph")
+        if spec.name != "REACH" and not proxy.hub_data:
+            raise ValueError(
+                "triangle optimization requires hub values; build the core "
+                "graph with keep_hub_values=True"
+            )
+        tri = certify_precise(proxy, spec, int(source), vals)
+        blocked = tri if blocked is None else (blocked | tri)
+    if blocked is not None:
+        certified = int(blocked.sum())
+
+    phase2_stats = RunStats()
+    work_g = symmetric_view(g) if spec.symmetric else g
+    visited = np.zeros(n, dtype=bool)
+    visited[impacted] = True
+    run_push(
+        work_g, spec, vals, impacted,
+        stats=phase2_stats,
+        first_visit=True,
+        visited=visited,
+        blocked_dst=blocked,
+        keep_frontier=keep_frontier,
+    )
+
+    return TwoPhaseResult(
+        values=vals,
+        phase1=phase1_stats,
+        phase2=phase2_stats,
+        impacted=int(impacted.size),
+        certified_precise=certified,
+    )

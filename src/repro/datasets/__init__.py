@@ -1,0 +1,23 @@
+"""Datasets: the paper's worked example and scaled stand-ins for its inputs."""
+
+from repro.datasets.example import (
+    example_graph,
+    example_core_graph,
+    EXAMPLE_HUB,
+    PAPER_G_DISTANCES,
+    PAPER_CG_DISTANCES,
+)
+from repro.datasets.zoo import load_zoo_graph, zoo_entry, ZOO, REAL_NAMES, RMAT_NAMES
+
+__all__ = [
+    "example_graph",
+    "example_core_graph",
+    "EXAMPLE_HUB",
+    "PAPER_G_DISTANCES",
+    "PAPER_CG_DISTANCES",
+    "load_zoo_graph",
+    "zoo_entry",
+    "ZOO",
+    "REAL_NAMES",
+    "RMAT_NAMES",
+]

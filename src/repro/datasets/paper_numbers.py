@@ -1,0 +1,109 @@
+"""The paper's reported numbers, as data.
+
+Transcribed from the EuroSys '24 text so experiments can print
+side-by-side comparisons and quantify *shape agreement* (rank
+correlations) between the stand-in measurements and the published results.
+Only the tables/figures used programmatically are transcribed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+QUERY_ORDER: Tuple[str, ...] = (
+    "SSSP", "SSNP", "Viterbi", "SSWP", "REACH", "WCC"
+)
+GRAPH_ORDER: Tuple[str, ...] = ("FR", "TT", "TTW", "PK")
+
+#: Figure 2 — CG speedups on FR, per system, in QUERY_ORDER.
+FIG2_SPEEDUPS: Dict[str, Tuple[float, ...]] = {
+    "Subway": (2.37, 2.16, 1.79, 2.02, 4.35, 2.49),
+    "GridGraph": (1.13, 8.69, 1.94, 7.74, 13.62, 1.02),
+    "Ligra": (1.31, 4.41, 2.14, 3.82, 9.31, 1.09),
+}
+
+#: Figure 6 — Subway CG speedups, rows = query (QUERY_ORDER), cols = graph
+#: (GRAPH_ORDER).
+FIG6_SUBWAY_CG: Dict[str, Tuple[float, ...]] = {
+    "SSSP": (2.37, 1.87, 2.98, 2.65),
+    "SSNP": (2.16, 2.23, 2.78, 4.48),
+    "Viterbi": (1.79, 2.22, 2.74, 4.41),
+    "SSWP": (2.02, 2.05, 2.77, 3.91),
+    "REACH": (4.35, 4.15, 4.02, 3.95),
+    "WCC": (2.49, 2.79, 2.47, 2.89),
+}
+
+#: Table 4 — CG size as % of |E|, rows = graph, cols = SSSP, SSNP,
+#: Viterbi, SSWP, REACH.
+TABLE4_CG_SIZES: Dict[str, Tuple[float, ...]] = {
+    "FR": (10.45, 7.27, 7.33, 7.27, 5.42),
+    "TT": (9.36, 7.71, 7.73, 7.71, 7.02),
+    "TTW": (10.10, 13.77, 8.34, 13.58, 8.34),
+    "PK": (21.85, 18.05, 12.14, 18.18, 12.13),
+}
+
+#: Table 5 — CG precision %, rows = graph, cols = QUERY_ORDER.
+TABLE5_PRECISION: Dict[str, Tuple[float, ...]] = {
+    "FR": (97.1, 99.9, 99.9, 99.9, 99.9, 99.4),
+    "TT": (99.6, 99.9, 99.9, 99.9, 99.9, 99.9),
+    "TTW": (99.4, 99.9, 99.9, 99.9, 99.9, 98.7),
+    "PK": (94.5, 99.9, 99.9, 99.9, 99.9, 99.3),
+}
+
+#: Table 9 — GridGraph % reduction in I/O iterations, cols = QUERY_ORDER.
+TABLE9_IO_REDUCTION: Dict[str, Tuple[float, ...]] = {
+    "FR": (23.5, 96.4, 44.4, 97.1, 95.6, 0.0),
+    "TT": (29.3, 94.8, 33.3, 94.1, 93.1, 42.0),
+    "TTW": (36.7, 94.7, 36.1, 94.5, 93.8, 0.0),
+    "PK": (27.5, 96.5, 47.0, 96.8, 92.4, 28.6),
+}
+
+#: Table 11 — Ligra % reduction in edges processed, cols = QUERY_ORDER.
+TABLE11_EDGES_REDUCTION: Dict[str, Tuple[float, ...]] = {
+    "FR": (10.2, 26.1, 56.0, 50.4, 94.8, 40.9),
+    "TT": (46.2, 29.6, 36.4, 19.0, 93.1, 42.5),
+    "TTW": (52.5, 35.2, 51.9, 39.7, 92.1, 41.0),
+    "PK": (52.7, 39.1, 75.0, 44.3, 88.2, 36.8),
+}
+
+#: Table 12 — Ligra triangle-optimization speedups, rows = graph,
+#: cols = SSNP, Viterbi, SSWP.
+TABLE12_TRIANGLE_SPEEDUPS: Dict[str, Tuple[float, ...]] = {
+    "FR": (4.24, 4.40, 7.30),
+    "TT": (6.06, 4.52, 6.01),
+    "TTW": (2.86, 2.78, 3.20),
+    "PK": (1.79, 1.83, 1.87),
+}
+
+
+def spearman_rho(a, b) -> float:
+    """Spearman rank correlation between two equally-long sequences.
+
+    The shape-agreement metric: +1 means the stand-in reproduces the
+    paper's ordering of cells exactly, 0 means no rank relationship.
+    """
+    import numpy as np
+
+    a = np.asarray(a, dtype=float)
+    b = np.asarray(b, dtype=float)
+    if a.shape != b.shape or a.size < 2:
+        raise ValueError("need two equally-sized sequences of length >= 2")
+
+    def ranks(x):
+        order = np.argsort(x, kind="stable")
+        r = np.empty_like(order, dtype=float)
+        r[order] = np.arange(1, x.size + 1)
+        # average ranks for ties
+        for val in np.unique(x):
+            mask = x == val
+            if mask.sum() > 1:
+                r[mask] = r[mask].mean()
+        return r
+
+    ra, rb = ranks(a), ranks(b)
+    ra -= ra.mean()
+    rb -= rb.mean()
+    denom = np.sqrt((ra**2).sum() * (rb**2).sum())
+    if denom == 0:
+        return 0.0
+    return float((ra * rb).sum() / denom)

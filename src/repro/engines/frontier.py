@@ -1,0 +1,194 @@
+"""Vectorized synchronous frontier-push engine.
+
+This is the workhorse evaluator used everywhere: core-graph identification
+(Algorithms 1 and 2 run queries with it), both phases of the 2Phase algorithm
+(Algorithm 3), and the Ligra/Subway/GridGraph system models (which re-drive
+the same per-iteration loop under their own cost accounting).
+
+Each round gathers the out-edges of the active frontier, computes candidate
+values with the query's ``⊕``, and applies them with a vectorized
+CASMIN/CASMAX (``np.minimum.at`` / ``np.maximum.at``). Vertices whose value
+improved form the next frontier; the optional ``first_visit`` rule
+additionally activates a vertex the first time *any* edge reaches it, which
+is the paper's ``FirstPhase2Visit`` guarantee for the completion phase.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Generator, Optional, Tuple
+
+import numpy as np
+
+from repro.engines.stats import IterationInfo, RunStats
+from repro.graph.csr import Graph
+from repro.graph.transform import symmetrize
+from repro.queries.base import QuerySpec
+
+try:  # pragma: no cover - import guard exercised implicitly
+    from weakref import WeakKeyDictionary
+except ImportError:  # pragma: no cover
+    WeakKeyDictionary = dict  # type: ignore[assignment,misc]
+
+_SYMMETRIC_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def symmetric_view(g: Graph) -> Graph:
+    """Cached symmetrized view of ``g`` (used by WCC)."""
+    try:
+        return _SYMMETRIC_CACHE[g]
+    except (KeyError, TypeError):
+        sym = symmetrize(g)
+        try:
+            _SYMMETRIC_CACHE[g] = sym
+        except TypeError:
+            pass
+        return sym
+
+
+def ragged_gather(
+    offsets: np.ndarray, frontier: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """CSR edge indices and per-edge sources for all out-edges of ``frontier``.
+
+    Returns ``(edge_idx, u_per_edge)`` where ``edge_idx`` indexes the CSR
+    edge arrays and ``u_per_edge`` repeats each frontier vertex once per
+    out-edge.
+    """
+    starts = offsets[frontier]
+    degs = offsets[frontier + 1] - starts
+    total = int(degs.sum())
+    if total == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    cum = np.cumsum(degs)
+    block_offsets = np.concatenate((np.zeros(1, dtype=np.int64), cum[:-1]))
+    edge_idx = np.arange(total, dtype=np.int64) + np.repeat(
+        starts - block_offsets, degs
+    )
+    u_per_edge = np.repeat(frontier, degs)
+    return edge_idx, u_per_edge
+
+
+def push_iterations(
+    g: Graph,
+    spec: QuerySpec,
+    vals: np.ndarray,
+    frontier: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+    first_visit: bool = False,
+    visited: Optional[np.ndarray] = None,
+    blocked_dst: Optional[np.ndarray] = None,
+    max_iterations: Optional[int] = None,
+    keep_frontier: bool = False,
+) -> Generator[IterationInfo, None, None]:
+    """Drive synchronous push rounds, mutating ``vals`` in place.
+
+    Parameters
+    ----------
+    weights:
+        Pre-transformed edge weights (``spec.weight_transform`` applied).
+        Computed on the fly when omitted.
+    first_visit:
+        Enable the completion phase's ``FirstPhase2Visit`` rule: a vertex is
+        activated the first time an edge reaches it even without improvement.
+        ``visited`` must then be a boolean array; vertices already marked
+        True are treated as having pushed their out-edges before.
+    blocked_dst:
+        Boolean mask of vertices whose *incoming* edges are skipped — the
+        triangle-inequality optimization removes the in-edges of provably
+        precise vertices this way.
+    keep_frontier:
+        Attach the frontier array to each yielded :class:`IterationInfo`
+        (system models need it for transfer/IO accounting).
+    """
+    if weights is None:
+        weights = spec.weight_transform(g.edge_weights())
+    frontier = np.unique(np.asarray(frontier, dtype=np.int64))
+    if first_visit and visited is None:
+        raise ValueError("first_visit requires a visited array")
+    iteration = 0
+    while frontier.size:
+        edge_idx, u = ragged_gather(g.offsets, frontier)
+        v = g.dst[edge_idx]
+        if blocked_dst is not None and edge_idx.size:
+            keep = ~blocked_dst[v]
+            edge_idx, u, v = edge_idx[keep], u[keep], v[keep]
+        old_v = vals[v]
+        cand = spec.propagate(vals[u], weights[edge_idx])
+        improving = spec.better(cand, old_v)
+        updates = int(np.count_nonzero(improving))
+        spec.reduce_at(vals, v, cand)
+        changed = spec.better(vals[v], old_v)
+        if first_visit:
+            fresh = ~visited[v]
+            visited[v[fresh]] = True
+            activate = changed | fresh
+        else:
+            activate = changed
+        new_frontier = np.unique(v[activate])
+        yield IterationInfo(
+            index=iteration,
+            frontier_size=int(frontier.size),
+            edges_scanned=int(edge_idx.size),
+            updates=updates,
+            activated=int(new_frontier.size),
+            frontier=frontier if keep_frontier else None,
+        )
+        frontier = new_frontier
+        iteration += 1
+        if max_iterations is not None and iteration >= max_iterations:
+            return
+
+
+def run_push(
+    g: Graph,
+    spec: QuerySpec,
+    vals: np.ndarray,
+    frontier: np.ndarray,
+    stats: Optional[RunStats] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Run :func:`push_iterations` to convergence, accumulating ``stats``."""
+    start = time.perf_counter()
+    for info in push_iterations(g, spec, vals, frontier, **kwargs):
+        if stats is not None:
+            stats.record(info, keep_frontier=kwargs.get("keep_frontier", False))
+    if stats is not None:
+        stats.wall_time += time.perf_counter() - start
+    return vals
+
+
+def is_fixed_point(g: Graph, spec: QuerySpec, vals: np.ndarray) -> bool:
+    """Whether ``vals`` is a converged solution: no edge can improve it.
+
+    The definitional convergence check, independent of any engine's
+    iteration schedule — used to validate every evaluator against the
+    semantics rather than against each other.
+    """
+    work = symmetric_view(g) if spec.symmetric else g
+    if work.num_edges == 0:
+        return True
+    weights = spec.weight_transform(work.edge_weights())
+    src = work.edge_sources()
+    cand = spec.propagate(vals[src], weights)
+    return not bool(np.any(spec.better(cand, vals[work.dst])))
+
+
+def evaluate_query(
+    g: Graph,
+    spec: QuerySpec,
+    source: Optional[int] = None,
+    stats: Optional[RunStats] = None,
+    **kwargs,
+) -> np.ndarray:
+    """Evaluate query ``spec`` from ``source`` on ``g`` to convergence.
+
+    WCC (``spec.symmetric``) automatically runs over the symmetrized view of
+    ``g`` and ignores ``source``. Returns the converged value array.
+    """
+    work = symmetric_view(g) if spec.symmetric else g
+    vals = spec.initial_values(g.num_vertices, source)
+    frontier = spec.initial_frontier(g.num_vertices, source)
+    return run_push(work, spec, vals, frontier, stats=stats, **kwargs)

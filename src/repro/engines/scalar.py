@@ -1,0 +1,42 @@
+"""Scalar (pure-Python) evaluation engine.
+
+A deliberately simple worklist Bellman-Ford used to cross-check the
+vectorized frontier engine on small graphs. It shares the query specs but no
+evaluation code.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.transform import symmetrize
+from repro.queries.base import QuerySpec
+
+
+def scalar_evaluate(
+    g: Graph, spec: QuerySpec, source: Optional[int] = None
+) -> np.ndarray:
+    """Worklist evaluation of ``spec`` from ``source``; O(n * m) worst case."""
+    work = symmetrize(g) if spec.symmetric else g
+    weights = spec.weight_transform(work.edge_weights())
+    vals = spec.initial_values(g.num_vertices, source)
+    queue = deque(int(x) for x in spec.initial_frontier(g.num_vertices, source))
+    in_queue = np.zeros(g.num_vertices, dtype=bool)
+    in_queue[list(queue)] = True
+    while queue:
+        u = queue.popleft()
+        in_queue[u] = False
+        lo, hi = work.offsets[u], work.offsets[u + 1]
+        for i in range(lo, hi):
+            v = int(work.dst[i])
+            cand = float(spec.propagate(vals[u], weights[i]))
+            if spec.better(cand, vals[v]):
+                vals[v] = cand
+                if not in_queue[v]:
+                    in_queue[v] = True
+                    queue.append(v)
+    return vals

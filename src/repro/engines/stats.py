@@ -1,0 +1,73 @@
+"""Run statistics shared by all engines and system simulators.
+
+The counters mirror the quantities the paper measures: iterations, edges
+processed (Ligra's EDGES metric, Table 11), and successful value updates
+(Subway's ATOMIC metric, Figure 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+
+@dataclass
+class IterationInfo:
+    """What one synchronous push round did.
+
+    Attributes
+    ----------
+    index:
+        0-based iteration number within the run.
+    frontier_size:
+        Number of active vertices pushed from this round.
+    edges_scanned:
+        Out-edges of the frontier examined (work + transfer proxy).
+    updates:
+        Candidates that strictly improved a destination value — the
+        vectorized stand-in for successful CASMIN/CASMAX atomics.
+    activated:
+        Vertices entering the next frontier.
+    """
+
+    index: int
+    frontier_size: int
+    edges_scanned: int
+    updates: int
+    activated: int
+    frontier: Optional[np.ndarray] = None
+
+
+@dataclass
+class RunStats:
+    """Accumulated counters for one query evaluation."""
+
+    iterations: int = 0
+    edges_processed: int = 0
+    updates: int = 0
+    vertices_activated: int = 0
+    wall_time: float = 0.0
+    per_iteration: List[IterationInfo] = field(default_factory=list)
+
+    def record(self, info: IterationInfo, keep_frontier: bool = False) -> None:
+        self.iterations += 1
+        self.edges_processed += info.edges_scanned
+        self.updates += info.updates
+        self.vertices_activated += info.activated
+        if not keep_frontier:
+            info.frontier = None
+        self.per_iteration.append(info)
+
+    def merged_with(self, other: "RunStats") -> "RunStats":
+        """Combined counters of two runs (phase 1 + phase 2)."""
+        merged = RunStats(
+            iterations=self.iterations + other.iterations,
+            edges_processed=self.edges_processed + other.edges_processed,
+            updates=self.updates + other.updates,
+            vertices_activated=self.vertices_activated + other.vertices_activated,
+            wall_time=self.wall_time + other.wall_time,
+        )
+        merged.per_iteration = list(self.per_iteration) + list(other.per_iteration)
+        return merged

@@ -1,0 +1,23 @@
+"""Synthetic graph generators."""
+
+from repro.generators.rmat import rmat, RMatParams, GRAPH500_PARAMS
+from repro.generators.random_graphs import (
+    erdos_renyi,
+    path_graph,
+    cycle_graph,
+    star_graph,
+    complete_graph,
+    random_weighted_graph,
+)
+
+__all__ = [
+    "rmat",
+    "RMatParams",
+    "GRAPH500_PARAMS",
+    "erdos_renyi",
+    "path_graph",
+    "cycle_graph",
+    "star_graph",
+    "complete_graph",
+    "random_weighted_graph",
+]

@@ -1,0 +1,102 @@
+"""Simple random and structured graph generators (tests and baselines)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.builder import from_arrays, from_edges
+from repro.graph.csr import Graph
+from repro.graph.weights import ligra_weights
+
+
+def erdos_renyi(
+    n: int,
+    m: int,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    drop_self_loops: bool = True,
+) -> Graph:
+    """G(n, m): ``m`` directed edges drawn uniformly (duplicates removed)."""
+    if n < 1:
+        raise ValueError("n must be >= 1")
+    rng = rng or np.random.default_rng(seed)
+    src = rng.integers(0, n, size=m)
+    dst = rng.integers(0, n, size=m)
+    if drop_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    return from_arrays(n, src, dst, None, dedup=True)
+
+
+def random_weighted_graph(
+    n: int, m: int, seed: Optional[int] = None
+) -> Graph:
+    """Erdős–Rényi graph with Ligra-style integer weights; test fodder."""
+    rng = np.random.default_rng(seed)
+    return ligra_weights(erdos_renyi(n, m, rng=rng), rng=rng)
+
+
+def path_graph(n: int, weight: float = 1.0) -> Graph:
+    """Directed path 0 -> 1 -> ... -> n-1 with constant weights."""
+    return from_edges(
+        [(i, i + 1, weight) for i in range(n - 1)], num_vertices=n
+    )
+
+
+def cycle_graph(n: int, weight: float = 1.0) -> Graph:
+    """Directed cycle over ``n`` vertices."""
+    return from_edges(
+        [(i, (i + 1) % n, weight) for i in range(n)], num_vertices=n
+    )
+
+
+def star_graph(n: int, weight: float = 1.0) -> Graph:
+    """Hub 0 with edges to every other vertex."""
+    return from_edges([(0, i, weight) for i in range(1, n)], num_vertices=n)
+
+
+def lattice_graph(
+    rows: int,
+    cols: int,
+    seed: Optional[int] = None,
+    weight_low: float = 1.0,
+    weight_high: float = 10.0,
+) -> Graph:
+    """A bidirectional 2D lattice (road-network-like, decidedly NOT
+    power-law) with uniform random weights.
+
+    Used by the limitations study: the paper's §2.1 notes core graphs are
+    designed for power-law graphs and "may have different forms and
+    different degree of precision" elsewhere.
+    """
+    if rows < 1 or cols < 1:
+        raise ValueError("rows and cols must be >= 1")
+    rng = np.random.default_rng(seed)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = []
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((vid(r, c), vid(r, c + 1)))
+                edges.append((vid(r, c + 1), vid(r, c)))
+            if r + 1 < rows:
+                edges.append((vid(r, c), vid(r + 1, c)))
+                edges.append((vid(r + 1, c), vid(r, c)))
+    weights = rng.uniform(weight_low, weight_high, len(edges))
+    return from_edges(
+        [(u, v, float(w)) for (u, v), w in zip(edges, weights)],
+        num_vertices=rows * cols,
+    )
+
+
+def complete_graph(n: int, weight: float = 1.0) -> Graph:
+    """All ordered pairs (no self-loops)."""
+    edges = [
+        (u, v, weight) for u in range(n) for v in range(n) if u != v
+    ]
+    return from_edges(edges, num_vertices=n)

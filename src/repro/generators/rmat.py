@@ -1,0 +1,80 @@
+"""R-MAT recursive-matrix graph generator (Chakrabarti et al., SDM 2004).
+
+The paper generates its synthetic inputs with PaRMAT, a multi-threaded R-MAT
+generator; this is a vectorized numpy equivalent. Each edge picks one of the
+four adjacency-matrix quadrants per recursion level with probabilities
+``(a, b, c, d)``; ``a + b + c + d == 1``. Graph500 uses
+``(0.57, 0.19, 0.19, 0.05)`` (the paper's RMAT1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.graph.builder import from_arrays
+from repro.graph.csr import Graph
+
+GRAPH500_PARAMS: Tuple[float, float, float, float] = (0.57, 0.19, 0.19, 0.05)
+
+
+@dataclass(frozen=True)
+class RMatParams:
+    """R-MAT quadrant probabilities."""
+
+    a: float
+    b: float
+    c: float
+    d: float
+
+    def __post_init__(self) -> None:
+        total = self.a + self.b + self.c + self.d
+        if not np.isclose(total, 1.0, atol=1e-9):
+            raise ValueError(f"R-MAT parameters must sum to 1, got {total}")
+        if min(self.a, self.b, self.c, self.d) < 0:
+            raise ValueError("R-MAT parameters must be non-negative")
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.a, self.b, self.c, self.d)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    params: Tuple[float, float, float, float] = GRAPH500_PARAMS,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+    dedup: bool = True,
+    drop_self_loops: bool = True,
+) -> Graph:
+    """Generate a directed unweighted R-MAT graph with ``2**scale`` vertices.
+
+    ``edge_factor`` edges per vertex are drawn; deduplication and self-loop
+    removal (both on by default, as in PaRMAT's typical configuration) make
+    the final edge count slightly smaller.
+    """
+    if scale < 1:
+        raise ValueError("scale must be >= 1")
+    if edge_factor < 1:
+        raise ValueError("edge_factor must be >= 1")
+    p = RMatParams(*params)
+    rng = rng or np.random.default_rng(seed)
+    n = 1 << scale
+    m = n * edge_factor
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    ab = p.a + p.b
+    abc = p.a + p.b + p.c
+    for bit in range(scale):
+        r = rng.random(m)
+        # Quadrants: a -> (0,0), b -> (0,1), c -> (1,0), d -> (1,1).
+        src_bit = r >= ab
+        dst_bit = np.where(src_bit, r >= abc, r >= p.a)
+        src |= src_bit.astype(np.int64) << bit
+        dst |= dst_bit.astype(np.int64) << bit
+    if drop_self_loops:
+        keep = src != dst
+        src, dst = src[keep], dst[keep]
+    return from_arrays(n, src, dst, None, dedup=dedup)

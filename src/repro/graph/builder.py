@@ -1,0 +1,135 @@
+"""Construction of CSR graphs from edge lists."""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+EdgeTuple = Union[Tuple[int, int], Tuple[int, int, float]]
+
+
+def _csr_from_arrays(
+    num_vertices: int,
+    src: np.ndarray,
+    dst: np.ndarray,
+    weights: Optional[np.ndarray],
+    dedup: bool,
+) -> Graph:
+    """Sort (src, dst) into CSR. Optionally drop duplicate (u, v) pairs.
+
+    When duplicates are dropped the *first* occurrence in sorted order wins;
+    callers that care about which parallel edge survives should pre-sort.
+    """
+    if src.size:
+        order = np.lexsort((dst, src))
+        src, dst = src[order], dst[order]
+        if weights is not None:
+            weights = weights[order]
+        if dedup:
+            keep = np.empty(src.size, dtype=bool)
+            keep[0] = True
+            keep[1:] = (src[1:] != src[:-1]) | (dst[1:] != dst[:-1])
+            src, dst = src[keep], dst[keep]
+            if weights is not None:
+                weights = weights[keep]
+    counts = np.bincount(src, minlength=num_vertices)
+    offsets = np.zeros(num_vertices + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return Graph(offsets, dst, weights)
+
+
+def from_arrays(
+    num_vertices: int,
+    src: Sequence[int],
+    dst: Sequence[int],
+    weights: Optional[Sequence[float]] = None,
+    dedup: bool = False,
+) -> Graph:
+    """Build a :class:`Graph` from parallel source/destination/weight arrays."""
+    src = np.asarray(src, dtype=np.int64)
+    dst = np.asarray(dst, dtype=np.int64)
+    if src.shape != dst.shape:
+        raise ValueError("src and dst must have the same shape")
+    if src.size and (src.min() < 0 or src.max() >= num_vertices):
+        raise ValueError("src contains out-of-range vertex ids")
+    if dst.size and (dst.min() < 0 or dst.max() >= num_vertices):
+        raise ValueError("dst contains out-of-range vertex ids")
+    w = None if weights is None else np.asarray(weights, dtype=np.float64)
+    if w is not None and w.shape != src.shape:
+        raise ValueError("weights must parallel src/dst")
+    return _csr_from_arrays(num_vertices, src, dst, w, dedup)
+
+
+def from_edges(
+    edges: Iterable[EdgeTuple],
+    num_vertices: Optional[int] = None,
+    dedup: bool = False,
+) -> Graph:
+    """Build a :class:`Graph` from ``(u, v)`` or ``(u, v, w)`` tuples.
+
+    The graph is weighted iff the first edge carries a weight; mixing the two
+    forms raises ``ValueError``.
+    """
+    edges = list(edges)
+    if not edges:
+        if num_vertices is None:
+            raise ValueError("cannot infer num_vertices from an empty edge list")
+        return from_arrays(num_vertices, [], [], None)
+    weighted = len(edges[0]) == 3
+    if any((len(e) == 3) != weighted for e in edges):
+        raise ValueError("all edges must be uniformly weighted or unweighted")
+    src = np.fromiter((e[0] for e in edges), dtype=np.int64, count=len(edges))
+    dst = np.fromiter((e[1] for e in edges), dtype=np.int64, count=len(edges))
+    weights = None
+    if weighted:
+        weights = np.fromiter(
+            (e[2] for e in edges), dtype=np.float64, count=len(edges)
+        )
+    if num_vertices is None:
+        num_vertices = int(max(src.max(), dst.max())) + 1
+    return from_arrays(num_vertices, src, dst, weights, dedup)
+
+
+class GraphBuilder:
+    """Incremental edge accumulator producing a CSR :class:`Graph`.
+
+    Example::
+
+        b = GraphBuilder(num_vertices=4)
+        b.add_edge(0, 1, 2.5)
+        b.add_edge(1, 2, 1.0)
+        g = b.build()
+    """
+
+    def __init__(self, num_vertices: int, weighted: bool = True) -> None:
+        if num_vertices < 0:
+            raise ValueError("num_vertices must be non-negative")
+        self.num_vertices = num_vertices
+        self.weighted = weighted
+        self._src: list = []
+        self._dst: list = []
+        self._weights: list = []
+
+    def add_edge(self, u: int, v: int, w: float = 1.0) -> "GraphBuilder":
+        if not (0 <= u < self.num_vertices and 0 <= v < self.num_vertices):
+            raise ValueError(f"edge ({u}, {v}) out of range")
+        self._src.append(u)
+        self._dst.append(v)
+        if self.weighted:
+            self._weights.append(float(w))
+        return self
+
+    def add_edges(self, edges: Iterable[EdgeTuple]) -> "GraphBuilder":
+        for e in edges:
+            self.add_edge(*e)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._src)
+
+    def build(self, dedup: bool = False) -> Graph:
+        weights = self._weights if self.weighted else None
+        return from_arrays(self.num_vertices, self._src, self._dst, weights, dedup)

@@ -1,0 +1,72 @@
+"""Structural validation of CSR graphs.
+
+Used by the binary I/O layer on load and available to users ingesting
+external data. Checks are redundant with the :class:`Graph` constructor's
+but cover properties the constructor cannot afford to verify on every
+transform (sortedness, weight sanity).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+
+@dataclass
+class ValidationReport:
+    """Outcome of :func:`validate_graph`."""
+
+    ok: bool = True
+    errors: List[str] = field(default_factory=list)
+    warnings: List[str] = field(default_factory=list)
+
+    def error(self, msg: str) -> None:
+        self.ok = False
+        self.errors.append(msg)
+
+    def warn(self, msg: str) -> None:
+        self.warnings.append(msg)
+
+
+def validate_graph(
+    g: Graph,
+    require_positive_weights: bool = False,
+    allow_self_loops: bool = True,
+    allow_parallel_edges: bool = True,
+) -> ValidationReport:
+    """Check structural invariants; returns a report, raises nothing."""
+    report = ValidationReport()
+    n, m = g.num_vertices, g.num_edges
+    if g.offsets.size != n + 1:
+        report.error(f"offsets size {g.offsets.size} != n + 1 = {n + 1}")
+    if g.offsets[0] != 0 or g.offsets[-1] != m:
+        report.error("offsets must span [0, num_edges]")
+    if np.any(np.diff(g.offsets) < 0):
+        report.error("offsets not monotone")
+    if m:
+        if g.dst.min() < 0 or g.dst.max() >= n:
+            report.error("dst ids out of range")
+        src = g.edge_sources()
+        if not allow_self_loops and np.any(src == g.dst):
+            report.error("self-loops present")
+        if not allow_parallel_edges:
+            pairs = src * n + g.dst
+            if np.unique(pairs).size != m:
+                report.error("parallel edges present")
+    if g.weights is not None and m:
+        if np.any(~np.isfinite(g.weights)):
+            report.error("non-finite weights")
+        elif require_positive_weights and np.any(g.weights <= 0):
+            report.error("non-positive weights")
+        elif np.any(g.weights < 0):
+            report.warn("negative weights: MIN-style queries may diverge")
+    isolated = int(np.count_nonzero(
+        (g.out_degree() == 0) & (g.in_degree() == 0)
+    ))
+    if isolated:
+        report.warn(f"{isolated} isolated vertices")
+    return report

@@ -1,0 +1,49 @@
+"""Edge-weight generation.
+
+The paper uses "the default weight generation tool from Ligra ... to generate
+weights ranging from 1 to log(n) + 1" (§3). We reproduce that scheme plus a
+uniform-float generator used for the R-MAT graphs (Table 13: "randomly
+generated edge weights with uniform distribution between 0 and 1").
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+from repro.graph.transform import with_weights
+
+
+def ligra_weights(
+    g: Graph, seed: Optional[int] = None, rng: Optional[np.random.Generator] = None
+) -> Graph:
+    """Attach Ligra-style integer weights: uniform in ``[1, log2(n) + 1]``."""
+    rng = rng or np.random.default_rng(seed)
+    hi = max(1, int(math.log2(max(2, g.num_vertices)))) + 1
+    weights = rng.integers(1, hi + 1, size=g.num_edges).astype(np.float64)
+    return with_weights(g, weights)
+
+
+def uniform_weights(
+    g: Graph,
+    low: float = 0.0,
+    high: float = 1.0,
+    seed: Optional[int] = None,
+    rng: Optional[np.random.Generator] = None,
+) -> Graph:
+    """Attach uniform float weights in ``(low, high]``.
+
+    The lower bound is open so multiplicative queries (Viterbi) never see a
+    zero weight.
+    """
+    if high <= low:
+        raise ValueError("high must exceed low")
+    rng = rng or np.random.default_rng(seed)
+    w = rng.uniform(low, high, size=g.num_edges)
+    # Nudge exact zeros to the smallest positive step to keep Viterbi defined.
+    eps = (high - low) * 1e-9
+    w = np.where(w <= low, low + eps, w)
+    return with_weights(g, w.astype(np.float64))

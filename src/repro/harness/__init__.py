@@ -1,0 +1,29 @@
+"""Experiment harness: regenerates every table and figure of the paper."""
+
+from repro.harness.config import HarnessConfig, default_config
+from repro.harness.cache import (
+    get_graph,
+    get_cg,
+    get_sources,
+    get_truth,
+    clear_caches,
+)
+from repro.harness.tables import render_table
+from repro.harness.results import save_result
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.experiments.base import ExperimentResult
+
+__all__ = [
+    "HarnessConfig",
+    "default_config",
+    "get_graph",
+    "get_cg",
+    "get_sources",
+    "get_truth",
+    "clear_caches",
+    "render_table",
+    "save_result",
+    "EXPERIMENTS",
+    "run_experiment",
+    "ExperimentResult",
+]

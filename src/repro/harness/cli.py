@@ -1,0 +1,321 @@
+"""Command-line entry point: ``repro-coregraph``.
+
+Examples::
+
+    repro-coregraph list
+    repro-coregraph run table04 table05
+    repro-coregraph run all --save
+    repro-coregraph info FR
+    repro-coregraph build FR SSSP --out fr-sssp.npz
+    repro-coregraph build my_edges.txt SSSP --out my-cg.npz
+    repro-coregraph query FR SSSP 42 --cg fr-sssp.npz --triangle
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.harness.config import default_config
+from repro.harness.experiments import EXPERIMENTS, run_experiment
+from repro.harness.results import save_result
+
+
+def _cmd_list(_args) -> int:
+    for exp_id in sorted(EXPERIMENTS):
+        doc = (EXPERIMENTS[exp_id].__doc__ or "").strip().splitlines()
+        summary = doc[0] if doc else ""
+        print(f"{exp_id:10s} {summary}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    ids: List[str] = args.experiments
+    if ids == ["all"]:
+        ids = sorted(EXPERIMENTS)
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        return 2
+    config = default_config()
+    for exp_id in ids:
+        start = time.perf_counter()
+        result = run_experiment(exp_id, config)
+        elapsed = time.perf_counter() - start
+        print(result.render())
+        print(f"[{exp_id} completed in {elapsed:.1f}s]\n")
+        if args.save:
+            path = save_result(result)
+            print(f"saved -> {path}\n")
+    return 0
+
+
+def _cmd_info(args) -> int:
+    from repro.datasets.zoo import zoo_entry
+    from repro.harness.cache import get_graph
+
+    entry = zoo_entry(args.graph)
+    g = get_graph(args.graph)
+    print(f"{entry.name}: stand-in for paper graph with "
+          f"|E|={entry.paper_edges:,}, |V|={entry.paper_vertices:,}")
+    print(f"  generated: {g}")
+    print(f"  R-MAT scale={entry.scale} edge_factor={entry.edge_factor} "
+          f"params={entry.params} weights={entry.weight_scheme}")
+    return 0
+
+
+def _resolve_graph(name_or_path: str):
+    """A zoo name (FR, TT, ...) or a path to an edge list / .npz graph."""
+    from pathlib import Path
+
+    from repro.datasets.zoo import ZOO
+    from repro.harness.cache import get_graph
+
+    if name_or_path.upper() in ZOO:
+        return get_graph(name_or_path)
+    path = Path(name_or_path)
+    if not path.exists():
+        raise SystemExit(
+            f"'{name_or_path}' is neither a zoo graph ({sorted(ZOO)}) "
+            "nor an existing file"
+        )
+    if path.suffix == ".npz":
+        from repro.io.binary import load_graph
+
+        return load_graph(path)
+    from repro.graph.edgelist import read_edge_list
+
+    return read_edge_list(path)
+
+
+def _cmd_build(args) -> int:
+    import time
+
+    from repro.core.dispatch import build_cg
+    from repro.io.binary import save_core_graph
+    from repro.queries.registry import get_spec
+
+    g = _resolve_graph(args.graph)
+    spec = get_spec(args.query)
+    start = time.perf_counter()
+    cg = build_cg(g, spec, num_hubs=args.hubs)
+    elapsed = time.perf_counter() - start
+    print(f"{cg}")
+    print(f"identified in {elapsed:.2f}s from {len(cg.hubs)} hubs "
+          f"({cg.connectivity_edges} connectivity edges added)")
+    if args.out:
+        path = save_core_graph(cg, args.out)
+        print(f"saved -> {path}")
+    return 0
+
+
+def _cmd_query(args) -> int:
+    import time
+
+    import numpy as np
+
+    from repro.core.twophase import two_phase
+    from repro.engines.frontier import evaluate_query
+    from repro.queries.registry import get_spec
+
+    g = _resolve_graph(args.graph)
+    spec = get_spec(args.query)
+    source = None if spec.multi_source else args.source
+    if source is None and not spec.multi_source:
+        raise SystemExit(f"{spec.name} needs a source vertex")
+
+    start = time.perf_counter()
+    truth = evaluate_query(g, spec, source)
+    direct_time = time.perf_counter() - start
+    reached = int(spec.reached(truth).sum()) if not spec.multi_source else g.num_vertices
+    print(f"direct evaluation: {direct_time * 1e3:.1f} ms, "
+          f"{reached} vertices reached")
+
+    if args.cg:
+        from repro.io.binary import load_core_graph
+
+        cg = load_core_graph(args.cg)
+        start = time.perf_counter()
+        res = two_phase(g, cg, spec, source, triangle=args.triangle)
+        cg_time = time.perf_counter() - start
+        exact = bool(np.array_equal(res.values, truth))
+        print(f"2phase via CG: {cg_time * 1e3:.1f} ms, exact={exact}, "
+              f"impacted={res.impacted}, "
+              f"certified={res.certified_precise}")
+        if not exact:
+            return 1
+    return 0
+
+
+def _cmd_queries(_args) -> int:
+    """Describe every supported query kind (the Table 6 contract)."""
+    from repro.queries.registry import ALL_SPECS, EXTENDED_SPECS, cg_spec_for
+
+    header = (f"{'query':8s} {'select':6s} {'combine ⊕':18s} "
+              f"{'weights':7s} {'CG algorithm':12s} {'serves/notes'}")
+    print(header)
+    print("-" * len(header))
+    combine = {
+        "SSSP": "Val(u) + w", "BFS": "Val(u) + 1",
+        "SSNP": "max(Val(u), w)", "SSWP": "min(Val(u), w)",
+        "Viterbi": "Val(u) * p(w)", "REACH": "Val(u)", "WCC": "Val(u)",
+    }
+    for spec in EXTENDED_SPECS:
+        notes = []
+        if cg_spec_for(spec) is not spec:
+            notes.append(f"uses {cg_spec_for(spec).name}'s CG")
+        if spec.symmetric:
+            notes.append("undirected view")
+        if spec not in ALL_SPECS:
+            notes.append("extension beyond the paper's six")
+        print(f"{spec.name:8s} {spec.selection.value:6s} "
+              f"{combine.get(spec.name, '?'):18s} "
+              f"{'yes' if spec.uses_weights else 'no':7s} "
+              f"{spec.identification:12s} {'; '.join(notes)}")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    """Characterize any graph: summary statistics + effective diameter."""
+    from repro.analysis.diameter import estimate_effective_diameter
+    from repro.analysis.stats import graph_summary
+
+    g = _resolve_graph(args.graph)
+    summary = graph_summary(g)
+    for key, val in summary.as_dict().items():
+        if isinstance(val, float):
+            print(f"{key:18s} {val:.4f}")
+        else:
+            print(f"{key:18s} {val}")
+    est = estimate_effective_diameter(g, samples=args.samples)
+    print(f"{'effective_diam_90':18s} {est.effective_90:.1f}")
+    print(f"{'max_hop_observed':18s} {est.max_observed}")
+    if summary.degree_gini > 0.4:
+        print("verdict: power-law regime — core graphs should work well")
+    else:
+        print("verdict: low degree skew — see the paper's Limitations; "
+              "calibrate with CoreGraphAdvisor before relying on a CG")
+    return 0
+
+
+def _cmd_summarize(args) -> int:
+    """Compile saved results/*.json into one markdown report."""
+    import json
+    from pathlib import Path
+
+    from repro.harness.tables import render_table
+
+    results_dir = Path(args.dir)
+    paths = sorted(results_dir.glob("*.json"))
+    if not paths:
+        print(f"no results under {results_dir}", file=sys.stderr)
+        return 1
+    lines = ["# Measured results", ""]
+    for path in paths:
+        payload = json.loads(path.read_text())
+        lines.append(f"## {payload['id']} — {payload['title']}")
+        lines.append(f"*{payload['paper_reference']}*")
+        lines.append("")
+        lines.append("```")
+        lines.append(render_table(payload["headers"], payload["rows"]))
+        lines.append("```")
+        if payload.get("notes"):
+            lines.append(f"Note: {payload['notes']}")
+        lines.append("")
+    out = Path(args.out) if args.out else results_dir / "SUMMARY.md"
+    out.write_text("\n".join(lines) + "\n")
+    print(f"summarized {len(paths)} results -> {out}")
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    from repro.io.artifacts import ArtifactCache
+
+    cache = ArtifactCache(args.dir)
+    if args.clear:
+        removed = cache.invalidate()
+        print(f"removed {removed} artifacts")
+        return 0
+    manifest = cache.manifest()
+    if not manifest:
+        print("cache is empty")
+        return 0
+    for name, size in manifest.items():
+        print(f"{size:>12,}  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-coregraph",
+        description="Regenerate the tables and figures of the Core Graph "
+        "paper (EuroSys '24) on scaled stand-in graphs.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list experiment ids").set_defaults(
+        func=_cmd_list
+    )
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    run_p.add_argument("experiments", nargs="+")
+    run_p.add_argument("--save", action="store_true",
+                       help="write JSON results under the results directory")
+    run_p.set_defaults(func=_cmd_run)
+    info_p = sub.add_parser("info", help="describe a zoo graph")
+    info_p.add_argument("graph")
+    info_p.set_defaults(func=_cmd_info)
+
+    build_p = sub.add_parser(
+        "build", help="identify a core graph (zoo name, edge list, or .npz)"
+    )
+    build_p.add_argument("graph", help="zoo name or path")
+    build_p.add_argument("query", help="SSSP/SSNP/Viterbi/SSWP/REACH/WCC")
+    build_p.add_argument("--hubs", type=int, default=20)
+    build_p.add_argument("--out", help="write the CG as .npz")
+    build_p.set_defaults(func=_cmd_build)
+
+    query_p = sub.add_parser(
+        "query", help="evaluate a query directly and (optionally) via a CG"
+    )
+    query_p.add_argument("graph", help="zoo name or path")
+    query_p.add_argument("query")
+    query_p.add_argument("source", nargs="?", type=int, default=None)
+    query_p.add_argument("--cg", help="core graph .npz from 'build'")
+    query_p.add_argument("--triangle", action="store_true",
+                         help="enable Theorem 1 certificates")
+    query_p.set_defaults(func=_cmd_query)
+
+    cache_p = sub.add_parser("cache", help="inspect or clear an artifact cache")
+    cache_p.add_argument("dir")
+    cache_p.add_argument("--clear", action="store_true")
+    cache_p.set_defaults(func=_cmd_cache)
+
+    sub.add_parser(
+        "queries", help="describe the supported query kinds (Table 6)"
+    ).set_defaults(func=_cmd_queries)
+
+    stats_p = sub.add_parser(
+        "stats", help="summary statistics + effective diameter of a graph"
+    )
+    stats_p.add_argument("graph", help="zoo name or path")
+    stats_p.add_argument("--samples", type=int, default=6,
+                         help="BFS samples for the diameter estimate")
+    stats_p.set_defaults(func=_cmd_stats)
+
+    sum_p = sub.add_parser(
+        "summarize", help="compile saved results into one markdown report"
+    )
+    sum_p.add_argument("dir", nargs="?", default="results")
+    sum_p.add_argument("--out", help="output path (default <dir>/SUMMARY.md)")
+    sum_p.set_defaults(func=_cmd_summarize)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,54 @@
+"""Harness configuration.
+
+All experiments read one :class:`HarnessConfig`; the environment variables
+let the whole suite be scaled without touching code:
+
+``REPRO_NUM_HUBS``
+    Hub queries per core graph (paper: 20).
+``REPRO_NUM_QUERIES``
+    Random queries averaged per cell (paper: 10; default here 5 to keep the
+    pure-Python benchmark suite quick — raise it for closer averages).
+``REPRO_SCALE_DELTA``
+    Added to every zoo graph's R-MAT scale (see ``repro.datasets.zoo``).
+``REPRO_RESULTS_DIR``
+    Where experiment JSON results are written (default ``./results``).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Tuple
+
+
+def _env_int(name: str, default: int) -> int:
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        return int(raw)
+    except ValueError as exc:
+        raise ValueError(f"{name} must be an integer, got {raw!r}") from exc
+
+
+@dataclass(frozen=True)
+class HarnessConfig:
+    """Knobs shared by all experiment drivers."""
+
+    num_hubs: int = 20
+    num_queries: int = 5
+    source_seed: int = 20240422  # EuroSys '24 opening day
+    grid_dim: int = 4
+    results_dir: Path = field(default_factory=lambda: Path("results"))
+    real_graphs: Tuple[str, ...] = ("FR", "TT", "TTW", "PK")
+    rmat_graphs: Tuple[str, ...] = ("RMAT1", "RMAT2", "RMAT3")
+
+
+def default_config() -> HarnessConfig:
+    """Config assembled from defaults and environment overrides."""
+    return HarnessConfig(
+        num_hubs=_env_int("REPRO_NUM_HUBS", 20),
+        num_queries=_env_int("REPRO_NUM_QUERIES", 5),
+        results_dir=Path(os.environ.get("REPRO_RESULTS_DIR", "results")),
+    )

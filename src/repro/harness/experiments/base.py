@@ -1,0 +1,35 @@
+"""Experiment result container shared by all drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+from repro.harness.tables import render_table
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure.
+
+    ``rows`` holds the same rows/series the paper reports; ``notes`` records
+    deviations and expectations (what shape should hold vs the paper).
+    """
+
+    exp_id: str
+    title: str
+    paper_reference: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: str = ""
+    config: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self, floatfmt: str = ".2f") -> str:
+        table = render_table(
+            self.headers, self.rows,
+            title=f"{self.exp_id}: {self.title} [{self.paper_reference}]",
+            floatfmt=floatfmt,
+        )
+        if self.notes:
+            table += f"\nNote: {self.notes}"
+        return table

@@ -1,0 +1,418 @@
+"""Supplementary experiments beyond the paper's tables.
+
+* ``suppl_reduced`` — quantify §4's criticism of the Reduced Graph prior
+  work: edges kept vs vertices still queryable, next to the CG.
+* ``suppl_convergence`` — the per-iteration story behind the speedups:
+  direct vs core+completion edge/frontier series.
+* ``suppl_engines`` — scheduling comparison: synchronous push vs chunked
+  async vs direction-optimizing push/pull on the same queries.
+* ``suppl_pointtopoint`` — point-to-all (CG 2Phase) vs per-pair methods
+  (bidirectional Dijkstra, PnP pruning) on a batch of (s, t) pairs.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.reduced import build_reduced_graph
+from repro.core.pointtopoint import bidirectional_sssp, pnp_point_to_point
+from repro.core.twophase import two_phase
+from repro.engines.async_engine import async_evaluate
+from repro.engines.frontier import evaluate_query
+from repro.engines.pull import direction_optimizing_evaluate
+from repro.engines.stats import RunStats
+from repro.harness.cache import get_cg, get_graph, get_sources
+from repro.harness.config import HarnessConfig, default_config
+from repro.harness.experiments.base import ExperimentResult
+from repro.queries.registry import get_spec
+from repro.queries.specs import SSSP
+
+
+def _config(config: Optional[HarnessConfig]) -> HarnessConfig:
+    return config or default_config()
+
+
+def suppl_reduced(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Reduced Graph vs Core Graph: size kept vs vertices queryable."""
+    cfg = _config(config)
+    result = ExperimentResult(
+        exp_id="suppl_reduced",
+        title="Input reduction (Kusum et al.) vs core graphs",
+        paper_reference="§4 related work (Reduced Graph criticism)",
+        headers=["G", "RG % edges", "RG % queryable",
+                 "CG % edges", "CG % queryable"],
+        notes="The paper: reduced graphs keep ~50% of edges and cannot "
+        "answer queries for eliminated vertices; CGs keep all vertices. "
+        "On power-law stand-ins the reduction keeps even more (~99%) — "
+        "degree-2 chains barely exist there.",
+    )
+    for name in cfg.real_graphs:
+        g = get_graph(name)
+        rg = build_reduced_graph(g, SSSP)
+        cg = get_cg(name, SSSP)
+        result.rows.append([
+            name,
+            100.0 * rg.edge_fraction,
+            100.0 * rg.queryable_fraction,
+            100.0 * cg.edge_fraction,
+            100.0,
+        ])
+    return result
+
+
+def suppl_convergence(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Per-iteration edge series of direct vs 2Phase evaluation (TT SSWP)."""
+    cfg = _config(config)
+    graph_name, spec = "TT", get_spec("SSWP")
+    g = get_graph(graph_name)
+    cg = get_cg(graph_name, spec)
+    source = int(get_sources(graph_name, 1)[0])
+    baseline = RunStats()
+    evaluate_query(g, spec, source, stats=baseline)
+    res = two_phase(g, cg, spec, source)
+    result = ExperimentResult(
+        exp_id="suppl_convergence",
+        title=f"Convergence series, SSWP({source}) on {graph_name}",
+        paper_reference="supplementary (explains Figs. 5-8)",
+        headers=["run", "iteration", "frontier", "edges scanned"],
+        notes="The core phase works on CG edges only; the completion phase "
+        "collapses to a few sweeps.",
+    )
+    for label, stats in (
+        ("direct", baseline), ("core", res.phase1), ("completion", res.phase2)
+    ):
+        for info in stats.per_iteration:
+            result.rows.append(
+                [label, info.index, info.frontier_size, info.edges_scanned]
+            )
+    return result
+
+
+def suppl_engines(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Scheduling comparison: sync push / async / direction-optimizing."""
+    cfg = _config(config)
+    graph_name = "TT"
+    g = get_graph(graph_name)
+    source = int(get_sources(graph_name, 1)[0])
+    result = ExperimentResult(
+        exp_id="suppl_engines",
+        title=f"Engine scheduling on {graph_name}",
+        paper_reference="supplementary (substrate characterization)",
+        headers=["query", "engine", "iterations", "edges", "wall ms"],
+        notes="All engines converge to identical values (tested); they "
+        "differ in rounds and edge traffic.",
+    )
+    for spec_name in ("SSSP", "SSWP", "REACH"):
+        spec = get_spec(spec_name)
+        runs = (
+            ("sync push", lambda st: evaluate_query(g, spec, source, stats=st)),
+            ("async", lambda st: async_evaluate(
+                g, spec, source, chunk_size=2048, stats=st)),
+            ("direction-opt", lambda st: direction_optimizing_evaluate(
+                g, spec, source, stats=st)),
+        )
+        reference = None
+        for label, run in runs:
+            stats = RunStats()
+            t0 = time.perf_counter()
+            vals = run(stats)
+            wall = (time.perf_counter() - t0) * 1e3
+            if reference is None:
+                reference = vals
+            else:
+                assert np.array_equal(vals, reference)
+            result.rows.append([
+                spec_name, label, stats.iterations,
+                stats.edges_processed, wall,
+            ])
+    return result
+
+
+def suppl_distributed(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Generality beyond the paper's three systems: a Pregel-style BSP.
+
+    The intro grounds the problem in distributed frameworks; here the same
+    CGs cut cross-worker message traffic and supersteps in a synchronous
+    vertex-centric model.
+    """
+    cfg = _config(config)
+    from repro.systems.pregel import PregelSimulator
+
+    result = ExperimentResult(
+        exp_id="suppl_distributed",
+        title="CG bootstrapping in a Pregel-style distributed model "
+        "(8 workers, hash placement)",
+        paper_reference="supplementary (the intro's distributed framing)",
+        headers=["G", "query", "net msgs (base)", "net msgs (2phase)",
+                 "reduction %", "supersteps (base)", "supersteps (2phase)",
+                 "speedup"],
+        notes="The 2phase column includes the n-message bootstrap "
+        "broadcast; REACH nearly eliminates completion traffic.",
+    )
+    for name in cfg.real_graphs:
+        g = get_graph(name)
+        sim = PregelSimulator(g, workers=8)
+        for spec_name in ("SSSP", "SSWP", "REACH"):
+            spec = get_spec(spec_name)
+            cg = get_cg(name, spec)
+            source = int(get_sources(name, 1)[0])
+            base = sim.baseline_run(spec, source)
+            two = sim.two_phase_run(cg, spec, source)
+            assert np.array_equal(base.values, two.values)
+            b = base.counters["network_messages"]
+            t = two.counters["network_messages"]
+            result.rows.append([
+                name, spec_name, int(b), int(t),
+                100.0 * (b - t) / b if b else 0.0,
+                int(base.counters["supersteps"]),
+                int(two.counters["supersteps"]),
+                two.speedup_over(base),
+            ])
+    return result
+
+
+def suppl_shape_agreement(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Quantified shape agreement: rank correlation vs the paper's cells.
+
+    For each table with transcribed paper numbers, the measured cells and
+    the published cells are compared by Spearman rank correlation — "who
+    wins, by roughly what order" is exactly what a rank statistic captures,
+    independent of the absolute-scale offsets a stand-in cannot match.
+    """
+    cfg = _config(config)
+    from repro.datasets.paper_numbers import (
+        FIG2_SPEEDUPS,
+        QUERY_ORDER,
+        TABLE5_PRECISION,
+        TABLE9_IO_REDUCTION,
+        TABLE11_EDGES_REDUCTION,
+        TABLE12_TRIANGLE_SPEEDUPS,
+        spearman_rho,
+    )
+    from repro.harness.experiments.systems import sweep, speedup
+
+    result = ExperimentResult(
+        exp_id="suppl_shape_agreement",
+        title="Rank correlation between measured and paper cells",
+        paper_reference="whole evaluation",
+        headers=["experiment", "cells", "spearman rho"],
+        notes="rho = +1: the stand-in orders every cell exactly as the "
+        "paper; values well above 0 mean the shape holds. Table 12's 12 "
+        "cells are rank-unstable at stand-in scale (the paper's ordering "
+        "there is driven by graph size, which the uniform stand-ins "
+        "deliberately do not vary).",
+    )
+
+    # Fig. 2: 18 speedup cells on FR.
+    measured, paper = [], []
+    for system, paper_row in FIG2_SPEEDUPS.items():
+        for spec_name, paper_val in zip(QUERY_ORDER, paper_row):
+            measured.append(speedup(system, "FR", spec_name, "cg", cfg))
+            paper.append(paper_val)
+    result.rows.append(
+        ["fig02 speedups", len(paper), spearman_rho(measured, paper)]
+    )
+
+    # Table 9: GridGraph I/O-iteration reductions.
+    measured, paper = [], []
+    for graph_name, paper_row in TABLE9_IO_REDUCTION.items():
+        if graph_name not in cfg.real_graphs:
+            continue
+        for spec_name, paper_val in zip(QUERY_ORDER, paper_row):
+            base = sweep("GridGraph", graph_name, spec_name, "baseline", cfg)
+            two = sweep("GridGraph", graph_name, spec_name, "cg", cfg)
+            b = base.counters.get("io_iterations", 0.0)
+            t = two.counters.get("io_iterations", 0.0)
+            measured.append(100.0 * (b - t) / b if b else 0.0)
+            paper.append(paper_val)
+    result.rows.append(
+        ["table09 I/O reductions", len(paper), spearman_rho(measured, paper)]
+    )
+
+    # Table 11: Ligra EDGES-RED.
+    measured, paper = [], []
+    for graph_name, paper_row in TABLE11_EDGES_REDUCTION.items():
+        if graph_name not in cfg.real_graphs:
+            continue
+        for spec_name, paper_val in zip(QUERY_ORDER, paper_row):
+            base = sweep("Ligra", graph_name, spec_name, "baseline", cfg)
+            two = sweep("Ligra", graph_name, spec_name, "cg", cfg)
+            b = base.counters.get("edges_processed", 0.0)
+            t = two.counters.get("edges_processed", 0.0)
+            measured.append(100.0 * (b - t) / b if b else 0.0)
+            paper.append(paper_val)
+    result.rows.append(
+        ["table11 EDGES-RED", len(paper), spearman_rho(measured, paper)]
+    )
+
+    # Table 12: triangle speedups.
+    measured, paper = [], []
+    for graph_name, paper_row in TABLE12_TRIANGLE_SPEEDUPS.items():
+        if graph_name not in cfg.real_graphs:
+            continue
+        for spec_name, paper_val in zip(("SSNP", "Viterbi", "SSWP"),
+                                        paper_row):
+            base = sweep("Ligra", graph_name, spec_name, "baseline", cfg)
+            tri = sweep("Ligra", graph_name, spec_name, "cg-tri", cfg)
+            measured.append(base.time / tri.time)
+            paper.append(paper_val)
+    result.rows.append(
+        ["table12 triangle speedups", len(paper),
+         spearman_rho(measured, paper)]
+    )
+
+    # Table 5: precision cells (near-constant in both; rho may be noisy —
+    # also report the max absolute gap, stashed in the notes).
+    from repro.harness.experiments.proxy_quality import table05
+
+    t5 = table05(cfg)
+    gaps = []
+    for row in t5.rows:
+        paper_row = TABLE5_PRECISION.get(row[0])
+        if paper_row is None:
+            continue
+        gaps.extend(abs(m - p) for m, p in zip(row[1:], paper_row))
+    if gaps:
+        result.notes += (
+            f" Table 5 precision: max |measured - paper| = "
+            f"{max(gaps):.1f} points."
+        )
+    return result
+
+
+def suppl_evolving(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Core-phase precision decay under edge insertions, and the rebuild.
+
+    Insertions never break exactness (2Phase repairs any proxy), but the
+    stale CG's precision — and with it the speedup — decays as new
+    solution paths appear outside it. The last row shows a rebuild
+    restoring quality.
+    """
+    cfg = _config(config)
+    from repro.core.evolving import EvolvingCoreGraph
+    from repro.graph.mutate import random_edge_batch
+
+    graph_name = "PK"
+    g = get_graph(graph_name)
+    ev = EvolvingCoreGraph(g, SSSP, num_hubs=cfg.num_hubs)
+    result = ExperimentResult(
+        exp_id="suppl_evolving",
+        title=f"CG quality under edge insertions ({graph_name}, SSSP)",
+        paper_reference="supplementary (evolving-graph follow-up line)",
+        headers=["state", "|E|", "CG % of |E|", "probe precision %"],
+        notes="Queries remain exact throughout; the decaying column is the "
+        "core phase's precision, i.e. how much work the completion phase "
+        "inherits. The final rebuild restores it.",
+    )
+
+    def snapshot(label):
+        result.rows.append([
+            label,
+            ev.graph.num_edges,
+            100.0 * ev.cg.num_edges / ev.graph.num_edges,
+            ev.probe_precision(),
+        ])
+
+    snapshot("initial")
+    base_edges = g.num_edges
+    for i, fraction in enumerate((0.05, 0.15, 0.30)):
+        grow_to = int(base_edges * fraction)
+        already = ev.stats.inserted_edges
+        ev.insert_edges(
+            random_edge_batch(ev.graph, grow_to - already, seed=50 + i)
+        )
+        snapshot(f"+{int(fraction * 100)}% edges")
+    ev.rebuild()
+    snapshot("after rebuild")
+    return result
+
+
+def suppl_wonderland(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Wonderland streaming passes: no bootstrap vs AG vs CG bootstraps."""
+    cfg = _config(config)
+    from repro.harness.experiments.proxy_quality import get_baseline_proxy
+    from repro.systems.wonderland import WonderlandSimulator
+
+    result = ExperimentResult(
+        exp_id="suppl_wonderland",
+        title="Wonderland full-graph passes by bootstrap quality",
+        paper_reference="§4 related work (Wonderland) / Table 15 flip side",
+        headers=["G", "query", "passes (none)", "passes (AG)", "passes (CG)",
+                 "io bytes (none)", "io bytes (CG)"],
+        notes="Every pass streams all edges (edge-centric, no selective "
+        "skipping), so pass count is the system's whole game; a better "
+        "bootstrap means fewer passes. CG must be at least as good as AG.",
+    )
+    for name in cfg.real_graphs:
+        g = get_graph(name)
+        sim = WonderlandSimulator(g, num_partitions=cfg.grid_dim)
+        for spec_name in ("SSSP", "SSWP"):
+            spec = get_spec(spec_name)
+            cg = get_cg(name, spec)
+            ag = get_baseline_proxy("AG", name, spec_name)
+            source = int(get_sources(name, 1)[0])
+            base = sim.baseline_run(spec, source)
+            with_ag = sim.two_phase_run(ag, spec, source)
+            with_cg = sim.two_phase_run(cg, spec, source)
+            assert np.array_equal(base.values, with_cg.values)
+            result.rows.append([
+                name, spec_name,
+                int(base.counters["passes"]),
+                int(with_ag.counters["passes"]),
+                int(with_cg.counters["passes"]),
+                int(base.counters["io_bytes"]),
+                int(with_cg.counters["io_bytes"]),
+            ])
+    return result
+
+
+def suppl_pointtopoint(
+    config: Optional[HarnessConfig] = None,
+) -> ExperimentResult:
+    """Point-to-all CG evaluation vs per-pair methods on (s, t) batches."""
+    cfg = _config(config)
+    graph_name = "TTW"
+    g = get_graph(graph_name)
+    cg = get_cg(graph_name, SSSP)
+    rng = np.random.default_rng(cfg.source_seed + 9)
+    sources = get_sources(graph_name, max(2, cfg.num_queries))
+    targets = rng.choice(g.num_vertices, sources.size, replace=False)
+    result = ExperimentResult(
+        exp_id="suppl_pointtopoint",
+        title=f"Point-to-all vs point-to-point on {graph_name}",
+        paper_reference="§4 related work (Qbs / PnP contrast)",
+        headers=["s", "t", "distance", "2phase ms (all targets)",
+                 "bidirectional ms", "PnP ms", "PnP pruned edges"],
+        notes="Per-pair methods redo their work per query; one CG 2Phase "
+        "answers s -> every vertex.",
+    )
+    for s, t in zip(sources, targets):
+        s, t = int(s), int(t)
+        t0 = time.perf_counter()
+        res = two_phase(g, cg, SSSP, s)
+        ms_cg = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        d_bi = bidirectional_sssp(g, s, t)
+        ms_bi = (time.perf_counter() - t0) * 1e3
+        t0 = time.perf_counter()
+        d_pnp, pruned = pnp_point_to_point(g, SSSP, s, t)
+        ms_pnp = (time.perf_counter() - t0) * 1e3
+        truth = res.values[t]
+        assert d_bi == truth or (np.isinf(d_bi) and np.isinf(truth))
+        assert d_pnp == truth or (np.isinf(d_pnp) and np.isinf(truth))
+        dist = "inf" if np.isinf(truth) else float(truth)
+        result.rows.append([s, t, dist, ms_cg, ms_bi, ms_pnp, pruned])
+    return result

@@ -1,0 +1,397 @@
+"""Experiments that run the Subway/GridGraph/Ligra cost models.
+
+Covers: Fig. 2, Fig. 5, Fig. 6 + Table 7, Fig. 7 + Table 8, Table 9,
+Fig. 8 + Table 10, Table 11, Table 12, and Table 14.
+
+One in-process sweep cache makes every (system, graph, query, mode) cell a
+single computation shared by all the tables derived from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+from repro.harness.cache import get_cg, get_graph, get_sources
+from repro.harness.config import HarnessConfig, default_config
+from repro.harness.experiments.base import ExperimentResult
+from repro.harness.experiments.proxy_quality import (
+    QUERY_NAMES,
+    get_baseline_proxy,
+)
+from repro.queries.registry import get_spec
+from repro.systems.gridgraph import GridGraphSimulator
+from repro.systems.ligra import LigraSimulator
+from repro.systems.report import SystemReport
+from repro.systems.subway import SubwaySimulator
+
+SYSTEM_NAMES = ("Subway", "GridGraph", "Ligra")
+
+_SIMS: Dict[Tuple[str, str], object] = {}
+_SWEEPS: Dict[Tuple[str, str, str, str], "SweepCell"] = {}
+
+
+@dataclass
+class SweepCell:
+    """Averages of one (system, graph, query, mode) cell over the sources."""
+
+    time: float = 0.0
+    counters: Dict[str, float] = field(default_factory=dict)
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    runs: int = 0
+
+    def add(self, report: SystemReport) -> None:
+        self.runs += 1
+        k = self.runs
+        self.time += (report.time - self.time) / k
+        for key, val in report.counters.items():
+            prev = self.counters.get(key, 0.0)
+            self.counters[key] = prev + (float(val) - prev) / k
+        for key, val in report.breakdown.items():
+            prev = self.breakdown.get(key, 0.0)
+            self.breakdown[key] = prev + (float(val) - prev) / k
+
+
+def _simulator(system: str, graph_name: str, cfg: HarnessConfig):
+    key = (system, graph_name.upper())
+    if key not in _SIMS:
+        g = get_graph(graph_name)
+        if system == "Subway":
+            _SIMS[key] = SubwaySimulator(g)
+        elif system == "GridGraph":
+            _SIMS[key] = GridGraphSimulator(g, p=cfg.grid_dim)
+        elif system == "Ligra":
+            _SIMS[key] = LigraSimulator(g)
+        else:
+            raise ValueError(f"unknown system {system!r}")
+    return _SIMS[key]
+
+
+def _proxy_for(mode: str, graph_name: str, spec):
+    """The proxy graph a mode runs with (None for the baseline)."""
+    if mode == "baseline":
+        return None
+    if mode.startswith("cg"):
+        return get_cg(graph_name, spec)
+    if mode.startswith("ag"):
+        return get_baseline_proxy("AG", graph_name, spec.name)
+    if mode.startswith("sg"):
+        return get_baseline_proxy("SG", graph_name, spec.name)
+    raise ValueError(f"unknown mode {mode!r}")
+
+
+def sweep(
+    system: str,
+    graph_name: str,
+    spec_name: str,
+    mode: str,
+    config: Optional[HarnessConfig] = None,
+) -> SweepCell:
+    """Average reports over the configured random sources (cached).
+
+    ``mode`` is one of ``baseline``, ``cg``, ``cg-tri`` (with Theorem 1
+    certificates), ``ag``, ``sg``.
+    """
+    cfg = config or default_config()
+    key = (system, graph_name.upper(), spec_name, mode)
+    if key in _SWEEPS:
+        return _SWEEPS[key]
+    spec = get_spec(spec_name)
+    sim = _simulator(system, graph_name, cfg)
+    sources: List[Optional[int]]
+    if spec.multi_source:
+        sources = [None]
+    else:
+        sources = [int(s) for s in get_sources(graph_name, cfg.num_queries)]
+    cell = SweepCell()
+    proxy = _proxy_for(mode, graph_name, spec)
+    triangle = mode.endswith("-tri")
+    for source in sources:
+        if mode == "baseline":
+            report = sim.baseline_run(spec, source)
+        else:
+            report = sim.two_phase_run(proxy, spec, source, triangle=triangle)
+        cell.add(report)
+    _SWEEPS[key] = cell
+    return cell
+
+
+def speedup(
+    system: str,
+    graph_name: str,
+    spec_name: str,
+    mode: str = "cg",
+    config: Optional[HarnessConfig] = None,
+) -> float:
+    """Baseline modeled time over 2phase modeled time for one cell."""
+    base = sweep(system, graph_name, spec_name, "baseline", config)
+    two = sweep(system, graph_name, spec_name, mode, config)
+    return base.time / two.time
+
+
+# ----------------------------------------------------------------------
+# Fig. 2 — headline speedups on FR across all three systems
+# ----------------------------------------------------------------------
+def fig02(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Speedups with CG over without CG for the FR stand-in."""
+    from repro.datasets.paper_numbers import FIG2_SPEEDUPS, QUERY_ORDER
+
+    cfg = config or default_config()
+    graph_name = "FR"
+    result = ExperimentResult(
+        exp_id="fig02",
+        title=f"Speedups with CG on {graph_name} (modeled time ratios, "
+        "side-by-side with the paper's)",
+        paper_reference="Figure 2",
+        headers=["query"]
+        + [s for s in SYSTEM_NAMES]
+        + [f"{s} (paper)" for s in SYSTEM_NAMES],
+        notes="Paper peaks: Subway 4.35x, GridGraph 13.62x, Ligra 9.31x; "
+        "the shape to hold is consistent >1x wins with REACH strongest "
+        "and SSSP/WCC most modest.",
+        config={"graph": graph_name, "num_queries": cfg.num_queries},
+    )
+    for spec_name in QUERY_NAMES:
+        row: List = [spec_name]
+        for system in SYSTEM_NAMES:
+            row.append(speedup(system, graph_name, spec_name, "cg", cfg))
+        q = QUERY_ORDER.index(spec_name)
+        for system in SYSTEM_NAMES:
+            row.append(FIG2_SPEEDUPS[system][q])
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Fig. 5 — Subway cost breakdown, 2Phase normalized to baseline
+# ----------------------------------------------------------------------
+def fig05(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """GEN/TRANS/COMP/ATOMIC of CG-2Phase normalized to Subway baseline."""
+    cfg = config or default_config()
+    result = ExperimentResult(
+        exp_id="fig05",
+        title="Subway 2Phase costs normalized to baseline",
+        paper_reference="Figure 5",
+        headers=["G", "query", "GEN", "TRANS", "COMP", "ATOMIC"],
+        notes="Values < 1 are reductions; paper sees > 50% reductions for "
+        "the weighted queries.",
+    )
+    for graph_name in cfg.real_graphs:
+        for spec_name in QUERY_NAMES:
+            base = sweep("Subway", graph_name, spec_name, "baseline", cfg)
+            two = sweep("Subway", graph_name, spec_name, "cg", cfg)
+
+            def ratio(getter) -> float:
+                denom = getter(base)
+                return getter(two) / denom if denom else 0.0
+
+            result.rows.append([
+                graph_name,
+                spec_name,
+                ratio(lambda c: c.breakdown.get("gen", 0.0)),
+                ratio(lambda c: c.counters.get("trans_bytes", 0.0)),
+                ratio(lambda c: c.breakdown.get("comp", 0.0)),
+                ratio(lambda c: c.counters.get("atomics", 0.0)),
+            ])
+    return result
+
+
+# ----------------------------------------------------------------------
+# Figs. 6/7/8 — per-system speedups with CG and AG proxies
+# ----------------------------------------------------------------------
+def _speedup_table(
+    exp_id: str, system: str, paper_ref: str, cfg: HarnessConfig,
+    note: str,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"Speedups over {system} from CG vs AG bootstrapping",
+        paper_reference=paper_ref,
+        headers=["proxy", "query"] + list(cfg.real_graphs),
+        notes=note,
+        config={"num_queries": cfg.num_queries},
+    )
+    for mode, label in (("cg", "CG"), ("ag", "AG")):
+        for spec_name in QUERY_NAMES:
+            row: List = [label, spec_name]
+            for graph_name in cfg.real_graphs:
+                row.append(speedup(system, graph_name, spec_name, mode, cfg))
+            result.rows.append(row)
+    return result
+
+
+def fig06(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Subway speedups from CG and AG bootstrapping."""
+    return _speedup_table(
+        "fig06", "Subway", "Figure 6", config or default_config(),
+        "Shape: CG speedups 1.3-4.5x, consistently above AG's.",
+    )
+
+
+def fig07(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """GridGraph speedups from CG and AG bootstrapping."""
+    return _speedup_table(
+        "fig07", "GridGraph", "Figure 7", config or default_config(),
+        "Shape: high-precision queries (SSNP/SSWP/REACH) win big (up to "
+        "13.6x in the paper); SSSP/WCC modest; larger graphs win more.",
+    )
+
+
+def fig08(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Ligra speedups from CG and AG bootstrapping."""
+    return _speedup_table(
+        "fig08", "Ligra", "Figure 8", config or default_config(),
+        "Shape: REACH highest (9.31x in the paper), SSSP/WCC around 1x; "
+        "AG frequently below 1x.",
+    )
+
+
+# ----------------------------------------------------------------------
+# Tables 7/8/10 — modeled 2Phase execution times
+# ----------------------------------------------------------------------
+def _times_table(
+    exp_id: str, system: str, paper_ref: str, cfg: HarnessConfig
+) -> ExperimentResult:
+    result = ExperimentResult(
+        exp_id=exp_id,
+        title=f"Modeled execution times (s) of CG-2Phase {system}",
+        paper_reference=paper_ref,
+        headers=["G"] + list(QUERY_NAMES),
+        notes="Absolute values reflect the cost model's rate constants, not "
+        "the paper's hardware; relative ordering across queries/graphs is "
+        "the reproducible shape.",
+        config={"num_queries": cfg.num_queries},
+    )
+    for graph_name in cfg.real_graphs:
+        row: List = [graph_name]
+        for spec_name in QUERY_NAMES:
+            row.append(sweep(system, graph_name, spec_name, "cg", cfg).time)
+        result.rows.append(row)
+    return result
+
+
+def table07(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Subway CG-2Phase times."""
+    return _times_table("table07", "Subway", "Table 7",
+                        config or default_config())
+
+
+def table08(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """GridGraph CG-2Phase times."""
+    return _times_table("table08", "GridGraph", "Table 8",
+                        config or default_config())
+
+
+def table10(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Ligra CG-2Phase times."""
+    return _times_table("table10", "Ligra", "Table 10",
+                        config or default_config())
+
+
+# ----------------------------------------------------------------------
+# Table 9 — GridGraph iteration (disk I/O) reduction
+# ----------------------------------------------------------------------
+def table09(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """% reduction in GridGraph iterations requiring disk I/O."""
+    cfg = config or default_config()
+    result = ExperimentResult(
+        exp_id="table09",
+        title="GridGraph: % reduction in iterations requiring disk I/O",
+        paper_reference="Table 9",
+        headers=["G"] + list(QUERY_NAMES),
+        notes="Paper: ~95% for SSNP/SSWP/REACH; 23-47% for SSSP/Viterbi; "
+        "0-42% for WCC.",
+        config={"num_queries": cfg.num_queries},
+    )
+    for graph_name in cfg.real_graphs:
+        row: List = [graph_name]
+        for spec_name in QUERY_NAMES:
+            base = sweep("GridGraph", graph_name, spec_name, "baseline", cfg)
+            two = sweep("GridGraph", graph_name, spec_name, "cg", cfg)
+            b = base.counters.get("io_iterations", 0.0)
+            t = two.counters.get("io_iterations", 0.0)
+            row.append(100.0 * (b - t) / b if b else 0.0)
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 11 — Ligra edges-processed reduction
+# ----------------------------------------------------------------------
+def table11(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """% reduction in edges processed by Ligra with CG bootstrapping."""
+    cfg = config or default_config()
+    result = ExperimentResult(
+        exp_id="table11",
+        title="Ligra: % reduction in edges processed (EDGES-RED)",
+        paper_reference="Table 11",
+        headers=["G"] + list(QUERY_NAMES),
+        notes="Paper: 10-95%, REACH the highest.",
+        config={"num_queries": cfg.num_queries},
+    )
+    for graph_name in cfg.real_graphs:
+        row: List = [graph_name]
+        for spec_name in QUERY_NAMES:
+            base = sweep("Ligra", graph_name, spec_name, "baseline", cfg)
+            two = sweep("Ligra", graph_name, spec_name, "cg", cfg)
+            b = base.counters.get("edges_processed", 0.0)
+            t = two.counters.get("edges_processed", 0.0)
+            row.append(100.0 * (b - t) / b if b else 0.0)
+        result.rows.append(row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 12 — triangle-inequality optimization on Ligra
+# ----------------------------------------------------------------------
+def table12(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """Ligra speedup and EDGES-RED with Theorem 1 certificates enabled."""
+    cfg = config or default_config()
+    specs = ("SSNP", "Viterbi", "SSWP")
+    result = ExperimentResult(
+        exp_id="table12",
+        title="Impact of the triangle-inequality optimization on Ligra",
+        paper_reference="Table 12",
+        headers=["G", "metric"] + list(specs),
+        notes="Shape: both speedup and EDGES-RED must improve over the "
+        "plain 2Phase numbers (Fig. 8 / Table 11).",
+        config={"num_queries": cfg.num_queries},
+    )
+    for graph_name in cfg.real_graphs:
+        speed_row: List = [graph_name, "SPEEDUP"]
+        red_row: List = [graph_name, "EDGES-RED %"]
+        for spec_name in specs:
+            base = sweep("Ligra", graph_name, spec_name, "baseline", cfg)
+            tri = sweep("Ligra", graph_name, spec_name, "cg-tri", cfg)
+            speed_row.append(base.time / tri.time)
+            b = base.counters.get("edges_processed", 0.0)
+            t = tri.counters.get("edges_processed", 0.0)
+            red_row.append(100.0 * (b - t) / b if b else 0.0)
+        result.rows.append(speed_row)
+        result.rows.append(red_row)
+    return result
+
+
+# ----------------------------------------------------------------------
+# Table 14 — R-MAT speedups across all systems
+# ----------------------------------------------------------------------
+def table14(config: Optional[HarnessConfig] = None) -> ExperimentResult:
+    """CG speedups for the R-MAT graphs on Subway, Ligra, and GridGraph."""
+    cfg = config or default_config()
+    result = ExperimentResult(
+        exp_id="table14",
+        title="Speedups for R-MAT graphs",
+        paper_reference="Table 14",
+        headers=["system", "G"] + list(QUERY_NAMES),
+        notes="Shape: broad wins, except Viterbi which can dip to ~1x or "
+        "below (low precision and/or large CGs on these weights).",
+        config={"num_queries": cfg.num_queries},
+    )
+    for system in ("Subway", "Ligra", "GridGraph"):
+        for graph_name in cfg.rmat_graphs:
+            row: List = [system, graph_name]
+            for spec_name in QUERY_NAMES:
+                row.append(speedup(system, graph_name, spec_name, "cg", cfg))
+            result.rows.append(row)
+    return result

@@ -1,0 +1,40 @@
+"""Persisting experiment results as JSON under the results directory."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Optional
+
+from repro.harness.config import default_config
+
+
+def _jsonable(value):
+    if isinstance(value, float):
+        return value
+    if hasattr(value, "item"):  # numpy scalars
+        return value.item()
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def save_result(result, results_dir: Optional[Path] = None) -> Path:
+    """Write an :class:`ExperimentResult` as ``<id>.json``; returns the path."""
+    results_dir = Path(results_dir or default_config().results_dir)
+    results_dir.mkdir(parents=True, exist_ok=True)
+    path = results_dir / f"{result.exp_id}.json"
+    payload = {
+        "id": result.exp_id,
+        "title": result.title,
+        "paper_reference": result.paper_reference,
+        "headers": list(result.headers),
+        "rows": _jsonable([list(r) for r in result.rows]),
+        "notes": result.notes,
+        "config": _jsonable(result.config),
+    }
+    with path.open("w") as fh:
+        json.dump(payload, fh, indent=2)
+    return path

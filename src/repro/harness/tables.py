@@ -1,0 +1,54 @@
+"""Plain-text table rendering for experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value, floatfmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return format(value, floatfmt)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    floatfmt: str = ".2f",
+) -> str:
+    """Render an aligned ASCII table (right-aligned numeric columns)."""
+    str_rows: List[List[str]] = [
+        [_format_cell(c, floatfmt) for c in row] for row in rows
+    ]
+    headers = [str(h) for h in headers]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row length does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        cells = []
+        for cell, w in zip(row, widths):
+            cells.append(cell.rjust(w) if _looks_numeric(cell) else cell.ljust(w))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def _looks_numeric(cell: str) -> bool:
+    stripped = cell.replace("%", "").replace("x", "").replace(",", "")
+    try:
+        float(stripped)
+    except ValueError:
+        return False
+    return True

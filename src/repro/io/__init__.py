@@ -1,0 +1,24 @@
+"""Binary persistence for graphs and core graphs, plus an artifact cache."""
+
+from repro.io.binary import save_graph, load_graph, save_core_graph, load_core_graph
+from repro.io.artifacts import ArtifactCache
+from repro.io.compressed import (
+    save_compressed,
+    load_compressed,
+    compress_graph,
+    decompress_graph,
+    CompressionReport,
+)
+
+__all__ = [
+    "save_graph",
+    "load_graph",
+    "save_core_graph",
+    "load_core_graph",
+    "ArtifactCache",
+    "save_compressed",
+    "load_compressed",
+    "compress_graph",
+    "decompress_graph",
+    "CompressionReport",
+]

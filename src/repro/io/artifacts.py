@@ -1,0 +1,94 @@
+"""Disk-backed artifact cache for expensive build products.
+
+Core-graph identification is a one-time cost per (graph, query kind); this
+cache persists the products under a directory keyed by a caller-supplied
+name, so repeated benchmark/CLI runs across processes skip rebuilding.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.core.coregraph import CoreGraph
+from repro.graph.csr import Graph
+from repro.io.binary import (
+    load_core_graph,
+    load_graph,
+    save_core_graph,
+    save_graph,
+)
+
+_KEY_RE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def _sanitize(key: str) -> str:
+    clean = _KEY_RE.sub("_", key)
+    if not clean.strip("_.-"):
+        raise ValueError(f"unusable cache key {key!r}")
+    return clean
+
+
+class ArtifactCache:
+    """Named graph/core-graph artifacts under one directory.
+
+    Example::
+
+        cache = ArtifactCache("~/.cache/repro")
+        g = cache.graph("fr", lambda: load_zoo_graph("FR"))
+        cg = cache.core_graph("fr-sssp", lambda: build_core_graph(g, SSSP))
+    """
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / f"{kind}-{_sanitize(key)}.npz"
+
+    # ------------------------------------------------------------------
+    def graph(self, key: str, build: Callable[[], Graph]) -> Graph:
+        """Return the cached graph for ``key``, building it on first use."""
+        path = self._path("graph", key)
+        if path.exists():
+            return load_graph(path)
+        g = build()
+        save_graph(g, path)
+        return g
+
+    def core_graph(
+        self, key: str, build: Callable[[], CoreGraph]
+    ) -> CoreGraph:
+        """Return the cached core graph for ``key``."""
+        path = self._path("cg", key)
+        if path.exists():
+            return load_core_graph(path)
+        cg = build()
+        save_core_graph(cg, path)
+        return cg
+
+    # ------------------------------------------------------------------
+    def contains(self, kind: str, key: str) -> bool:
+        return self._path(kind, key).exists()
+
+    def invalidate(self, kind: Optional[str] = None, key: Optional[str] = None) -> int:
+        """Delete matching artifacts; returns how many were removed."""
+        pattern = f"{kind or '*'}-{_sanitize(key) if key else '*'}.npz"
+        removed = 0
+        for path in self.root.glob(pattern):
+            path.unlink()
+            removed += 1
+        return removed
+
+    def manifest(self) -> dict:
+        """Names and sizes of everything cached (for diagnostics)."""
+        return {
+            p.name: p.stat().st_size for p in sorted(self.root.glob("*.npz"))
+        }
+
+    def write_manifest(self) -> Path:
+        path = self.root / "manifest.json"
+        path.write_text(json.dumps(self.manifest(), indent=2))
+        return path

@@ -1,0 +1,120 @@
+"""Binary (npz) serialization of graphs and core graphs.
+
+CSR arrays round-trip losslessly through ``numpy.savez_compressed``; core
+graphs additionally persist their identification metadata (edge mask, hubs,
+hub query values) so a CG built once can serve later processes — the
+paper's "identified once ... used to evaluate all future queries" economics
+across process boundaries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.core.coregraph import CoreGraph, HubData
+from repro.graph.csr import Graph
+from repro.graph.validate import validate_graph
+
+_GRAPH_FORMAT = 1
+_CG_FORMAT = 1
+
+PathLike = Union[str, Path]
+
+
+def save_graph(g: Graph, path: PathLike) -> Path:
+    """Write ``g`` to ``path`` (npz). Returns the path written."""
+    path = Path(path)
+    payload = {
+        "format": np.int64(_GRAPH_FORMAT),
+        "offsets": g.offsets,
+        "dst": g.dst,
+    }
+    if g.weights is not None:
+        payload["weights"] = g.weights
+    np.savez_compressed(path, **payload)
+    # numpy appends .npz when missing; normalize the returned path
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_graph(path: PathLike, validate: bool = True) -> Graph:
+    """Read a graph written by :func:`save_graph`."""
+    with np.load(Path(path)) as data:
+        fmt = int(data["format"])
+        if fmt != _GRAPH_FORMAT:
+            raise ValueError(f"unsupported graph format {fmt}")
+        weights = data["weights"] if "weights" in data.files else None
+        g = Graph(data["offsets"], data["dst"], weights)
+    if validate:
+        report = validate_graph(g)
+        if not report.ok:
+            raise ValueError(f"corrupt graph file {path}: {report.errors}")
+    return g
+
+
+def save_core_graph(cg: CoreGraph, path: PathLike) -> Path:
+    """Write a :class:`CoreGraph` (graph + identification metadata)."""
+    path = Path(path)
+    payload = {
+        "format": np.int64(_CG_FORMAT),
+        "offsets": cg.graph.offsets,
+        "dst": cg.graph.dst,
+        "edge_mask": cg.edge_mask,
+        "hubs": cg.hubs,
+        "spec_name": np.array(cg.spec_name),
+        "connectivity_edges": np.int64(cg.connectivity_edges),
+        "source_num_edges": np.int64(cg.source_num_edges),
+        "num_hub_data": np.int64(len(cg.hub_data)),
+    }
+    if cg.graph.weights is not None:
+        payload["weights"] = cg.graph.weights
+    if cg.growth is not None:
+        payload["growth"] = cg.growth
+    if cg.forward_selection_counts is not None:
+        payload["selection_counts"] = cg.forward_selection_counts
+    for i, hd in enumerate(cg.hub_data):
+        payload[f"hub_{i}_id"] = np.int64(hd.hub)
+        payload[f"hub_{i}_forward"] = hd.forward
+        payload[f"hub_{i}_backward"] = hd.backward
+    np.savez_compressed(path, **payload)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def load_core_graph(path: PathLike) -> CoreGraph:
+    """Read a core graph written by :func:`save_core_graph`."""
+    with np.load(Path(path)) as data:
+        fmt = int(data["format"])
+        if fmt != _CG_FORMAT:
+            raise ValueError(f"unsupported core-graph format {fmt}")
+        weights = data["weights"] if "weights" in data.files else None
+        graph = Graph(data["offsets"], data["dst"], weights)
+        hub_data = []
+        for i in range(int(data["num_hub_data"])):
+            hub_data.append(
+                HubData(
+                    hub=int(data[f"hub_{i}_id"]),
+                    forward=data[f"hub_{i}_forward"],
+                    backward=data[f"hub_{i}_backward"],
+                )
+            )
+        return CoreGraph(
+            graph=graph,
+            edge_mask=data["edge_mask"],
+            spec_name=str(data["spec_name"]),
+            hubs=data["hubs"],
+            hub_data=hub_data,
+            growth=data["growth"] if "growth" in data.files else None,
+            forward_selection_counts=(
+                data["selection_counts"]
+                if "selection_counts" in data.files
+                else None
+            ),
+            connectivity_edges=int(data["connectivity_edges"]),
+            source_num_edges=int(data["source_num_edges"]),
+        )

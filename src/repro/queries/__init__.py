@@ -1,0 +1,25 @@
+"""Monotonic vertex-specific query framework (paper §2.1, Table 6)."""
+
+from repro.queries.base import QuerySpec, Selection
+from repro.queries.specs import SSSP, SSWP, SSNP, VITERBI, REACH, WCC
+from repro.queries.registry import (
+    ALL_SPECS,
+    WEIGHTED_SPECS,
+    UNWEIGHTED_SPECS,
+    get_spec,
+)
+
+__all__ = [
+    "QuerySpec",
+    "Selection",
+    "SSSP",
+    "SSWP",
+    "SSNP",
+    "VITERBI",
+    "REACH",
+    "WCC",
+    "ALL_SPECS",
+    "WEIGHTED_SPECS",
+    "UNWEIGHTED_SPECS",
+    "get_spec",
+]

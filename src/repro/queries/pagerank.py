@@ -1,0 +1,75 @@
+"""PageRank: the paper's explicitly *non-monotonic* counterexample.
+
+§2.1 closes with: "Successful use of core graphs in context of
+non-monotonic algorithms such as PageRank remains an open problem." This
+module supplies the algorithm so the repository can study that boundary
+empirically (see :mod:`repro.core.nonmonotonic`): PageRank has no
+selection-operator lattice, so the 2Phase exactness argument does not
+apply — a CG-bootstrapped run is a *warm start* of a fixed-point iteration,
+nothing more.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.graph.csr import Graph
+
+
+@dataclass
+class PageRankResult:
+    """Converged ranks plus convergence diagnostics."""
+
+    ranks: np.ndarray
+    iterations: int
+    converged: bool
+    residual: float
+
+
+def pagerank(
+    g: Graph,
+    damping: float = 0.85,
+    tol: float = 1e-12,
+    max_iterations: int = 500,
+    init: Optional[np.ndarray] = None,
+) -> PageRankResult:
+    """Power-iteration PageRank with uniform teleport and dangling handling.
+
+    ``tol`` is the L1 residual between successive rank vectors. ``init``
+    warm-starts the iteration (it is normalized to sum to 1); the fixed
+    point does not depend on it, only the iteration count does.
+    """
+    if not 0.0 < damping < 1.0:
+        raise ValueError("damping must be in (0, 1)")
+    n = g.num_vertices
+    if n == 0:
+        return PageRankResult(np.empty(0), 0, True, 0.0)
+    out_deg = g.out_degree().astype(np.float64)
+    dangling = out_deg == 0
+    src = g.edge_sources()
+    dst = g.dst
+    if init is None:
+        ranks = np.full(n, 1.0 / n)
+    else:
+        init = np.asarray(init, dtype=np.float64)
+        if init.shape != (n,) or init.sum() <= 0:
+            raise ValueError("init must be a positive vector of length n")
+        ranks = init / init.sum()
+    teleport = (1.0 - damping) / n
+    contrib_denom = np.where(dangling, 1.0, out_deg)
+    iterations = 0
+    residual = np.inf
+    for iterations in range(1, max_iterations + 1):
+        per_edge = ranks[src] / contrib_denom[src]
+        new_ranks = np.full(n, teleport)
+        np.add.at(new_ranks, dst, damping * per_edge)
+        dangling_mass = ranks[dangling].sum()
+        new_ranks += damping * dangling_mass / n
+        residual = float(np.abs(new_ranks - ranks).sum())
+        ranks = new_ranks
+        if residual < tol:
+            return PageRankResult(ranks, iterations, True, residual)
+    return PageRankResult(ranks, iterations, False, residual)

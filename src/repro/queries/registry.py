@@ -1,0 +1,46 @@
+"""Lookup of query specs by name, and the groupings the paper uses.
+
+The paper builds *specialized* core graphs for the four weighted queries and
+one *general* core graph (from REACH's BFS trees) shared by REACH and WCC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.queries.base import QuerySpec
+from repro.queries.specs import BFS, SSSP, SSWP, SSNP, VITERBI, REACH, WCC
+
+#: The six query kinds the paper evaluates.
+ALL_SPECS: Tuple[QuerySpec, ...] = (SSSP, SSNP, VITERBI, SSWP, REACH, WCC)
+
+#: Queries with specialized (weight-aware) core graphs.
+WEIGHTED_SPECS: Tuple[QuerySpec, ...] = (SSSP, SSNP, VITERBI, SSWP)
+
+#: Queries served by the general (reachability) core graph.
+UNWEIGHTED_SPECS: Tuple[QuerySpec, ...] = (REACH, WCC)
+
+#: The paper's six plus the extras this library supports (BFS).
+EXTENDED_SPECS: Tuple[QuerySpec, ...] = ALL_SPECS + (BFS,)
+
+_BY_NAME: Dict[str, QuerySpec] = {s.name.upper(): s for s in EXTENDED_SPECS}
+
+
+def get_spec(name: str) -> QuerySpec:
+    """Look up a spec by (case-insensitive) name; raises ``KeyError``."""
+    key = name.upper()
+    if key not in _BY_NAME:
+        known = ", ".join(s.name for s in EXTENDED_SPECS)
+        raise KeyError(f"unknown query {name!r}; known: {known}")
+    return _BY_NAME[key]
+
+
+def cg_spec_for(spec: QuerySpec) -> QuerySpec:
+    """The spec whose core graph serves ``spec``.
+
+    WCC uses REACH's general core graph (paper §2.1 / Table 3 caption);
+    every other query uses its own.
+    """
+    if spec.name == "WCC":
+        return REACH
+    return spec

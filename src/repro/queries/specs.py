@@ -1,0 +1,144 @@
+"""The six query kinds evaluated in the paper (Table 6).
+
+============  =======================  ======  =========  ============
+Query         path value (⊕)           select  init       source
+============  =======================  ======  =========  ============
+SSSP          ``Val(u) + w``           MIN     ``+inf``   ``0``
+SSNP          ``max(Val(u), w)``       MIN     ``+inf``   ``-inf``
+Viterbi       ``Val(u) * p(w)``        MAX     ``0``      ``1``
+SSWP          ``min(Val(u), w)``       MAX     ``-inf``   ``+inf``
+REACH         ``Val(u)``               MAX     ``0``      ``1``
+WCC           ``Val(u)`` (undirected)  MIN     vertex id  (all)
+============  =======================  ======  =========  ============
+
+Viterbi's ``p(w)`` maps an edge weight to a transition probability in
+``(0, 1]``: weights already in ``(0, 1]`` (Table 13's uniform floats) are used
+directly, while weights ``>= 1`` (Ligra's integer weights) become ``1/w`` —
+exactly the ``Val(u)/wt`` push of Table 6. Either way path values decay
+multiplicatively, so MAX-selection converges.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.queries.base import QuerySpec, Selection
+
+
+def _sssp_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return val_u + w
+
+
+def _ssnp_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return np.maximum(val_u, w)
+
+
+def _sswp_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return np.minimum(val_u, w)
+
+
+def _viterbi_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return val_u * w
+
+
+def _copy_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return val_u
+
+
+def _viterbi_weight_transform(w: np.ndarray) -> np.ndarray:
+    w = np.asarray(w, dtype=np.float64)
+    if np.any(w <= 0):
+        raise ValueError("Viterbi requires strictly positive edge weights")
+    return np.where(w > 1.0, 1.0 / w, w)
+
+
+SSSP = QuerySpec(
+    name="SSSP",
+    selection=Selection.MIN,
+    init_value=np.inf,
+    source_value=0.0,
+    propagate=_sssp_propagate,
+    connectivity_pick="min",
+)
+
+SSNP = QuerySpec(
+    name="SSNP",
+    selection=Selection.MIN,
+    init_value=np.inf,
+    source_value=-np.inf,
+    propagate=_ssnp_propagate,
+    connectivity_pick="min",
+)
+
+SSWP = QuerySpec(
+    name="SSWP",
+    selection=Selection.MAX,
+    init_value=-np.inf,
+    source_value=np.inf,
+    propagate=_sswp_propagate,
+    connectivity_pick="max",
+)
+
+VITERBI = QuerySpec(
+    name="Viterbi",
+    selection=Selection.MAX,
+    init_value=0.0,
+    source_value=1.0,
+    propagate=_viterbi_propagate,
+    connectivity_pick="min",
+    weight_transform=_viterbi_weight_transform,
+    # Long multiplicative chains accumulate float error; loosen the
+    # solution-path equality test accordingly.
+    rtol=1e-6,
+)
+
+def _bfs_propagate(val_u: np.ndarray, w: np.ndarray) -> np.ndarray:
+    return val_u + 1.0
+
+
+BFS = QuerySpec(
+    name="BFS",
+    selection=Selection.MIN,
+    init_value=np.inf,
+    source_value=0.0,
+    propagate=_bfs_propagate,
+    uses_weights=False,
+    connectivity_pick="any",
+)
+"""Breadth-first hop counts — unit-weight SSSP.
+
+Not one of the paper's six evaluated queries, but §2.2 names
+breadth-first search among the algorithms the triangle-inequality
+abstraction covers; it drops out of the framework for free (its core graph
+is built by Algorithm 1 with the constant weight 1, and the SSSP-style
+Theorem 1 certificates apply verbatim).
+"""
+
+
+REACH = QuerySpec(
+    name="REACH",
+    selection=Selection.MAX,
+    init_value=0.0,
+    source_value=1.0,
+    propagate=_copy_propagate,
+    uses_weights=False,
+    connectivity_pick="any",
+    identification="algorithm2",
+    # A reached vertex can never improve; Algorithm 3's completion phase
+    # removes its incoming edges (Reduced(E)), which is why REACH sees the
+    # paper's largest speedups.
+    saturation_value=1.0,
+)
+
+WCC = QuerySpec(
+    name="WCC",
+    selection=Selection.MIN,
+    init_value=np.nan,  # unused: WCC is multi-source with per-vertex labels
+    source_value=np.nan,
+    propagate=_copy_propagate,
+    uses_weights=False,
+    symmetric=True,
+    multi_source=True,
+    connectivity_pick="any",
+    identification="algorithm2",
+)

@@ -1,0 +1,139 @@
+"""A faithful mini-Ligra interface: vertexSubset, edgeMap, vertexMap.
+
+Ligra (PPoPP '13) programs are written against two primitives: ``edgeMap``
+applies an update function over the edges leaving a frontier (skipping
+targets whose ``cond`` fails and returning the newly activated subset), and
+``vertexMap`` applies a function over a frontier. This module reproduces
+that programming model vectorized over numpy, including the sparse/dense
+frontier representation switch; :mod:`repro.systems.ligra_algorithms`
+implements BFS, Bellman-Ford, and connected components on top of it exactly
+as the Ligra paper presents them.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.engines.frontier import ragged_gather
+from repro.graph.csr import Graph
+
+#: update(src_ids, dst_ids, weights) -> bool mask of targets to activate.
+UpdateFn = Callable[[np.ndarray, np.ndarray, np.ndarray], np.ndarray]
+#: cond(dst_ids) -> bool mask of targets still worth updating.
+CondFn = Callable[[np.ndarray], np.ndarray]
+
+
+class VertexSubset:
+    """A frontier, stored sparse (id array) or dense (bool mask)."""
+
+    def __init__(self, n: int, members=None, dense: Optional[np.ndarray] = None):
+        self.n = n
+        if dense is not None:
+            self._dense = np.asarray(dense, dtype=bool)
+            self._sparse: Optional[np.ndarray] = None
+        else:
+            ids = np.unique(np.asarray(
+                [] if members is None else members, dtype=np.int64
+            ))
+            self._sparse = ids
+            self._dense = None
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def empty(cls, n: int) -> "VertexSubset":
+        return cls(n, members=[])
+
+    @classmethod
+    def single(cls, n: int, v: int) -> "VertexSubset":
+        return cls(n, members=[v])
+
+    @classmethod
+    def full(cls, n: int) -> "VertexSubset":
+        return cls(n, dense=np.ones(n, dtype=bool))
+
+    # ------------------------------------------------------------------
+    @property
+    def size(self) -> int:
+        if self._sparse is not None:
+            return int(self._sparse.size)
+        return int(self._dense.sum())
+
+    def __len__(self) -> int:
+        return self.size
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def ids(self) -> np.ndarray:
+        if self._sparse is not None:
+            return self._sparse
+        return np.flatnonzero(self._dense)
+
+    def mask(self) -> np.ndarray:
+        if self._dense is not None:
+            return self._dense
+        dense = np.zeros(self.n, dtype=bool)
+        dense[self._sparse] = True
+        return dense
+
+    def contains(self, v: int) -> bool:
+        if self._dense is not None:
+            return bool(self._dense[v])
+        return bool(np.isin(v, self._sparse))
+
+    @property
+    def is_dense(self) -> bool:
+        return self._dense is not None
+
+
+def edge_map(
+    g: Graph,
+    frontier: VertexSubset,
+    update: UpdateFn,
+    cond: Optional[CondFn] = None,
+    dense_divisor: int = 20,
+) -> VertexSubset:
+    """Ligra's edgeMap: apply ``update`` over the frontier's out-edges.
+
+    Targets failing ``cond`` are skipped; the returned subset holds the
+    targets ``update`` activated. The output representation follows Ligra's
+    heuristic: dense when the frontier's out-degree volume is large.
+    """
+    ids = frontier.ids()
+    edge_idx, u = ragged_gather(g.offsets, ids)
+    weights = g.edge_weights()
+    if edge_idx.size == 0:
+        return VertexSubset.empty(g.num_vertices)
+    v = g.dst[edge_idx]
+    if cond is not None:
+        keep = cond(v)
+        edge_idx, u, v = edge_idx[keep], u[keep], v[keep]
+        if edge_idx.size == 0:
+            return VertexSubset.empty(g.num_vertices)
+    activated = update(u, v, weights[edge_idx])
+    out = np.unique(v[activated])
+    if out.size * dense_divisor > g.num_vertices:
+        dense = np.zeros(g.num_vertices, dtype=bool)
+        dense[out] = True
+        return VertexSubset(g.num_vertices, dense=dense)
+    return VertexSubset(g.num_vertices, members=out)
+
+
+def vertex_map(
+    frontier: VertexSubset, f: Callable[[np.ndarray], Optional[np.ndarray]]
+) -> VertexSubset:
+    """Ligra's vertexMap: apply ``f`` to the frontier's vertex ids.
+
+    When ``f`` returns a boolean mask, the surviving subset is returned
+    (vertexFilter); otherwise the frontier passes through unchanged.
+    """
+    ids = frontier.ids()
+    result = f(ids)
+    if result is None:
+        return frontier
+    result = np.asarray(result, dtype=bool)
+    if result.shape != ids.shape:
+        raise ValueError("vertex_map filter must parallel the frontier")
+    return VertexSubset(frontier.n, members=ids[result])

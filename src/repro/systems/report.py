@@ -1,0 +1,98 @@
+"""Shared reporting structures and cost constants for the system models.
+
+The constants are calibrated to the hardware classes the paper used (PCIe-3
+K80 GPU for Subway, a SATA-era disk array for GridGraph, a 16-core Opteron
+for Ligra). Absolute values only set the scale of modeled times; the
+speedups the benchmarks report are ratios, which depend on the *relative*
+weight of data movement vs compute — the property the model preserves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.engines.stats import RunStats
+
+
+@dataclass(frozen=True)
+class CostParams:
+    """Rate constants for the three cost models (SI units: bytes, seconds).
+
+    Attributes
+    ----------
+    pcie_bandwidth:
+        Host-to-GPU transfer bandwidth (Subway TRANS).
+    gen_edge_rate / gen_vertex_rate:
+        Host-side active-subgraph generation throughput (Subway GEN): a
+        degree-prefix pass over vertices plus a copy of active edges.
+    gpu_edge_rate:
+        GPU edge-processing throughput (Subway COMP).
+    atomic_cost:
+        Amortized cost of one successful atomic update on the GPU.
+    disk_bandwidth:
+        Sequential block-read bandwidth (GridGraph I/O).
+    io_latency:
+        Fixed per-iteration disk overhead (seek + scheduling).
+    cpu_edge_rate:
+        Shared-memory edge-processing throughput (GridGraph/Ligra COMP).
+    vertex_rate:
+        Frontier/vertex-map maintenance throughput (Ligra).
+    bytes_per_edge / bytes_per_vertex:
+        On-wire edge and vertex-value sizes.
+    """
+
+    pcie_bandwidth: float = 12e9
+    gen_edge_rate: float = 2.0e9
+    gen_vertex_rate: float = 8.0e9
+    gpu_edge_rate: float = 8.0e9
+    atomic_cost: float = 2.0e-9
+    disk_bandwidth: float = 0.15e9
+    io_latency: float = 2.0e-3
+    cpu_edge_rate: float = 0.5e9
+    vertex_rate: float = 2.0e9
+    bytes_per_edge: int = 8
+    bytes_per_vertex: int = 8
+
+
+DEFAULT_COST_PARAMS = CostParams()
+
+
+@dataclass
+class SystemReport:
+    """Outcome of one simulated system run.
+
+    ``time`` is the modeled execution time; ``counters`` holds the raw
+    quantities (keys: ``gen_edges``, ``trans_bytes``, ``comp_edges``,
+    ``atomics``, ``io_bytes``, ``io_blocks``, ``io_iterations``,
+    ``edges_processed``, ``iterations``; systems fill the subset that makes
+    sense for them). ``breakdown`` splits modeled time into the paper's
+    GEN / TRANS / COMP (+ I/O) categories.
+    """
+
+    system: str
+    spec_name: str
+    mode: str
+    source: Optional[int] = None
+    time: float = 0.0
+    breakdown: Dict[str, float] = field(default_factory=dict)
+    counters: Dict[str, float] = field(default_factory=dict)
+    stats: Optional[RunStats] = None
+    values: Optional["np.ndarray"] = field(default=None, repr=False)
+
+    def counter(self, key: str) -> float:
+        return float(self.counters.get(key, 0.0))
+
+    def speedup_over(self, baseline: "SystemReport") -> float:
+        """Baseline modeled time divided by this run's modeled time."""
+        if self.time <= 0:
+            raise ValueError("modeled time must be positive")
+        return baseline.time / self.time
+
+    def __repr__(self) -> str:
+        return (
+            f"SystemReport({self.system}/{self.spec_name}/{self.mode}, "
+            f"time={self.time:.4g}s)"
+        )

@@ -1,0 +1,44 @@
+"""Tests for effective-diameter estimation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.diameter import estimate_effective_diameter
+from repro.generators.random_graphs import lattice_graph, path_graph
+from repro.generators.rmat import rmat
+from repro.graph.builder import from_edges
+
+
+def test_path_graph_diameter():
+    est = estimate_effective_diameter(path_graph(20), samples=20, seed=1)
+    assert est.max_observed == 19  # BFS from vertex 0 reaches depth 19
+
+
+def test_powerlaw_smaller_than_lattice():
+    """Small-world vs grid: the property that bounds iteration counts."""
+    pl = rmat(10, 8, seed=161)
+    lat = lattice_graph(32, 32, seed=162)
+    est_pl = estimate_effective_diameter(pl, samples=6, seed=2)
+    est_lat = estimate_effective_diameter(lat, samples=6, seed=2)
+    assert est_pl.effective_90 < est_lat.effective_90
+
+
+def test_isolated_graph():
+    g = from_edges([], num_vertices=5)
+    est = estimate_effective_diameter(g, samples=3)
+    assert est.samples == 0 or est.max_observed == 0
+
+
+def test_validation():
+    g = path_graph(3)
+    with pytest.raises(ValueError):
+        estimate_effective_diameter(g, samples=0)
+    with pytest.raises(ValueError):
+        estimate_effective_diameter(g, percentile=0)
+
+
+def test_deterministic_with_seed():
+    g = rmat(8, 6, seed=163)
+    a = estimate_effective_diameter(g, samples=4, seed=9)
+    b = estimate_effective_diameter(g, samples=4, seed=9)
+    assert a == b

@@ -1,0 +1,26 @@
+"""Tests for top-k degree overlap (Table 17 machinery)."""
+
+from repro.analysis.overlap import top_degree_overlap
+from repro.core.identify import build_core_graph
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import SSSP
+
+
+def test_identity_overlap(medium_graph):
+    overlap = top_degree_overlap(medium_graph, medium_graph, ks=(10, 50))
+    assert overlap == {10: 10, 50: 50}
+
+
+def test_k_capped_at_n(medium_graph):
+    overlap = top_degree_overlap(medium_graph, medium_graph, ks=(10**6,))
+    assert overlap[10**6] == medium_graph.num_vertices
+
+
+def test_cg_preserves_top_ranks():
+    """Table 17's claim: high-degree vertices keep their relative rank in
+    the CG — near-total top-k overlap."""
+    g = ligra_weights(rmat(11, 10, seed=91), seed=92)
+    cg = build_core_graph(g, SSSP, num_hubs=10)
+    overlap = top_degree_overlap(g, cg.graph, ks=(50,))
+    assert overlap[50] >= 40

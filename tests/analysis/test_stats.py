@@ -1,0 +1,68 @@
+"""Tests for graph summary statistics."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import gini_coefficient, graph_summary, reciprocity
+from repro.generators.random_graphs import (
+    complete_graph,
+    lattice_graph,
+    path_graph,
+    star_graph,
+)
+from repro.generators.rmat import rmat
+
+
+class TestGini:
+    def test_uniform_is_zero(self):
+        assert gini_coefficient(np.full(100, 5.0)) == pytest.approx(0.0)
+
+    def test_concentrated_is_high(self):
+        values = np.zeros(100)
+        values[0] = 1000.0
+        assert gini_coefficient(values) > 0.95
+
+    def test_empty_and_zero(self):
+        assert gini_coefficient(np.array([])) == 0.0
+        assert gini_coefficient(np.zeros(5)) == 0.0
+
+    def test_powerlaw_beats_lattice(self):
+        pl = rmat(10, 8, seed=3)
+        lat = lattice_graph(32, 32, seed=3)
+        g_pl = gini_coefficient(pl.out_degree() + pl.in_degree())
+        g_lat = gini_coefficient(lat.out_degree() + lat.in_degree())
+        assert g_pl > g_lat + 0.2
+
+
+class TestReciprocity:
+    def test_symmetric_graph(self):
+        assert reciprocity(lattice_graph(4, 4, seed=1)) == 1.0
+
+    def test_one_way_path(self):
+        assert reciprocity(path_graph(5)) == 0.0
+
+    def test_empty(self):
+        from repro.graph.builder import from_edges
+
+        assert reciprocity(from_edges([], num_vertices=3)) == 0.0
+
+
+class TestSummary:
+    def test_star(self):
+        summary = graph_summary(star_graph(11))
+        assert summary.num_vertices == 11
+        assert summary.max_out_degree == 10
+        assert summary.zero_out_degree == 10
+        assert summary.zero_in_degree == 1
+        assert summary.weighted  # star_graph carries unit weights
+
+    def test_complete(self):
+        summary = graph_summary(complete_graph(5))
+        assert summary.avg_out_degree == 4.0
+        assert summary.reciprocity == 1.0
+        assert summary.degree_gini == pytest.approx(0.0)
+
+    def test_as_dict_keys(self, medium_graph):
+        d = graph_summary(medium_graph).as_dict()
+        assert d["num_edges"] == medium_graph.num_edges
+        assert "degree_gini" in d and "reciprocity" in d

@@ -1,0 +1,57 @@
+"""Tests for the Abstraction Graph baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abstraction import build_abstraction_graph
+from repro.baselines.unionfind import UnionFind
+from repro.graph.builder import from_edges
+
+
+class TestConstruction:
+    def test_budget_respected(self, medium_graph):
+        ag, mask = build_abstraction_graph(medium_graph, 200)
+        assert ag.num_edges == 200
+        assert mask.sum() == 200
+
+    def test_budget_larger_than_graph(self, medium_graph):
+        ag, _ = build_abstraction_graph(medium_graph, 10**9)
+        assert ag.num_edges == medium_graph.num_edges
+
+    def test_negative_budget(self, medium_graph):
+        with pytest.raises(ValueError):
+            build_abstraction_graph(medium_graph, -1)
+
+    def test_all_vertices_kept(self, medium_graph):
+        ag, _ = build_abstraction_graph(medium_graph, 50)
+        assert ag.num_vertices == medium_graph.num_vertices
+
+    def test_spanning_pass_connects(self):
+        """On a weakly connected graph, the AG with budget >= n-1 must keep
+        one weak component."""
+        g = from_edges(
+            [(0, 1, 9.0), (1, 2, 8.0), (2, 3, 7.0), (3, 0, 1.0),
+             (0, 2, 2.0), (1, 3, 3.0)],
+            num_vertices=4,
+        )
+        ag, mask = build_abstraction_graph(g, 3)
+        uf = UnionFind(4)
+        for u, v, _ in ag.iter_edges():
+            uf.union(u, v)
+        assert uf.num_components == 1
+
+    def test_prefers_light_edges(self):
+        g = from_edges(
+            [(0, 1, 1.0), (0, 1, 10.0), (1, 0, 2.0), (1, 0, 20.0)],
+            num_vertices=2,
+        )
+        ag, _ = build_abstraction_graph(g, 2)
+        weights = sorted(w for _, _, w in ag.iter_edges())
+        assert weights == [1.0, 2.0]
+
+    def test_mask_parallels_source(self, medium_graph):
+        ag, mask = build_abstraction_graph(medium_graph, 100)
+        assert mask.shape == medium_graph.dst.shape
+        from repro.graph.transform import edge_subgraph
+
+        assert edge_subgraph(medium_graph, mask) == ag

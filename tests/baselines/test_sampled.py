@@ -1,0 +1,54 @@
+"""Tests for the random-walk Sampled Graph baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.sampled import build_sampled_graph
+from repro.generators.random_graphs import path_graph
+
+
+class TestConstruction:
+    def test_budget_respected(self, medium_graph):
+        sg, mask = build_sampled_graph(medium_graph, 150, seed=1)
+        assert sg.num_edges <= 150
+        assert sg.num_edges == int(mask.sum())
+
+    def test_reaches_budget_on_connected_graph(self, medium_graph):
+        sg, _ = build_sampled_graph(medium_graph, 150, seed=1)
+        assert sg.num_edges == 150
+
+    def test_zero_budget(self, medium_graph):
+        sg, mask = build_sampled_graph(medium_graph, 0, seed=1)
+        assert sg.num_edges == 0
+
+    def test_negative_budget(self, medium_graph):
+        with pytest.raises(ValueError):
+            build_sampled_graph(medium_graph, -5)
+
+    def test_deterministic_with_seed(self, medium_graph):
+        a, _ = build_sampled_graph(medium_graph, 100, seed=9)
+        b, _ = build_sampled_graph(medium_graph, 100, seed=9)
+        assert a == b
+
+    def test_edges_are_real(self, medium_graph):
+        sg, _ = build_sampled_graph(medium_graph, 100, seed=2)
+        full = set((u, v) for u, v, _ in medium_graph.iter_edges())
+        assert all((u, v) in full for u, v, _ in sg.iter_edges())
+
+    def test_terminates_when_budget_unreachable(self):
+        """A 3-edge path cannot fill a 100-edge budget; must not hang."""
+        g = path_graph(4)
+        sg, _ = build_sampled_graph(g, 100, seed=3, walk_length=5)
+        assert sg.num_edges <= 3
+
+    def test_all_vertices_kept(self, medium_graph):
+        sg, _ = build_sampled_graph(medium_graph, 50, seed=4)
+        assert sg.num_vertices == medium_graph.num_vertices
+
+    def test_dead_end_restart(self):
+        """Walks on a DAG with sinks must restart and still collect edges."""
+        from repro.graph.builder import from_edges
+
+        g = from_edges([(0, 1, 1.0), (2, 3, 1.0), (4, 0, 1.0)], num_vertices=5)
+        sg, _ = build_sampled_graph(g, 3, seed=5, walk_length=2)
+        assert sg.num_edges == 3

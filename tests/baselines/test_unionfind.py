@@ -1,0 +1,48 @@
+"""Tests for the union-find structure."""
+
+import pytest
+
+from repro.baselines.unionfind import UnionFind
+
+
+def test_initially_disjoint():
+    uf = UnionFind(4)
+    assert uf.num_components == 4
+    assert not uf.connected(0, 1)
+
+
+def test_union_merges():
+    uf = UnionFind(4)
+    assert uf.union(0, 1)
+    assert uf.connected(0, 1)
+    assert uf.num_components == 3
+
+
+def test_union_idempotent():
+    uf = UnionFind(4)
+    uf.union(0, 1)
+    assert not uf.union(1, 0)
+    assert uf.num_components == 3
+
+
+def test_transitive():
+    uf = UnionFind(5)
+    uf.union(0, 1)
+    uf.union(1, 2)
+    uf.union(3, 4)
+    assert uf.connected(0, 2)
+    assert not uf.connected(2, 3)
+    assert uf.num_components == 2
+
+
+def test_chain_path_compression():
+    uf = UnionFind(100)
+    for i in range(99):
+        uf.union(i, i + 1)
+    assert uf.num_components == 1
+    assert uf.connected(0, 99)
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        UnionFind(-1)

@@ -1,0 +1,49 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.example import example_graph
+from repro.generators.random_graphs import random_weighted_graph
+from repro.graph.builder import from_edges
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def tiny_graph():
+    """A 5-vertex weighted graph with one unreachable vertex (4)."""
+    return from_edges(
+        [
+            (0, 1, 2.0),
+            (0, 2, 5.0),
+            (1, 2, 1.0),
+            (2, 3, 2.0),
+            (1, 3, 7.0),
+            (3, 0, 1.0),
+        ],
+        num_vertices=5,
+    )
+
+
+@pytest.fixture
+def paper_graph():
+    """The paper's 9-vertex worked example (Figure 4)."""
+    return example_graph()
+
+
+@pytest.fixture
+def medium_graph():
+    """A ~300-vertex random weighted graph for cross-checks."""
+    return random_weighted_graph(300, 2400, seed=7)
+
+
+@pytest.fixture(params=[0, 1, 2])
+def seeded_medium_graph(request):
+    """Three differently-seeded random graphs for differential tests."""
+    return random_weighted_graph(200, 1500, seed=100 + request.param)

@@ -1,0 +1,86 @@
+"""Tests for the core-graph advisor: recommends CGs exactly where the
+paper says they work (power-law) and not where they don't (lattices)."""
+
+import numpy as np
+import pytest
+
+from repro.core.advisor import CoreGraphAdvisor
+from repro.core.identify import build_core_graph
+from repro.core.twophase import TwoPhaseResult
+from repro.engines.frontier import evaluate_query
+from repro.generators.random_graphs import lattice_graph
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import SSSP
+
+
+@pytest.fixture(scope="module")
+def powerlaw():
+    g = ligra_weights(rmat(10, 10, seed=97), seed=98)
+    return g, build_core_graph(g, SSSP, num_hubs=10)
+
+
+@pytest.fixture(scope="module")
+def lattice():
+    g = lattice_graph(24, 24, seed=99)
+    return g, build_core_graph(g, SSSP, num_hubs=10)
+
+
+class TestCalibration:
+    def test_requires_calibration(self, powerlaw):
+        g, cg = powerlaw
+        advisor = CoreGraphAdvisor(g, cg, SSSP)
+        with pytest.raises(RuntimeError):
+            advisor.recommends_core_graph
+
+    def test_needs_sources(self, powerlaw):
+        g, cg = powerlaw
+        with pytest.raises(ValueError):
+            CoreGraphAdvisor(g, cg, SSSP).calibrate([])
+
+    def test_margin_validated(self, powerlaw):
+        g, cg = powerlaw
+        with pytest.raises(ValueError):
+            CoreGraphAdvisor(g, cg, SSSP, margin=0)
+
+    def test_calibration_profile(self, powerlaw):
+        g, cg = powerlaw
+        advisor = CoreGraphAdvisor(g, cg, SSSP)
+        cal = advisor.calibrate([1, 2, 3])
+        assert cal.samples == 3
+        assert cal.avg_direct_edges > 0
+        assert 0 <= cal.avg_precision_pct <= 100
+
+
+class TestRecommendations:
+    def test_powerlaw_recommends_cg(self, powerlaw):
+        g, cg = powerlaw
+        advisor = CoreGraphAdvisor(g, cg, SSSP)
+        advisor.calibrate([1, 2, 3])
+        assert advisor.recommends_core_graph
+        assert "use CG" in repr(advisor)
+
+    def test_lattice_recommends_direct(self, lattice):
+        """§2.1 Limitations: lattice CGs keep most edges with low
+        precision — the advisor must decline them."""
+        g, cg = lattice
+        advisor = CoreGraphAdvisor(g, cg, SSSP)
+        cal = advisor.calibrate([1, 50, 400])
+        assert cal.avg_precision_pct < 90.0
+        assert not advisor.recommends_core_graph
+        assert "go direct" in repr(advisor)
+
+    def test_answer_follows_recommendation(self, powerlaw, lattice):
+        g, cg = powerlaw
+        advisor = CoreGraphAdvisor(g, cg, SSSP)
+        advisor.calibrate([1, 2])
+        out = advisor.answer(5)
+        assert isinstance(out, TwoPhaseResult)
+        assert np.array_equal(out.values, evaluate_query(g, SSSP, 5))
+
+        g2, cg2 = lattice
+        advisor2 = CoreGraphAdvisor(g2, cg2, SSSP)
+        advisor2.calibrate([1, 50])
+        out2 = advisor2.answer(5)
+        assert isinstance(out2, np.ndarray)
+        assert np.array_equal(out2, evaluate_query(g2, SSSP, 5))

@@ -1,0 +1,74 @@
+"""Tests for the additional-connectivity pass (Algorithm 1 lines 8-12)."""
+
+import numpy as np
+import pytest
+
+from repro.core.connectivity import add_connectivity_edges
+from repro.graph.builder import from_edges
+from repro.queries.specs import REACH, SSSP, SSWP
+
+
+@pytest.fixture
+def fork():
+    """Vertex 0 with three out-edges of distinct weights."""
+    return from_edges(
+        [(0, 1, 5.0), (0, 2, 1.0), (0, 3, 9.0), (1, 2, 1.0)], num_vertices=4
+    )
+
+
+class TestPick:
+    def test_min_weight_for_sssp(self, fork):
+        mask = np.zeros(fork.num_edges, dtype=bool)
+        added = add_connectivity_edges(fork, mask, SSSP)
+        assert added == 2  # vertices 0 and 1
+        kept = set(
+            (int(u), int(v))
+            for u, v in zip(fork.edge_sources()[mask], fork.dst[mask])
+        )
+        assert (0, 2) in kept  # the weight-1 edge
+
+    def test_max_weight_for_sswp(self, fork):
+        mask = np.zeros(fork.num_edges, dtype=bool)
+        add_connectivity_edges(fork, mask, SSWP)
+        kept = set(
+            (int(u), int(v))
+            for u, v in zip(fork.edge_sources()[mask], fork.dst[mask])
+        )
+        assert (0, 3) in kept  # the weight-9 edge
+
+    def test_any_for_reach(self, fork):
+        mask = np.zeros(fork.num_edges, dtype=bool)
+        added = add_connectivity_edges(fork, mask, REACH)
+        assert added == 2
+
+
+class TestCoverage:
+    def test_vertices_with_cg_edges_untouched(self, fork):
+        mask = np.zeros(fork.num_edges, dtype=bool)
+        mask[0] = True  # vertex 0 already has an out-edge
+        added = add_connectivity_edges(fork, mask, SSSP)
+        assert added == 1  # only vertex 1 needed one
+
+    def test_zero_out_degree_skipped(self):
+        g = from_edges([(0, 1, 1.0)], num_vertices=3)
+        mask = np.zeros(1, dtype=bool)
+        added = add_connectivity_edges(g, mask, SSSP)
+        assert added == 1  # vertices 1 and 2 have no out-edges at all
+
+    def test_every_nonzero_outdeg_vertex_covered(self, medium_graph):
+        mask = np.zeros(medium_graph.num_edges, dtype=bool)
+        add_connectivity_edges(medium_graph, mask, SSSP)
+        src_with_edge = set(medium_graph.edge_sources()[mask].tolist())
+        for u in range(medium_graph.num_vertices):
+            if medium_graph.out_degree(u) > 0:
+                assert u in src_with_edge
+
+    def test_idempotent(self, fork):
+        mask = np.zeros(fork.num_edges, dtype=bool)
+        add_connectivity_edges(fork, mask, SSSP)
+        again = add_connectivity_edges(fork, mask, SSSP)
+        assert again == 0
+
+    def test_bad_mask_shape(self, fork):
+        with pytest.raises(ValueError):
+            add_connectivity_edges(fork, np.zeros(2, dtype=bool), SSSP)

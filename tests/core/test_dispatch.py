@@ -1,0 +1,38 @@
+"""Tests for the CG-building dispatch (Algorithm 1 vs Algorithm 2)."""
+
+import pytest
+
+from repro.core.dispatch import build_cg
+from repro.queries.specs import REACH, SSSP, WCC
+
+
+def test_weighted_gets_algorithm1(medium_graph):
+    cg = build_cg(medium_graph, SSSP, num_hubs=3)
+    assert cg.spec_name == "SSSP"
+    assert len(cg.hub_data) == 3  # Algorithm 1 retains hub values
+
+
+def test_reach_gets_algorithm2(medium_graph):
+    cg = build_cg(medium_graph, REACH, num_hubs=3)
+    assert cg.spec_name == "REACH"
+    assert cg.hub_data == []  # Algorithm 2 has no hub values
+
+
+def test_wcc_resolves_to_reach(medium_graph):
+    cg = build_cg(medium_graph, WCC, num_hubs=3)
+    assert cg.spec_name == "REACH"
+
+
+def test_algorithm1_options_pass_through(medium_graph):
+    cg = build_cg(medium_graph, SSSP, num_hubs=4, track_growth=True)
+    assert cg.growth.size == 4
+
+
+def test_algorithm2_rejects_weighted_options(medium_graph):
+    with pytest.raises(TypeError):
+        build_cg(medium_graph, REACH, num_hubs=2, track_selection=True)
+
+
+def test_algorithm2_growth_supported(medium_graph):
+    cg = build_cg(medium_graph, REACH, num_hubs=4, track_growth=True)
+    assert cg.growth.size == 4

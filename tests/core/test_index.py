@@ -1,0 +1,71 @@
+"""Tests for the CoreGraphIndex."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CoreGraphIndex
+from repro.engines.frontier import evaluate_query
+from repro.graph.builder import from_edges
+from repro.queries.specs import REACH, SSSP, WCC
+
+
+@pytest.fixture(scope="module")
+def index():
+    from repro.generators.rmat import rmat
+    from repro.graph.weights import ligra_weights
+
+    g = ligra_weights(rmat(8, 8, seed=77), seed=78)
+    return CoreGraphIndex(g, num_hubs=5)
+
+
+class TestBuilding:
+    def test_lazy_and_cached(self, index):
+        cg1 = index.core_graph("SSSP")
+        cg2 = index.core_graph(SSSP)
+        assert cg1 is cg2
+        assert "SSSP" in repr(index)
+
+    def test_wcc_and_reach_share(self, index):
+        assert index.core_graph(WCC) is index.core_graph(REACH)
+
+    def test_build_all_distinct_count(self, index):
+        index.build_all()
+        # four specialized + one general
+        assert len(index.built) == 5
+
+
+class TestAnswer:
+    def test_exact_for_all_kinds(self, index):
+        from repro.queries.registry import get_spec
+
+        g = index.g
+        for spec_name in ("SSSP", "SSNP", "Viterbi", "SSWP", "REACH"):
+            res = index.answer(spec_name, 3)
+            truth = evaluate_query(g, get_spec(spec_name), 3)
+            assert np.array_equal(res.values, truth)
+
+    def test_wcc(self, index):
+        res = index.answer("WCC")
+        assert np.array_equal(res.values, evaluate_query(index.g, WCC))
+
+    def test_triangle_default_on_supported(self, index):
+        res = index.answer("SSWP", 3)
+        assert res.certified_precise >= 0  # triangle path exercised
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path, index):
+        index.build_all()
+        directory = index.save(tmp_path)
+        loaded = CoreGraphIndex.load(index.g, directory, num_hubs=5)
+        assert set(loaded.built) == set(index.built)
+        res = loaded.answer("SSSP", 3)
+        truth = evaluate_query(index.g, SSSP, 3)
+        assert np.array_equal(res.values, truth)
+
+    def test_load_rejects_foreign_graph(self, tmp_path, index):
+        index.core_graph("SSSP")
+        directory = index.save(tmp_path)
+        other = from_edges([(0, 1, 1.0)], num_vertices=2)
+        with pytest.raises(ValueError):
+            CoreGraphIndex.load(other, directory)

@@ -1,0 +1,46 @@
+"""Tests for the PageRank warm-start study (the paper's open problem)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.nonmonotonic import bootstrap_pagerank
+from repro.graph.builder import from_edges
+from repro.queries.specs import SSSP
+
+
+@pytest.fixture(scope="module")
+def setup():
+    from repro.generators.random_graphs import random_weighted_graph
+
+    g = random_weighted_graph(300, 2500, seed=83)
+    cg = build_core_graph(g, SSSP, num_hubs=8)
+    return g, cg
+
+
+def test_warm_start_converges_to_same_fixed_point(setup):
+    g, cg = setup
+    study = bootstrap_pagerank(g, cg, tol=1e-12)
+    assert study.cold.converged and study.warm.converged
+    assert study.final_divergence_l1 < 1e-8
+
+
+def test_phase1_is_not_the_answer(setup):
+    """The core-phase ranks differ from the true ranks — no exactness
+    guarantee exists for non-monotonic algorithms (paper §2.1)."""
+    g, cg = setup
+    study = bootstrap_pagerank(g, cg, tol=1e-12)
+    assert study.phase1_error_l1 > 10 * study.final_divergence_l1
+
+
+def test_warm_start_saves_iterations(setup):
+    g, cg = setup
+    study = bootstrap_pagerank(g, cg, tol=1e-10)
+    assert study.iterations_saved >= 0
+
+
+def test_vertex_set_checked(setup):
+    g, _ = setup
+    small = from_edges([(0, 1)], num_vertices=2)
+    with pytest.raises(ValueError):
+        bootstrap_pagerank(g, small)

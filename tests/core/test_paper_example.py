@@ -1,0 +1,97 @@
+"""Cell-for-cell reproduction of the paper's worked example (Table 2, Fig 4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.twophase import two_phase
+from repro.datasets.example import (
+    EXAMPLE_HUB,
+    PAPER_CG_DISTANCES,
+    PAPER_G_DISTANCES,
+    example_core_graph,
+    example_core_graph_edges,
+    example_graph,
+)
+from repro.engines.frontier import evaluate_query
+from repro.queries.specs import SSSP
+
+
+@pytest.fixture(scope="module")
+def g():
+    return example_graph()
+
+
+@pytest.fixture(scope="module")
+def cg(g):
+    return build_core_graph(g, SSSP, hubs=[EXAMPLE_HUB], connectivity=False)
+
+
+class TestFullGraph:
+    def test_shape(self, g):
+        assert g.num_vertices == 9
+        assert g.num_edges == 17
+
+    @pytest.mark.parametrize("source", range(9))
+    def test_apsp_matches_table2_top(self, g, source):
+        vals = evaluate_query(g, SSSP, source)
+        assert np.array_equal(vals, PAPER_G_DISTANCES[source])
+
+
+class TestCoreGraphIdentification:
+    def test_exactly_eight_edges(self, cg):
+        assert cg.num_edges == 8
+
+    def test_edge_set_matches_figure4d(self, cg):
+        assert set(cg.graph.iter_edges()) == set(example_core_graph_edges())
+
+    def test_matches_standalone_example_cg(self, cg):
+        assert cg.graph == example_core_graph()
+
+    def test_forward_edges_match_figure4b(self, g):
+        """SSSP(7, forward) must select exactly 7->3, 7->6, 3->4, 4->5."""
+        from repro.core.identify import solution_edge_mask
+
+        vals = evaluate_query(g, SSSP, EXAMPLE_HUB)
+        mask = solution_edge_mask(g, SSSP, vals)
+        src = g.edge_sources()
+        found = {
+            (int(u), int(v))
+            for u, v in zip(src[mask], g.dst[mask])
+        }
+        assert found == {(6, 2), (6, 5), (2, 3), (3, 4)}
+
+    @pytest.mark.parametrize("source", range(9))
+    def test_apsp_matches_table2_bottom(self, cg, source):
+        vals = evaluate_query(cg.graph, SSSP, source)
+        assert np.array_equal(vals, PAPER_CG_DISTANCES[source])
+
+    def test_four_imprecise_cells_as_paper_says(self, cg):
+        """Only SSSP(6) rows 4,5 and SSSP(8) rows 5,6 differ (red cells)."""
+        diff = PAPER_G_DISTANCES != PAPER_CG_DISTANCES
+        mismatches = {(int(i) + 1, int(j) + 1) for i, j in zip(*np.where(diff))}
+        assert mismatches == {(6, 4), (6, 5), (8, 5), (8, 6)}
+
+
+class TestConnectivityNarrative:
+    def test_lowest_weight_out_edge_of_6_added(self, g):
+        """The paper: vertex 6 gets its lowest-weight out-edge (6->4, w 25)."""
+        cg = build_core_graph(g, SSSP, hubs=[EXAMPLE_HUB], connectivity=True)
+        assert cg.connectivity_edges >= 1
+        assert cg.graph.has_edge(5, 3)  # paper vertices 6 -> 4
+
+    def test_vertex4_becomes_precise_vertex5_imprecise(self, g):
+        """SSSP(6) on CG+connectivity: 4 -> 25 (precise), 5 -> 29 (imprecise)."""
+        cg = build_core_graph(g, SSSP, hubs=[EXAMPLE_HUB], connectivity=True)
+        vals = evaluate_query(cg.graph, SSSP, 5)  # paper source 6
+        assert vals[3] == 25.0
+        assert vals[4] == 29.0
+        assert PAPER_G_DISTANCES[5][4] == 27.0  # true value
+
+
+class TestTwoPhaseOnExample:
+    @pytest.mark.parametrize("source", range(9))
+    @pytest.mark.parametrize("triangle", [False, True])
+    def test_two_phase_exact(self, g, cg, source, triangle):
+        res = two_phase(g, cg, SSSP, source, triangle=triangle)
+        assert np.array_equal(res.values, PAPER_G_DISTANCES[source])

@@ -1,0 +1,94 @@
+"""Tests for the point-to-point query implementations (related work, §4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.pointtopoint import (
+    bidirectional_sssp,
+    pnp_point_to_point,
+    pnp_prune,
+    point_to_point,
+)
+from repro.engines.frontier import evaluate_query
+from repro.graph.builder import from_edges
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+SPECS = (SSSP, SSNP, SSWP, VITERBI, REACH)
+
+
+class TestPointToPoint:
+    @pytest.mark.parametrize("spec", SPECS, ids=lambda s: s.name)
+    def test_matches_full_query(self, spec, medium_graph):
+        truth = evaluate_query(medium_graph, spec, 3)
+        for t in (0, 42, 199):
+            got = point_to_point(medium_graph, spec, 3, t)
+            assert np.isclose(got, truth[t]) or (
+                np.isinf(got) and np.isinf(truth[t])
+            )
+
+    def test_unreachable_target(self, tiny_graph):
+        assert np.isinf(point_to_point(tiny_graph, SSSP, 0, 4))
+
+    def test_wcc_rejected(self, medium_graph):
+        with pytest.raises(ValueError):
+            point_to_point(medium_graph, WCC, 0, 1)
+
+
+class TestPnp:
+    def test_prune_keeps_path_vertices(self):
+        # 0 -> 1 -> 2, plus a branch 0 -> 3 not leading to 2
+        g = from_edges(
+            [(0, 1, 1.0), (1, 2, 1.0), (0, 3, 1.0)], num_vertices=4
+        )
+        mask = pnp_prune(g, 0, 2)
+        assert list(mask) == [True, True, True, False]
+
+    @pytest.mark.parametrize("spec", (SSSP, SSWP), ids=lambda s: s.name)
+    def test_pruned_value_exact(self, spec, medium_graph):
+        truth = evaluate_query(medium_graph, spec, 3)
+        for t in (42, 199):
+            got, pruned = pnp_point_to_point(medium_graph, spec, 3, t)
+            assert pruned >= 0
+            assert np.isclose(got, truth[t]) or (
+                np.isinf(got) and np.isinf(truth[t])
+            )
+
+    def test_unreachable_returns_init(self, tiny_graph):
+        got, pruned = pnp_point_to_point(tiny_graph, SSSP, 0, 4)
+        assert np.isinf(got)
+        assert pruned == tiny_graph.num_edges
+
+    def test_pruning_removes_edges(self, paper_graph):
+        from repro.datasets.example import PAPER_G_DISTANCES
+
+        # paper vertices 1 -> 7: only the 1->9->2->7 corridor is on-path
+        got, pruned = pnp_point_to_point(paper_graph, SSSP, 0, 6)
+        assert got == PAPER_G_DISTANCES[0][6] == 18.0
+        assert pruned > 0
+
+
+class TestBidirectional:
+    def test_matches_dijkstra(self, medium_graph):
+        truth = evaluate_query(medium_graph, SSSP, 3)
+        for t in (0, 42, 199):
+            got = bidirectional_sssp(medium_graph, 3, t)
+            assert np.isclose(got, truth[t]) or (
+                np.isinf(got) and np.isinf(truth[t])
+            )
+
+    def test_same_vertex(self, medium_graph):
+        assert bidirectional_sssp(medium_graph, 5, 5) == 0.0
+
+    def test_unreachable(self, tiny_graph):
+        assert np.isinf(bidirectional_sssp(tiny_graph, 0, 4))
+
+    def test_paper_example(self, paper_graph):
+        from repro.datasets.example import PAPER_G_DISTANCES
+
+        for s in range(9):
+            for t in range(9):
+                got = bidirectional_sssp(paper_graph, s, t)
+                expected = PAPER_G_DISTANCES[s][t]
+                assert got == expected or (
+                    np.isinf(got) and np.isinf(expected)
+                )

@@ -1,0 +1,68 @@
+"""Tests for precision measurement."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.precision import PrecisionReport, compare_values, measure_precision
+from repro.graph.builder import from_edges
+from repro.graph.transform import edge_subgraph
+from repro.queries.specs import SSSP, WCC
+
+
+class TestCompareValues:
+    def test_equal_and_inf(self):
+        a = np.array([1.0, np.inf, 3.0])
+        b = np.array([1.0, np.inf, 4.0])
+        assert list(compare_values(SSSP, a, b)) == [True, True, False]
+
+
+class TestMeasure:
+    def test_full_graph_as_proxy_is_perfect(self, medium_graph):
+        rep = measure_precision(medium_graph, medium_graph, SSSP, [0, 1, 2])
+        assert rep.pct_precise == 100.0
+        assert rep.max_imprecise == 0
+        assert rep.avg_error_pct == 0.0
+
+    def test_known_imprecision(self):
+        # 0->1 (w1), 0->2 via 1 (w1) or direct (w5); drop edge 1->2:
+        # proxy value at 2 becomes 5 instead of 2 -> one imprecise vertex.
+        g = from_edges([(0, 1, 1.0), (1, 2, 1.0), (0, 2, 5.0)], num_vertices=3)
+        mask = np.array([True, True, False])  # CSR order: (0,1),(0,2),(1,2)
+        # determine actual csr order
+        edges = list(g.iter_edges())
+        mask = np.array([(u, v) != (1, 2) for u, v, _ in edges])
+        proxy = edge_subgraph(g, mask)
+        rep = measure_precision(g, proxy, SSSP, [0])
+        assert rep.max_imprecise == 1
+        assert np.isclose(rep.pct_precise, 100.0 * 2 / 3)
+        # error: |5-2|/2 = 150%
+        assert np.isclose(rep.avg_error_pct, 150.0)
+
+    def test_cg_precision_high_on_random(self, medium_graph):
+        cg = build_core_graph(medium_graph, SSSP, num_hubs=8)
+        rep = measure_precision(medium_graph, cg, SSSP, [0, 5, 9])
+        assert rep.pct_precise > 70.0
+        assert len(rep.per_query_pct) == 3
+
+    def test_wcc_ignores_sources(self, medium_graph):
+        rep = measure_precision(medium_graph, medium_graph, WCC)
+        assert rep.num_queries == 1
+        assert rep.pct_precise == 100.0
+
+    def test_sources_required_for_single_source(self, medium_graph):
+        with pytest.raises(ValueError):
+            measure_precision(medium_graph, medium_graph, SSSP)
+
+    def test_precomputed_truth(self, medium_graph):
+        from repro.engines.frontier import evaluate_query
+
+        truths = [evaluate_query(medium_graph, SSSP, s) for s in (0, 1)]
+        rep = measure_precision(
+            medium_graph, medium_graph, SSSP, [0, 1], true_values=truths
+        )
+        assert rep.pct_precise == 100.0
+
+    def test_str(self):
+        rep = PrecisionReport("SSSP", 3, 99.5, 2, 1.25)
+        assert "SSSP" in str(rep) and "99.5" in str(rep)

@@ -1,0 +1,71 @@
+"""Tests for the memoized query result store."""
+
+import numpy as np
+import pytest
+
+from repro.core.index import CoreGraphIndex
+from repro.core.resultstore import QueryResultStore
+from repro.engines.frontier import evaluate_query
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import SSSP, WCC
+
+
+@pytest.fixture(scope="module")
+def store():
+    g = ligra_weights(rmat(8, 8, seed=151), seed=152)
+    return QueryResultStore(CoreGraphIndex(g, num_hubs=4), capacity=3)
+
+
+def test_answers_exact(store):
+    g = store.index.g
+    values = store.query("SSSP", 5)
+    assert np.array_equal(values, evaluate_query(g, SSSP, 5))
+
+
+def test_repeat_is_hit(store):
+    store.query("SSSP", 6)
+    before = store.stats.hits
+    again = store.query("SSSP", 6)
+    assert store.stats.hits == before + 1
+    assert again is store.query("SSSP", 6)
+
+
+def test_results_read_only(store):
+    values = store.query("SSSP", 7)
+    with pytest.raises(ValueError):
+        values[0] = -1
+
+
+def test_wcc_keyed_without_source(store):
+    a = store.query("WCC")
+    b = store.query("WCC")
+    assert a is b
+    assert np.array_equal(a, evaluate_query(store.index.g, WCC))
+
+
+def test_lru_eviction(store):
+    store.invalidate()
+    for s in (1, 2, 3, 4):  # capacity 3: source 1 evicted
+        store.query("SSSP", s)
+    assert len(store) == 3
+    assert store.stats.evictions >= 1
+    before = store.stats.misses
+    store.query("SSSP", 1)
+    assert store.stats.misses == before + 1
+
+
+def test_invalidate(store):
+    store.query("SSSP", 9)
+    assert store.invalidate() >= 1
+    assert len(store) == 0
+
+
+def test_capacity_validated(store):
+    with pytest.raises(ValueError):
+        QueryResultStore(store.index, capacity=0)
+
+
+def test_repr(store):
+    store.query("SSSP", 2)
+    assert "hit rate" in repr(store)

@@ -1,0 +1,80 @@
+"""Tests for Theorem 1 certificates: soundness on every supported query."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.triangle import certify_precise, supports_triangle
+from repro.core.unweighted import build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.generators.random_graphs import random_weighted_graph
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+WEIGHTED = (SSSP, SSNP, SSWP, VITERBI)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = random_weighted_graph(220, 1800, seed=41)
+    cgs = {s.name: build_core_graph(g, s, num_hubs=6) for s in WEIGHTED}
+    cgs["REACH"] = build_unweighted_core_graph(g, num_hubs=6)
+    return g, cgs
+
+
+class TestSupport:
+    def test_supported_set(self):
+        for spec in WEIGHTED + (REACH,):
+            assert supports_triangle(spec)
+        assert not supports_triangle(WCC)
+
+    def test_wcc_rejected(self, setup):
+        g, cgs = setup
+        with pytest.raises(ValueError):
+            certify_precise(cgs["REACH"], WCC, 0, np.zeros(g.num_vertices))
+
+
+class TestSoundness:
+    """A certificate must never mark an imprecise vertex as precise."""
+
+    @pytest.mark.parametrize("spec", WEIGHTED, ids=lambda s: s.name)
+    @pytest.mark.parametrize("source", [2, 55, 130])
+    def test_certified_implies_precise(self, setup, spec, source):
+        g, cgs = setup
+        cg = cgs[spec.name]
+        cg_vals = evaluate_query(cg.graph, spec, source)
+        truth = evaluate_query(g, spec, source)
+        certified = certify_precise(cg, spec, source, cg_vals)
+        precise = spec.values_equal(cg_vals, truth)
+        assert not np.any(certified & ~precise)
+
+    @pytest.mark.parametrize("source", [2, 55, 130])
+    def test_reach_certificates(self, setup, source):
+        g, cgs = setup
+        cg = cgs["REACH"]
+        cg_vals = evaluate_query(cg.graph, REACH, source)
+        truth = evaluate_query(g, REACH, source)
+        certified = certify_precise(cg, REACH, source, cg_vals)
+        assert np.array_equal(certified, cg_vals == 1.0)
+        assert not np.any(certified & (truth != cg_vals))
+
+
+class TestUsefulness:
+    def test_hub_as_source_fully_certified_sssp(self, setup):
+        """Querying from a hub itself: every CG-reached vertex should carry
+        a certificate (cg == F[v] - F[h] with F[h] = 0)."""
+        g, cgs = setup
+        cg = cgs["SSSP"]
+        hub = int(cg.hubs[0])
+        cg_vals = evaluate_query(cg.graph, SSSP, hub)
+        certified = certify_precise(cg, SSSP, hub, cg_vals)
+        reached = SSSP.reached(cg_vals)
+        assert np.array_equal(certified & reached, reached)
+
+    @pytest.mark.parametrize("spec", (SSNP, SSWP), ids=lambda s: s.name)
+    def test_nontrivial_certificates_found(self, setup, spec):
+        g, cgs = setup
+        certified = certify_precise(
+            cgs[spec.name], spec, 7,
+            evaluate_query(cgs[spec.name].graph, spec, 7),
+        )
+        assert certified.sum() > 0

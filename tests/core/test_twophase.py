@@ -1,0 +1,142 @@
+"""Tests for the 2Phase evaluation (Algorithm 3): the 100%-precision
+guarantee and the work split between phases."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abstraction import build_abstraction_graph
+from repro.baselines.sampled import build_sampled_graph
+from repro.core.dispatch import build_cg
+from repro.core.identify import build_core_graph
+from repro.core.twophase import two_phase
+from repro.core.unweighted import build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.engines.stats import RunStats
+from repro.graph.builder import from_edges
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+WEIGHTED = (SSSP, SSNP, SSWP, VITERBI)
+
+
+@pytest.fixture(scope="module")
+def graph_and_cgs(request):
+    from repro.generators.random_graphs import random_weighted_graph
+
+    g = random_weighted_graph(250, 2000, seed=31)
+    cgs = {spec.name: build_core_graph(g, spec, num_hubs=5) for spec in WEIGHTED}
+    cgs["REACH"] = build_unweighted_core_graph(g, num_hubs=5)
+    return g, cgs
+
+
+class TestExactness:
+    @pytest.mark.parametrize("spec", WEIGHTED, ids=lambda s: s.name)
+    @pytest.mark.parametrize("source", [0, 17, 111])
+    def test_weighted_queries_exact(self, graph_and_cgs, spec, source):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs[spec.name], spec, source)
+        truth = evaluate_query(g, spec, source)
+        assert np.array_equal(res.values, truth)
+
+    @pytest.mark.parametrize("source", [0, 17, 111])
+    def test_reach_exact(self, graph_and_cgs, source):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs["REACH"], REACH, source)
+        assert np.array_equal(res.values, evaluate_query(g, REACH, source))
+
+    def test_wcc_exact_on_general_cg(self, graph_and_cgs):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs["REACH"], WCC)
+        assert np.array_equal(res.values, evaluate_query(g, WCC))
+
+    @pytest.mark.parametrize("spec", WEIGHTED, ids=lambda s: s.name)
+    def test_triangle_variant_exact(self, graph_and_cgs, spec):
+        g, cgs = graph_and_cgs
+        for source in (3, 77):
+            res = two_phase(g, cgs[spec.name], spec, source, triangle=True)
+            truth = evaluate_query(g, spec, source)
+            assert np.array_equal(res.values, truth)
+
+    def test_exact_even_with_bad_proxy(self, graph_and_cgs):
+        """The completion phase repairs arbitrarily bad proxies (AG/SG)."""
+        g, _ = graph_and_cgs
+        ag, _ = build_abstraction_graph(g, g.num_edges // 10)
+        sg, _ = build_sampled_graph(g, g.num_edges // 10, seed=1)
+        for proxy in (ag, sg):
+            res = two_phase(g, proxy, SSSP, 5)
+            assert np.array_equal(res.values, evaluate_query(g, SSSP, 5))
+
+    def test_exact_with_empty_proxy(self, graph_and_cgs):
+        g, _ = graph_and_cgs
+        empty = from_edges([], num_vertices=g.num_vertices)
+        from repro.graph.transform import with_weights
+
+        empty = with_weights(empty, np.empty(0))
+        res = two_phase(g, empty, SSSP, 5)
+        assert np.array_equal(res.values, evaluate_query(g, SSSP, 5))
+
+
+class TestWorkSplit:
+    def test_phase1_runs_on_cg_only(self, graph_and_cgs):
+        g, cgs = graph_and_cgs
+        cg = cgs["SSSP"]
+        res = two_phase(g, cg, SSSP, 0)
+        # Phase 1 cannot process more edge-visits per iteration than the CG has.
+        for info in res.phase1.per_iteration:
+            assert info.edges_scanned <= cg.num_edges
+
+    def test_impacted_counts_reached(self, graph_and_cgs):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs["SSSP"], SSSP, 0)
+        cg_vals = evaluate_query(cgs["SSSP"].graph, SSSP, 0)
+        assert res.impacted == int(SSSP.reached(cg_vals).sum())
+
+    def test_total_stats_merge(self, graph_and_cgs):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs["SSSP"], SSSP, 0)
+        assert res.total.iterations == (
+            res.phase1.iterations + res.phase2.iterations
+        )
+        assert res.total.edges_processed == (
+            res.phase1.edges_processed + res.phase2.edges_processed
+        )
+
+    def test_reach_completion_phase_is_cheap(self, graph_and_cgs):
+        """Saturation blocks in-edges of reached vertices: REACH's phase 2
+        must process far fewer edges than the baseline run."""
+        g, cgs = graph_and_cgs
+        baseline = RunStats()
+        evaluate_query(g, REACH, 0, stats=baseline)
+        res = two_phase(g, cgs["REACH"], REACH, 0)
+        assert res.phase2.edges_processed < baseline.edges_processed / 2
+
+    def test_certified_counted(self, graph_and_cgs):
+        g, cgs = graph_and_cgs
+        res = two_phase(g, cgs["SSWP"], SSWP, 0, triangle=True)
+        assert res.certified_precise > 0
+
+
+class TestValidation:
+    def test_vertex_set_mismatch(self, graph_and_cgs):
+        g, _ = graph_and_cgs
+        small = from_edges([(0, 1, 1.0)], num_vertices=2)
+        with pytest.raises(ValueError, match="vertex set"):
+            two_phase(g, small, SSSP, 0)
+
+    def test_triangle_needs_coregraph(self, graph_and_cgs):
+        g, _ = graph_and_cgs
+        ag, _ = build_abstraction_graph(g, 100)
+        with pytest.raises(ValueError, match="CoreGraph"):
+            two_phase(g, ag, SSSP, 0, triangle=True)
+
+    def test_triangle_needs_hub_values(self, graph_and_cgs):
+        g, _ = graph_and_cgs
+        cg = build_core_graph(g, SSSP, num_hubs=2, keep_hub_values=False)
+        with pytest.raises(ValueError, match="hub values"):
+            two_phase(g, cg, SSSP, 0, triangle=True)
+
+    def test_dispatch_builds_general_cg_for_wcc(self, graph_and_cgs):
+        g, _ = graph_and_cgs
+        cg = build_cg(g, WCC, num_hubs=3)
+        assert cg.spec_name == "REACH"
+        res = two_phase(g, cg, WCC)
+        assert np.array_equal(res.values, evaluate_query(g, WCC))

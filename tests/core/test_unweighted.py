@@ -1,0 +1,107 @@
+"""Tests for Algorithm 2 (general core graph via Qid-sharing BFS)."""
+
+import numpy as np
+import pytest
+
+from repro.core.unweighted import _qid_traverse, build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.generators.random_graphs import erdos_renyi, path_graph, star_graph
+from repro.graph.builder import from_edges
+from repro.queries.specs import REACH
+
+
+class TestQidTraverse:
+    def _run(self, g, source, s_id=1, qid=None, mask=None):
+        qid = np.zeros(g.num_vertices, dtype=np.int64) if qid is None else qid
+        mask = np.zeros(g.num_edges, dtype=bool) if mask is None else mask
+        _qid_traverse(g, source, s_id, qid, mask)
+        return qid, mask
+
+    def test_bfs_tree_on_path(self):
+        g = path_graph(5)
+        qid, mask = self._run(g, 0)
+        assert mask.all()  # a path's BFS tree is the path
+        assert np.all(qid == 1)
+
+    def test_one_edge_per_new_vertex(self):
+        # two parallel routes to vertex 2: only the tree edge is kept
+        g = from_edges([(0, 1), (0, 2), (1, 2)], num_vertices=3)
+        qid, mask = self._run(g, 0)
+        assert mask.sum() == 2  # 0->1 and 0->2 (1->2 reaches labelled 2)
+
+    def test_second_query_reuses_subtrees(self):
+        # star from 0; second query from 1 with edge 1->0 connects into
+        # query 1's tree and stops (0's subtree reused).
+        g = from_edges([(0, 1), (0, 2), (0, 3), (1, 0)], num_vertices=4)
+        qid = np.zeros(4, dtype=np.int64)
+        mask = np.zeros(g.num_edges, dtype=bool)
+        _qid_traverse(g, 0, 1, qid, mask)
+        edges_after_first = int(mask.sum())
+        _qid_traverse(g, 1, 2, qid, mask)
+        # second query adds only the connecting edge 1->0
+        assert int(mask.sum()) == edges_after_first + 1
+        assert qid[0] == 1  # label not overwritten
+
+    def test_cross_edges_to_foreign_trees_added(self):
+        # components {0,1} and {2,3}; query 1 covers 2,3; query 2 starts at
+        # 0, reaches 1, and its edge into 2 must be added without traversal.
+        g = from_edges([(2, 3), (0, 1), (1, 2)], num_vertices=4)
+        qid = np.zeros(4, dtype=np.int64)
+        mask = np.zeros(g.num_edges, dtype=bool)
+        _qid_traverse(g, 2, 1, qid, mask)
+        _qid_traverse(g, 0, 2, qid, mask)
+        assert mask.all()
+        assert qid[3] == 1  # still owned by the first query
+
+
+class TestBuildUnweightedCG:
+    def test_preserves_hub_reachability(self, medium_graph):
+        cg = build_unweighted_core_graph(medium_graph, num_hubs=5)
+        for hub in cg.hubs[:2]:
+            truth = evaluate_query(medium_graph, REACH, int(hub))
+            got = evaluate_query(cg.graph, REACH, int(hub))
+            assert np.array_equal(got, truth)
+
+    def test_preserves_backward_hub_reachability(self, medium_graph):
+        cg = build_unweighted_core_graph(medium_graph, num_hubs=5)
+        hub = int(cg.hubs[0])
+        truth = evaluate_query(medium_graph.reverse(), REACH, hub)
+        got = evaluate_query(cg.graph.reverse(), REACH, hub)
+        assert np.array_equal(got, truth)
+
+    def test_is_subgraph(self, medium_graph):
+        cg = build_unweighted_core_graph(medium_graph, num_hubs=4)
+        full_pairs = {(u, v) for u, v, _ in medium_graph.iter_edges()}
+        cg_pairs = {(u, v) for u, v, _ in cg.graph.iter_edges()}
+        assert cg_pairs <= full_pairs
+
+    def test_much_smaller_on_dense_graph(self):
+        g = erdos_renyi(300, 9000, seed=3)
+        cg = build_unweighted_core_graph(g, num_hubs=5, connectivity=False)
+        assert cg.edge_fraction < 0.5
+
+    def test_growth_tracked(self, medium_graph):
+        cg = build_unweighted_core_graph(
+            medium_graph, num_hubs=6, track_growth=True
+        )
+        assert cg.growth.size == 6
+        assert np.all(np.diff(cg.growth) >= 0)
+
+    def test_connectivity_pass(self):
+        # vertex 3 unreached by hub BFS (no in-edges); its out-edge must be
+        # added by the connectivity pass.
+        g = from_edges([(0, 1), (1, 2), (3, 1)], num_vertices=4)
+        cg_with = build_unweighted_core_graph(g, hubs=[0], connectivity=True)
+        cg_without = build_unweighted_core_graph(g, hubs=[0], connectivity=False)
+        # backward traversal from hub 0 finds nothing (0 has no in-edges);
+        # forward finds 0->1->2; 3->1 found by backward from... not from 0.
+        assert cg_with.graph.has_edge(3, 1)
+        assert cg_with.num_edges >= cg_without.num_edges
+
+    def test_spec_name_is_reach(self, medium_graph):
+        cg = build_unweighted_core_graph(medium_graph, num_hubs=2)
+        assert cg.spec_name == "REACH"
+
+    def test_explicit_hubs(self, medium_graph):
+        cg = build_unweighted_core_graph(medium_graph, hubs=[7, 8])
+        assert list(cg.hubs) == [7, 8]

@@ -1,0 +1,78 @@
+"""Tests for the transcribed paper numbers and the rank statistic."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.paper_numbers import (
+    FIG2_SPEEDUPS,
+    GRAPH_ORDER,
+    QUERY_ORDER,
+    TABLE4_CG_SIZES,
+    TABLE5_PRECISION,
+    TABLE9_IO_REDUCTION,
+    TABLE11_EDGES_REDUCTION,
+    TABLE12_TRIANGLE_SPEEDUPS,
+    spearman_rho,
+)
+
+
+class TestTranscriptions:
+    def test_headline_cells(self):
+        # the abstract's headline numbers appear in the right cells
+        assert max(FIG2_SPEEDUPS["Subway"]) == 4.35
+        assert max(FIG2_SPEEDUPS["GridGraph"]) == 13.62
+        assert max(FIG2_SPEEDUPS["Ligra"]) == 9.31
+
+    def test_row_lengths(self):
+        for row in FIG2_SPEEDUPS.values():
+            assert len(row) == len(QUERY_ORDER)
+        for table in (TABLE5_PRECISION, TABLE9_IO_REDUCTION,
+                      TABLE11_EDGES_REDUCTION):
+            assert set(table) == set(GRAPH_ORDER)
+            for row in table.values():
+                assert len(row) == len(QUERY_ORDER)
+        for row in TABLE4_CG_SIZES.values():
+            assert len(row) == 5
+        for row in TABLE12_TRIANGLE_SPEEDUPS.values():
+            assert len(row) == 3
+
+    def test_table4_range_matches_abstract(self):
+        cells = [c for row in TABLE4_CG_SIZES.values() for c in row]
+        assert min(cells) == 5.42
+        assert max(cells) == 21.85
+
+    def test_precision_range_matches_abstract(self):
+        cells = [c for row in TABLE5_PRECISION.values() for c in row]
+        assert min(cells) == 94.5
+        assert max(cells) == 99.9
+
+
+class TestSpearman:
+    def test_perfect_agreement(self):
+        assert spearman_rho([1, 2, 3, 4], [10, 20, 30, 40]) == 1.0
+
+    def test_perfect_reversal(self):
+        assert spearman_rho([1, 2, 3], [3, 2, 1]) == -1.0
+
+    def test_ties_handled(self):
+        rho = spearman_rho([1, 1, 2], [1, 1, 2])
+        assert rho == pytest.approx(1.0)
+
+    def test_constant_is_zero(self):
+        assert spearman_rho([1, 1, 1], [1, 2, 3]) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            spearman_rho([1], [1])
+        with pytest.raises(ValueError):
+            spearman_rho([1, 2], [1, 2, 3])
+
+    def test_matches_scipy(self):
+        from scipy.stats import spearmanr
+
+        rng = np.random.default_rng(3)
+        a = rng.random(30)
+        b = a + rng.normal(0, 0.3, 30)
+        ours = spearman_rho(a, b)
+        theirs = spearmanr(a, b).statistic
+        assert ours == pytest.approx(float(theirs), abs=1e-9)

@@ -1,0 +1,68 @@
+"""Tests for the zoo of scaled stand-in graphs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.stats import gini_coefficient
+from repro.datasets.zoo import (
+    REAL_NAMES,
+    RMAT_NAMES,
+    ZOO,
+    load_zoo_graph,
+    zoo_entry,
+)
+
+
+class TestRegistry:
+    def test_all_names_present(self):
+        assert set(REAL_NAMES) | set(RMAT_NAMES) == set(ZOO)
+
+    def test_lookup_case_insensitive(self):
+        assert zoo_entry("fr").name == "FR"
+
+    def test_unknown(self):
+        with pytest.raises(KeyError):
+            zoo_entry("SNAP")
+
+    def test_paper_sizes_recorded(self):
+        assert zoo_entry("FR").paper_edges == 2_586_147_869
+        assert zoo_entry("PK").paper_vertices == 1_632_804
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        assert load_zoo_graph("PK") == load_zoo_graph("PK")
+
+    def test_size_ordering_preserved(self):
+        sizes = {name: load_zoo_graph(name).num_edges
+                 for name in ("FR", "TT", "TTW", "PK")}
+        assert sizes["FR"] > sizes["TT"] >= sizes["TTW"] > sizes["PK"]
+
+    def test_weight_schemes(self):
+        pk = load_zoo_graph("PK")  # Ligra integers
+        assert pk.weights.min() >= 1
+        assert np.array_equal(pk.weights, np.round(pk.weights))
+        r1 = load_zoo_graph("RMAT1")  # uniform (0, 1]
+        assert 0 < r1.weights.min()
+        assert r1.weights.max() <= 1.0
+
+    def test_rmat_trio_shares_size(self):
+        shapes = {
+            load_zoo_graph(n).num_vertices for n in RMAT_NAMES
+        }
+        assert len(shapes) == 1  # same scale, different (a,b,c,d)
+
+    def test_power_law_skew(self):
+        g = load_zoo_graph("TT")
+        gini = gini_coefficient(g.out_degree() + g.in_degree())
+        assert gini > 0.4  # heavy-tailed, the paper's regime
+
+    def test_scale_delta(self):
+        small = load_zoo_graph("PK", scale_delta=-1)
+        normal = load_zoo_graph("PK", scale_delta=0)
+        assert small.num_vertices * 2 == normal.num_vertices
+
+    def test_scale_delta_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE_DELTA", "-2")
+        small = load_zoo_graph("PK")
+        assert small.num_vertices * 4 == load_zoo_graph("PK", 0).num_vertices

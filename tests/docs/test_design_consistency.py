@@ -1,0 +1,38 @@
+"""Keep DESIGN.md's experiment index consistent with the registry."""
+
+from pathlib import Path
+
+from repro.harness.experiments import EXPERIMENTS
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+def test_every_experiment_has_a_bench_file():
+    bench_dir = REPO_ROOT / "benchmarks"
+    bench_text = "\n".join(
+        p.read_text() for p in bench_dir.glob("bench_*.py")
+    )
+    for exp_id in EXPERIMENTS:
+        assert f'"{exp_id}"' in bench_text, (
+            f"experiment {exp_id} has no benchmark invoking it"
+        )
+
+
+def test_design_mentions_every_experiment_family():
+    text = (REPO_ROOT / "DESIGN.md").read_text()
+    families = {exp.split("_")[0].rstrip("0123456789abc") for exp in EXPERIMENTS}
+    for token in ("fig", "table", "ablation", "suppl"):
+        assert token in families
+    for exp_id in EXPERIMENTS:
+        if exp_id.startswith(("ablation", "suppl")):
+            # beyond-paper entries are indexed individually
+            base = exp_id
+            assert base in text or base.replace("suppl_", "") in text, exp_id
+
+
+def test_experiments_md_covers_every_paper_artifact():
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    for artifact in ("Fig. 2", "Fig. 3", "Table 1", "Table 2", "Fig. 5",
+                     "Table 9", "Table 11", "Table 12", "Tables 13",
+                     "Tables 15", "Table 17", "Fig. 9"):
+        assert artifact in text, artifact

@@ -1,0 +1,40 @@
+"""Tests for the chunked-asynchronous engine."""
+
+import numpy as np
+import pytest
+
+from repro.engines.async_engine import async_evaluate
+from repro.engines.frontier import evaluate_query
+from repro.engines.stats import RunStats
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+ALL = (SSSP, SSNP, SSWP, VITERBI, REACH)
+
+
+@pytest.mark.parametrize("spec", ALL, ids=lambda s: s.name)
+@pytest.mark.parametrize("chunk_size", [1, 7, 10**6])
+def test_converges_to_sync_fixed_point(spec, chunk_size, medium_graph):
+    got = async_evaluate(medium_graph, spec, 3, chunk_size=chunk_size)
+    ref = evaluate_query(medium_graph, spec, 3)
+    assert np.allclose(
+        np.nan_to_num(got, posinf=1e300, neginf=-1e300),
+        np.nan_to_num(ref, posinf=1e300, neginf=-1e300),
+    )
+
+
+def test_wcc_async(medium_graph):
+    got = async_evaluate(medium_graph, WCC, chunk_size=13)
+    assert np.array_equal(got, evaluate_query(medium_graph, WCC))
+
+
+def test_invalid_chunk_size(medium_graph):
+    with pytest.raises(ValueError):
+        async_evaluate(medium_graph, SSSP, 0, chunk_size=0)
+
+
+def test_asynchrony_not_slower_in_rounds(medium_graph):
+    """Immediate visibility can only reduce the number of rounds."""
+    sync_stats, async_stats = RunStats(), RunStats()
+    evaluate_query(medium_graph, SSSP, 3, stats=sync_stats)
+    async_evaluate(medium_graph, SSSP, 3, chunk_size=16, stats=async_stats)
+    assert async_stats.iterations <= sync_stats.iterations

@@ -1,0 +1,44 @@
+"""Smoke tests: every example script runs to completion.
+
+Examples are executed in a subprocess with the zoo scaled down 8x
+(`REPRO_SCALE_DELTA=-3`), so the whole module stays within a couple of
+minutes while still exercising each script's real code path end to end
+(the scripts assert their own correctness claims internally).
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+EXAMPLES = sorted(
+    p.name for p in (REPO_ROOT / "examples").glob("*.py")
+)
+
+
+def test_every_example_is_listed_in_the_index():
+    index = (REPO_ROOT / "examples" / "README.md").read_text()
+    for name in EXAMPLES:
+        assert name in index, f"{name} missing from examples/README.md"
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs(name, tmp_path):
+    env = dict(os.environ)
+    env["REPRO_SCALE_DELTA"] = "-3"
+    proc = subprocess.run(
+        [sys.executable, str(REPO_ROOT / "examples" / name)],
+        cwd=tmp_path,  # scripts that write results/ do so in a sandbox
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=600,
+    )
+    assert proc.returncode == 0, (
+        f"{name} failed:\n--- stdout ---\n{proc.stdout[-2000:]}"
+        f"\n--- stderr ---\n{proc.stderr[-2000:]}"
+    )
+    assert proc.stdout.strip(), f"{name} printed nothing"

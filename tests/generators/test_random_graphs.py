@@ -1,0 +1,63 @@
+"""Tests for the simple structured/random generators."""
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import (
+    complete_graph,
+    cycle_graph,
+    erdos_renyi,
+    path_graph,
+    random_weighted_graph,
+    star_graph,
+)
+
+
+class TestStructured:
+    def test_path(self):
+        g = path_graph(5, weight=2.0)
+        assert g.num_edges == 4
+        assert g.has_edge(0, 1) and g.has_edge(3, 4)
+        assert not g.has_edge(4, 0)
+
+    def test_cycle(self):
+        g = cycle_graph(4)
+        assert g.num_edges == 4
+        assert g.has_edge(3, 0)
+
+    def test_star(self):
+        g = star_graph(6)
+        assert g.out_degree(0) == 5
+        assert g.out_degree(1) == 0
+
+    def test_complete(self):
+        g = complete_graph(4)
+        assert g.num_edges == 12
+        src = g.edge_sources()
+        assert not np.any(src == g.dst)
+
+
+class TestRandom:
+    def test_erdos_renyi_bounds(self):
+        g = erdos_renyi(100, 500, seed=1)
+        assert g.num_vertices == 100
+        assert 0 < g.num_edges <= 500
+
+    def test_no_self_loops_or_duplicates(self):
+        g = erdos_renyi(50, 1000, seed=2)
+        src = g.edge_sources()
+        assert not np.any(src == g.dst)
+        pairs = src * 50 + g.dst
+        assert np.unique(pairs).size == pairs.size
+
+    def test_deterministic(self):
+        assert erdos_renyi(30, 100, seed=3) == erdos_renyi(30, 100, seed=3)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(0, 5)
+
+    def test_random_weighted_has_ligra_weights(self):
+        g = random_weighted_graph(64, 400, seed=4)
+        assert g.is_weighted
+        assert g.weights.min() >= 1

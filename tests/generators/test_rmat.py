@@ -1,0 +1,73 @@
+"""Tests for the R-MAT generator."""
+
+import numpy as np
+import pytest
+
+from repro.generators.rmat import GRAPH500_PARAMS, RMatParams, rmat
+
+
+class TestParams:
+    def test_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            RMatParams(0.5, 0.5, 0.5, 0.5)
+
+    def test_non_negative(self):
+        with pytest.raises(ValueError):
+            RMatParams(1.2, -0.2, 0.0, 0.0)
+
+    def test_graph500_valid(self):
+        p = RMatParams(*GRAPH500_PARAMS)
+        assert p.as_tuple() == GRAPH500_PARAMS
+
+
+class TestGeneration:
+    def test_vertex_count(self):
+        g = rmat(8, 4, seed=1)
+        assert g.num_vertices == 256
+
+    def test_edge_budget_respected(self):
+        g = rmat(8, 4, seed=1, dedup=False, drop_self_loops=False)
+        assert g.num_edges == 256 * 4
+        g2 = rmat(8, 4, seed=1)
+        assert g2.num_edges <= 256 * 4
+
+    def test_deterministic(self):
+        a = rmat(8, 4, seed=42)
+        b = rmat(8, 4, seed=42)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = rmat(8, 4, seed=1)
+        b = rmat(8, 4, seed=2)
+        assert a != b
+
+    def test_no_self_loops(self):
+        g = rmat(8, 8, seed=3)
+        src = g.edge_sources()
+        assert not np.any(src == g.dst)
+
+    def test_dedup_no_parallel_edges(self):
+        g = rmat(6, 16, seed=4)
+        src = g.edge_sources()
+        pairs = src * g.num_vertices + g.dst
+        assert np.unique(pairs).size == pairs.size
+
+    def test_skew_increases_with_a(self):
+        """Higher 'a' concentrates edges on low ids — heavier max degree."""
+        flat = rmat(10, 8, (0.25, 0.25, 0.25, 0.25), seed=5, dedup=False)
+        skewed = rmat(10, 8, (0.7, 0.1, 0.1, 0.1), seed=5, dedup=False)
+        assert skewed.out_degree().max() > flat.out_degree().max()
+
+    def test_power_law_tail(self):
+        """Graph500 parameters must give a heavy-tailed degree distribution."""
+        g = rmat(12, 8, seed=6)
+        deg = g.out_degree()
+        assert deg.max() > 20 * max(1.0, float(np.median(deg[deg > 0])))
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            rmat(0, 4)
+
+    def test_invalid_edge_factor(self):
+        with pytest.raises(ValueError):
+            rmat(4, 0)

@@ -1,0 +1,92 @@
+"""Tests for graph construction from edge lists."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import GraphBuilder, from_arrays, from_edges
+
+
+class TestFromEdges:
+    def test_weighted(self):
+        g = from_edges([(0, 1, 3.0), (1, 0, 4.0)])
+        assert g.num_vertices == 2
+        assert g.is_weighted
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_unweighted(self):
+        g = from_edges([(0, 1), (1, 2)])
+        assert not g.is_weighted
+        assert g.num_vertices == 3
+
+    def test_mixed_forms_rejected(self):
+        with pytest.raises(ValueError):
+            from_edges([(0, 1), (1, 2, 3.0)])
+
+    def test_num_vertices_inferred(self):
+        g = from_edges([(0, 7)])
+        assert g.num_vertices == 8
+
+    def test_empty_needs_num_vertices(self):
+        with pytest.raises(ValueError):
+            from_edges([])
+        g = from_edges([], num_vertices=3)
+        assert g.num_vertices == 3 and g.num_edges == 0
+
+    def test_csr_is_sorted_by_source(self):
+        g = from_edges([(2, 0, 1.0), (0, 1, 1.0), (1, 2, 1.0), (0, 2, 1.0)])
+        src = g.edge_sources()
+        assert np.all(np.diff(src) >= 0)
+
+    def test_dedup_keeps_one_parallel_edge(self):
+        g = from_edges([(0, 1, 5.0), (0, 1, 2.0), (0, 1, 9.0)], dedup=True)
+        assert g.num_edges == 1
+
+    def test_parallel_edges_kept_by_default(self):
+        g = from_edges([(0, 1, 5.0), (0, 1, 2.0)])
+        assert g.num_edges == 2
+
+
+class TestFromArrays:
+    def test_round_trip(self):
+        g = from_arrays(4, [0, 1, 2], [1, 2, 3], [1.0, 2.0, 3.0])
+        assert set(g.iter_edges()) == {(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)}
+
+    def test_out_of_range_src(self):
+        with pytest.raises(ValueError):
+            from_arrays(2, [0, 5], [1, 1], None)
+
+    def test_out_of_range_dst(self):
+        with pytest.raises(ValueError):
+            from_arrays(2, [0, 0], [1, -1], None)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            from_arrays(3, [0, 1], [1], None)
+        with pytest.raises(ValueError):
+            from_arrays(3, [0, 1], [1, 2], [1.0])
+
+
+class TestGraphBuilder:
+    def test_incremental(self):
+        b = GraphBuilder(num_vertices=3)
+        b.add_edge(0, 1, 2.0).add_edge(1, 2, 3.0)
+        assert len(b) == 2
+        g = b.build()
+        assert g.num_edges == 2
+        assert g.has_edge(0, 1)
+
+    def test_add_edges_bulk(self):
+        b = GraphBuilder(4, weighted=False)
+        b.add_edges([(0, 1), (1, 2), (2, 3)])
+        g = b.build()
+        assert not g.is_weighted
+        assert g.num_edges == 3
+
+    def test_range_check(self):
+        b = GraphBuilder(2)
+        with pytest.raises(ValueError):
+            b.add_edge(0, 2)
+
+    def test_negative_num_vertices(self):
+        with pytest.raises(ValueError):
+            GraphBuilder(-1)

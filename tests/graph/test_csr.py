@@ -1,0 +1,115 @@
+"""Tests for the CSR graph structure."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import Graph
+
+
+class TestConstruction:
+    def test_basic_shape(self, tiny_graph):
+        assert tiny_graph.num_vertices == 5
+        assert tiny_graph.num_edges == 6
+        assert tiny_graph.is_weighted
+
+    def test_offsets_must_start_at_zero(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([1, 2]), np.array([0]))
+
+    def test_offsets_must_end_at_num_edges(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 3]), np.array([0]))
+
+    def test_offsets_must_be_monotone(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 2, 1, 3]), np.array([0, 1, 2]))
+
+    def test_dst_range_checked(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([5]))
+
+    def test_weights_must_parallel_dst(self):
+        with pytest.raises(ValueError):
+            Graph(np.array([0, 1]), np.array([0]), np.array([1.0, 2.0]))
+
+    def test_empty_graph(self):
+        g = Graph(np.array([0]), np.array([], dtype=np.int64))
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_vertices_without_edges(self):
+        g = from_edges([(0, 1)], num_vertices=10)
+        assert g.num_vertices == 10
+        assert g.out_degree(5) == 0
+
+
+class TestAccessors:
+    def test_out_degree_scalar_and_array(self, tiny_graph):
+        assert tiny_graph.out_degree(0) == 2
+        assert tiny_graph.out_degree(4) == 0
+        degrees = tiny_graph.out_degree()
+        assert list(degrees) == [2, 2, 1, 1, 0]
+
+    def test_in_degree(self, tiny_graph):
+        assert tiny_graph.in_degree(2) == 2
+        assert tiny_graph.in_degree(4) == 0
+
+    def test_out_edges(self, tiny_graph):
+        neighbors, weights = tiny_graph.out_edges(0)
+        assert sorted(neighbors.tolist()) == [1, 2]
+        assert sorted(weights.tolist()) == [2.0, 5.0]
+
+    def test_out_neighbors(self, tiny_graph):
+        assert sorted(tiny_graph.out_neighbors(1).tolist()) == [2, 3]
+
+    def test_edge_sources_expansion(self, tiny_graph):
+        src = tiny_graph.edge_sources()
+        assert src.size == tiny_graph.num_edges
+        # Every edge's source row owns its CSR slot.
+        for u in range(tiny_graph.num_vertices):
+            lo, hi = tiny_graph.offsets[u], tiny_graph.offsets[u + 1]
+            assert np.all(src[lo:hi] == u)
+
+    def test_iter_edges_matches_structure(self, tiny_graph):
+        edges = set(tiny_graph.iter_edges())
+        assert (0, 1, 2.0) in edges
+        assert (3, 0, 1.0) in edges
+        assert len(edges) == 6
+
+    def test_has_edge(self, tiny_graph):
+        assert tiny_graph.has_edge(0, 1)
+        assert not tiny_graph.has_edge(1, 0)
+
+    def test_unweighted_edge_weights_are_ones(self):
+        g = from_edges([(0, 1), (1, 2)], num_vertices=3)
+        assert not g.is_weighted
+        assert np.array_equal(g.edge_weights(), np.ones(2))
+
+
+class TestDerived:
+    def test_reverse_is_cached_and_inverse(self, tiny_graph):
+        rev = tiny_graph.reverse()
+        assert rev is tiny_graph.reverse()
+        assert rev.reverse() is tiny_graph
+        assert rev.has_edge(1, 0)
+        assert not rev.has_edge(0, 1)
+
+    def test_size_bytes_accounting(self, tiny_graph):
+        # 6 edges * 8B (id+weight) + 6 offsets * 8B
+        assert tiny_graph.size_bytes() == 6 * 8 + 6 * 8
+        assert tiny_graph.size_bytes(weighted=False) == 6 * 4 + 6 * 8
+
+    def test_equality(self, tiny_graph):
+        clone = Graph(
+            tiny_graph.offsets.copy(),
+            tiny_graph.dst.copy(),
+            tiny_graph.weights.copy(),
+        )
+        assert tiny_graph == clone
+        other = from_edges([(0, 1, 2.0)], num_vertices=5)
+        assert tiny_graph != other
+
+    def test_repr_mentions_shape(self, tiny_graph):
+        assert "num_vertices=5" in repr(tiny_graph)
+        assert "weighted" in repr(tiny_graph)

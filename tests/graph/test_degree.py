@@ -1,0 +1,51 @@
+"""Tests for degree utilities (hub selection, histograms)."""
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import star_graph
+from repro.graph.builder import from_edges
+from repro.graph.degree import degree_histogram, top_degree_vertices, total_degree
+
+
+class TestTopDegree:
+    def test_star_hub_first(self):
+        g = star_graph(10)
+        assert top_degree_vertices(g, 1)[0] == 0
+
+    def test_modes(self):
+        # 0 has out-degree 3; 3 has in-degree 3.
+        g = from_edges(
+            [(0, 3), (0, 1), (0, 2), (1, 3), (2, 3)], num_vertices=4
+        )
+        assert top_degree_vertices(g, 1, mode="out")[0] == 0
+        assert top_degree_vertices(g, 1, mode="in")[0] == 3
+        top_total = set(top_degree_vertices(g, 2, mode="total").tolist())
+        assert top_total == {0, 3}
+
+    def test_ties_broken_by_id(self):
+        g = from_edges([(0, 1), (1, 0), (2, 3), (3, 2)], num_vertices=4)
+        assert list(top_degree_vertices(g, 2)) == [0, 1]
+
+    def test_k_capped_at_n(self):
+        g = star_graph(5)
+        assert top_degree_vertices(g, 100).size == 5
+
+    def test_unknown_mode(self):
+        with pytest.raises(ValueError):
+            top_degree_vertices(star_graph(3), 1, mode="sideways")
+
+
+class TestHistogram:
+    def test_counts_sum_to_n(self, medium_graph):
+        degrees, counts = degree_histogram(medium_graph)
+        assert counts.sum() == medium_graph.num_vertices
+
+    def test_star_histogram(self):
+        g = star_graph(11)  # hub out-degree 10, leaves 0
+        degrees, counts = degree_histogram(g, "out")
+        assert dict(zip(degrees.tolist(), counts.tolist())) == {0: 10, 10: 1}
+
+    def test_total_degree(self):
+        g = from_edges([(0, 1), (1, 0)], num_vertices=2)
+        assert list(total_degree(g)) == [2, 2]

@@ -1,0 +1,119 @@
+"""Tests for batch edge insertion/deletion."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.mutate import add_edges, random_edge_batch, remove_edges
+
+
+class TestAddEdges:
+    def test_appends(self, tiny_graph):
+        g = add_edges(tiny_graph, [(4, 0, 2.0)])
+        assert g.num_edges == tiny_graph.num_edges + 1
+        assert g.has_edge(4, 0)
+
+    def test_empty_batch_identity(self, tiny_graph):
+        assert add_edges(tiny_graph, []) is tiny_graph
+
+    def test_out_of_range(self, tiny_graph):
+        with pytest.raises(ValueError):
+            add_edges(tiny_graph, [(0, 99, 1.0)])
+
+    def test_weight_form_enforced(self, tiny_graph):
+        with pytest.raises(ValueError):
+            add_edges(tiny_graph, [(0, 1)])  # weighted graph needs weights
+        g = from_edges([(0, 1)], num_vertices=2)
+        with pytest.raises(ValueError):
+            add_edges(g, [(0, 1, 2.0)])
+
+    def test_unweighted(self):
+        g = from_edges([(0, 1)], num_vertices=3)
+        g2 = add_edges(g, [(1, 2)])
+        assert g2.num_edges == 2
+        assert not g2.is_weighted
+
+    def test_original_untouched(self, tiny_graph):
+        before = tiny_graph.num_edges
+        add_edges(tiny_graph, [(4, 0, 2.0)])
+        assert tiny_graph.num_edges == before
+
+
+class TestRemoveEdges:
+    def test_removes_named_pair(self, tiny_graph):
+        g, mask = remove_edges(tiny_graph, [(0, 1)])
+        assert not g.has_edge(0, 1)
+        assert g.num_edges == tiny_graph.num_edges - 1
+        assert mask.sum() == 1
+
+    def test_removes_all_parallel_copies(self):
+        g0 = from_edges([(0, 1, 1.0), (0, 1, 2.0), (1, 0, 3.0)])
+        g, mask = remove_edges(g0, [(0, 1)])
+        assert mask.sum() == 2
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_missing_pair_is_noop(self, tiny_graph):
+        g, mask = remove_edges(tiny_graph, [(4, 4)])
+        assert mask.sum() == 0
+        assert g == tiny_graph
+
+    def test_empty_batch(self, tiny_graph):
+        g, mask = remove_edges(tiny_graph, [])
+        assert g is tiny_graph
+
+
+class TestPreferentialBatch:
+    def test_hubs_attract_edges(self):
+        from repro.generators.rmat import rmat
+        from repro.graph.degree import top_degree_vertices
+        from repro.graph.mutate import preferential_edge_batch
+        from repro.graph.weights import ligra_weights
+
+        g = ligra_weights(rmat(10, 8, seed=211), seed=212)
+        batch = preferential_edge_batch(g, 2000, seed=3)
+        hubs = set(int(v) for v in top_degree_vertices(g, 20))
+        touching_hubs = sum(
+            1 for e in batch if e[0] in hubs or e[1] in hubs
+        )
+        # 20/1024 vertices uniformly would catch ~4%; preferential far more
+        assert touching_hubs / len(batch) > 0.15
+
+    def test_weighted_form(self, medium_graph):
+        from repro.graph.mutate import preferential_edge_batch
+
+        batch = preferential_edge_batch(medium_graph, 10, seed=1)
+        assert all(len(e) == 3 for e in batch)
+
+    def test_gentler_precision_decay_than_uniform(self):
+        """The realistic-churn claim: preferential insertions hurt a stale
+        CG less than uniform ones."""
+        from repro.core.evolving import EvolvingCoreGraph
+        from repro.generators.rmat import rmat
+        from repro.graph.mutate import preferential_edge_batch, random_edge_batch
+        from repro.graph.weights import ligra_weights
+        from repro.queries.specs import SSSP
+
+        base = ligra_weights(rmat(9, 8, seed=221), seed=222)
+        count = base.num_edges // 4
+
+        ev_uniform = EvolvingCoreGraph(base, SSSP, num_hubs=6)
+        ev_uniform.insert_edges(random_edge_batch(base, count, seed=7))
+        ev_pref = EvolvingCoreGraph(base, SSSP, num_hubs=6)
+        ev_pref.insert_edges(preferential_edge_batch(base, count, seed=7))
+
+        assert ev_pref.probe_precision() >= ev_uniform.probe_precision() - 5.0
+
+
+class TestRandomBatch:
+    def test_weighted_batch(self, medium_graph):
+        batch = random_edge_batch(medium_graph, 10, seed=1)
+        assert len(batch) == 10
+        assert all(len(e) == 3 for e in batch)
+        # weights resampled from the existing distribution
+        existing = set(np.unique(medium_graph.weights))
+        assert all(e[2] in existing for e in batch)
+
+    def test_deterministic(self, medium_graph):
+        assert random_edge_batch(medium_graph, 5, seed=2) == \
+            random_edge_batch(medium_graph, 5, seed=2)

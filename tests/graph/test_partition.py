@@ -1,0 +1,78 @@
+"""Tests for the vertex-range partitioners."""
+
+import numpy as np
+import pytest
+
+from repro.generators.rmat import rmat
+from repro.graph.partition import imbalance, partition_vertices
+from repro.systems.gridgraph import GridStore
+from repro.queries.specs import SSSP
+
+
+class TestVertexPolicy:
+    def test_balanced_counts(self, medium_graph):
+        part = partition_vertices(medium_graph, 4)
+        sizes = [part.size(i) for i in range(4)]
+        assert sum(sizes) == medium_graph.num_vertices
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_part_of_consistent(self, medium_graph):
+        part = partition_vertices(medium_graph, 4)
+        for v in (0, 100, medium_graph.num_vertices - 1):
+            i = int(part.part_of[v])
+            assert part.bounds[i] <= v < part.bounds[i + 1]
+
+    def test_single_partition(self, medium_graph):
+        part = partition_vertices(medium_graph, 1)
+        assert part.num_partitions == 1
+        assert np.all(part.part_of == 0)
+
+
+class TestEdgePolicy:
+    def test_better_balance_on_skew(self):
+        g = rmat(11, 10, seed=5)  # heavily skewed degrees
+        vertex_part = partition_vertices(g, 8, "vertex")
+        edge_part = partition_vertices(g, 8, "edge")
+        assert imbalance(edge_part.edge_load(g)) <= imbalance(
+            vertex_part.edge_load(g)
+        )
+
+    def test_covers_all_vertices(self, medium_graph):
+        part = partition_vertices(medium_graph, 4, "edge")
+        assert part.bounds[0] == 0
+        assert part.bounds[-1] == medium_graph.num_vertices
+        assert np.all(np.diff(part.bounds) >= 0)
+
+    def test_unknown_policy(self, medium_graph):
+        with pytest.raises(ValueError):
+            partition_vertices(medium_graph, 4, "metis")
+
+    def test_invalid_p(self, medium_graph):
+        with pytest.raises(ValueError):
+            partition_vertices(medium_graph, 0)
+
+
+class TestImbalance:
+    def test_uniform(self):
+        assert imbalance(np.array([5, 5, 5])) == 1.0
+
+    def test_skewed(self):
+        assert imbalance(np.array([10, 0, 0])) == pytest.approx(3.0)
+
+    def test_empty(self):
+        assert imbalance(np.array([])) == 1.0
+
+
+class TestGridStoreIntegration:
+    def test_edge_policy_store_results_identical(self, medium_graph):
+        from repro.engines.frontier import evaluate_query
+        from repro.systems.gridgraph import GridGraphSimulator
+
+        sim = GridGraphSimulator(medium_graph, p=4)
+        sim._stores[id(medium_graph)] = GridStore(
+            medium_graph, 4, partition_policy="edge"
+        )
+        rep = sim.baseline_run(SSSP, 0)
+        assert np.array_equal(
+            rep.values, evaluate_query(medium_graph, SSSP, 0)
+        )

@@ -1,0 +1,123 @@
+"""Tests for graph transforms: reverse, symmetrize, edge subgraphs."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.graph.transform import (
+    drop_weights,
+    edge_subgraph,
+    reverse,
+    reverse_edge_permutation,
+    symmetrize,
+    with_weights,
+)
+
+
+class TestReverse:
+    def test_edges_flipped(self, tiny_graph):
+        rev = reverse(tiny_graph)
+        fwd = {(u, v): w for u, v, w in tiny_graph.iter_edges()}
+        bwd = {(v, u): w for u, v, w in rev.iter_edges()}
+        assert fwd == bwd
+
+    def test_double_reverse_identity(self, medium_graph):
+        assert reverse(reverse(medium_graph)) == medium_graph
+
+    def test_degree_swap(self, tiny_graph):
+        rev = reverse(tiny_graph)
+        assert np.array_equal(rev.out_degree(), tiny_graph.in_degree())
+
+    def test_permutation_maps_edges(self, medium_graph):
+        g = medium_graph
+        rev = reverse(g)
+        perm = reverse_edge_permutation(g)
+        src = g.edge_sources()
+        rev_src = rev.edge_sources()
+        # transpose edge j is (rev_src[j] -> rev.dst[j]); its original is
+        # edge perm[j] = (src[perm[j]] -> g.dst[perm[j]]), flipped.
+        assert np.array_equal(rev_src, g.dst[perm])
+        assert np.array_equal(rev.dst, src[perm])
+        assert np.array_equal(rev.weights, g.weights[perm])
+
+
+class TestSymmetrize:
+    def test_doubles_edges(self, tiny_graph):
+        sym = symmetrize(tiny_graph)
+        assert sym.num_edges == 2 * tiny_graph.num_edges
+
+    def test_both_directions_present(self, tiny_graph):
+        sym = symmetrize(tiny_graph)
+        for u, v, _ in tiny_graph.iter_edges():
+            assert sym.has_edge(u, v)
+            assert sym.has_edge(v, u)
+
+    def test_weights_mirrored(self):
+        g = from_edges([(0, 1, 3.5)])
+        sym = symmetrize(g)
+        edges = set(sym.iter_edges())
+        assert edges == {(0, 1, 3.5), (1, 0, 3.5)}
+
+
+class TestEdgeSubgraph:
+    def test_keeps_all_vertices(self, tiny_graph):
+        mask = np.zeros(tiny_graph.num_edges, dtype=bool)
+        sub = edge_subgraph(tiny_graph, mask)
+        assert sub.num_vertices == tiny_graph.num_vertices
+        assert sub.num_edges == 0
+
+    def test_mask_selects_edges(self, tiny_graph):
+        mask = np.zeros(tiny_graph.num_edges, dtype=bool)
+        mask[0] = True
+        mask[-1] = True
+        sub = edge_subgraph(tiny_graph, mask)
+        assert sub.num_edges == 2
+        full = list(tiny_graph.iter_edges())
+        kept = set(sub.iter_edges())
+        assert full[0] in kept and full[-1] in kept
+
+    def test_full_mask_is_identity(self, medium_graph):
+        mask = np.ones(medium_graph.num_edges, dtype=bool)
+        assert edge_subgraph(medium_graph, mask) == medium_graph
+
+    def test_bad_mask_shape(self, tiny_graph):
+        with pytest.raises(ValueError):
+            edge_subgraph(tiny_graph, np.ones(3, dtype=bool))
+
+
+class TestVertexInducedSubgraph:
+    def test_keeps_internal_edges_only(self, tiny_graph):
+        from repro.graph.transform import vertex_induced_subgraph
+
+        keep = np.array([True, True, False, True, False])
+        sub = vertex_induced_subgraph(tiny_graph, keep)
+        assert sub.num_vertices == tiny_graph.num_vertices
+        for u, v, _ in sub.iter_edges():
+            assert keep[u] and keep[v]
+        # edge (0,1) survives; edges touching 2 are gone
+        assert sub.has_edge(0, 1)
+        assert not sub.has_edge(1, 2)
+
+    def test_all_vertices_is_identity(self, medium_graph):
+        from repro.graph.transform import vertex_induced_subgraph
+
+        keep = np.ones(medium_graph.num_vertices, dtype=bool)
+        assert vertex_induced_subgraph(medium_graph, keep) == medium_graph
+
+    def test_bad_mask_shape(self, tiny_graph):
+        from repro.graph.transform import vertex_induced_subgraph
+
+        with pytest.raises(ValueError):
+            vertex_induced_subgraph(tiny_graph, np.ones(3, dtype=bool))
+
+
+class TestWeightHelpers:
+    def test_drop_weights(self, tiny_graph):
+        g = drop_weights(tiny_graph)
+        assert not g.is_weighted
+        assert np.array_equal(g.dst, tiny_graph.dst)
+
+    def test_with_weights(self, tiny_graph):
+        new_w = np.arange(tiny_graph.num_edges, dtype=np.float64)
+        g = with_weights(tiny_graph, new_w)
+        assert np.array_equal(g.weights, new_w)

@@ -1,0 +1,55 @@
+"""Tests for graph structural validation."""
+
+import numpy as np
+
+from repro.graph.builder import from_edges
+from repro.graph.csr import Graph
+from repro.graph.validate import validate_graph
+
+
+def test_valid_graph_passes(medium_graph):
+    report = validate_graph(medium_graph)
+    assert report.ok
+    assert report.errors == []
+
+
+def test_self_loops_flagged():
+    g = from_edges([(0, 0), (0, 1)], num_vertices=2)
+    assert validate_graph(g).ok
+    report = validate_graph(g, allow_self_loops=False)
+    assert not report.ok
+    assert any("self-loop" in e for e in report.errors)
+
+
+def test_parallel_edges_flagged():
+    g = from_edges([(0, 1), (0, 1)], num_vertices=2)
+    assert validate_graph(g).ok
+    report = validate_graph(g, allow_parallel_edges=False)
+    assert not report.ok
+
+
+def test_nonpositive_weights():
+    g = from_edges([(0, 1, 0.0)], num_vertices=2)
+    assert validate_graph(g).ok
+    report = validate_graph(g, require_positive_weights=True)
+    assert not report.ok
+
+
+def test_negative_weights_warn():
+    g = from_edges([(0, 1, -1.0)], num_vertices=2)
+    report = validate_graph(g)
+    assert report.ok
+    assert any("negative" in w for w in report.warnings)
+
+
+def test_nonfinite_weights_error():
+    g = Graph(np.array([0, 1, 1]), np.array([1]), np.array([np.nan]))
+    report = validate_graph(g)
+    assert not report.ok
+
+
+def test_isolated_vertices_warn():
+    g = from_edges([(0, 1)], num_vertices=5)
+    report = validate_graph(g)
+    assert report.ok
+    assert any("isolated" in w for w in report.warnings)

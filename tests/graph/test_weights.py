@@ -1,0 +1,53 @@
+"""Tests for weight generation schemes."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import erdos_renyi
+from repro.graph.weights import ligra_weights, uniform_weights
+
+
+class TestLigraWeights:
+    def test_range_matches_paper(self):
+        g = erdos_renyi(1024, 8000, seed=1)
+        wg = ligra_weights(g, seed=2)
+        hi = int(math.log2(1024)) + 1  # 11
+        assert wg.weights.min() >= 1
+        assert wg.weights.max() <= hi
+
+    def test_integer_valued(self):
+        wg = ligra_weights(erdos_renyi(128, 800, seed=1), seed=3)
+        assert np.array_equal(wg.weights, np.round(wg.weights))
+
+    def test_deterministic_with_seed(self):
+        g = erdos_renyi(64, 300, seed=5)
+        a = ligra_weights(g, seed=9)
+        b = ligra_weights(g, seed=9)
+        assert np.array_equal(a.weights, b.weights)
+
+    def test_structure_shared(self):
+        g = erdos_renyi(64, 300, seed=5)
+        wg = ligra_weights(g, seed=9)
+        assert np.array_equal(wg.dst, g.dst)
+        assert np.array_equal(wg.offsets, g.offsets)
+
+
+class TestUniformWeights:
+    def test_range_half_open(self):
+        g = erdos_renyi(256, 4000, seed=1)
+        wg = uniform_weights(g, 0.0, 1.0, seed=4)
+        assert wg.weights.min() > 0.0  # strictly positive for Viterbi
+        assert wg.weights.max() <= 1.0
+
+    def test_custom_range(self):
+        g = erdos_renyi(64, 500, seed=1)
+        wg = uniform_weights(g, 2.0, 5.0, seed=4)
+        assert wg.weights.min() >= 2.0
+        assert wg.weights.max() <= 5.0
+
+    def test_bad_range_rejected(self):
+        g = erdos_renyi(8, 10, seed=1)
+        with pytest.raises(ValueError):
+            uniform_weights(g, 1.0, 1.0)

@@ -1,0 +1,65 @@
+"""Tests for the harness caches."""
+
+import numpy as np
+import pytest
+
+from repro.harness import cache as cache_mod
+from repro.harness.cache import (
+    clear_caches,
+    get_cg,
+    get_graph,
+    get_sources,
+    get_truth,
+)
+from repro.queries.specs import REACH, SSSP, WCC
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    clear_caches()
+    yield
+    clear_caches()
+
+
+def test_graph_cached():
+    a = get_graph("PK")
+    b = get_graph("pk")
+    assert a is b
+
+
+def test_cg_cached_per_spec():
+    a = get_cg("PK", SSSP, num_hubs=3)
+    b = get_cg("PK", SSSP, num_hubs=3)
+    assert a is b
+    c = get_cg("PK", SSSP, num_hubs=4)
+    assert c is not a
+
+
+def test_wcc_shares_reach_cg():
+    a = get_cg("PK", WCC, num_hubs=3)
+    b = get_cg("PK", REACH, num_hubs=3)
+    assert a is b
+
+
+def test_extra_kwargs_bypass_cache():
+    a = get_cg("PK", SSSP, num_hubs=3)
+    b = get_cg("PK", SSSP, num_hubs=3, track_growth=True)
+    assert b is not a
+    assert b.growth is not None
+
+
+def test_sources_deterministic_and_valid():
+    s1 = get_sources("PK", 5)
+    s2 = get_sources("PK", 5)
+    assert np.array_equal(s1, s2)
+    g = get_graph("PK")
+    assert all(g.out_degree(int(s)) > 0 for s in s1)
+
+
+def test_truth_cached_and_correct():
+    g = get_graph("PK")
+    t = get_truth("PK", "SSSP", 0)
+    from repro.engines.frontier import evaluate_query
+
+    assert np.array_equal(t, evaluate_query(g, SSSP, 0))
+    assert get_truth("PK", "SSSP", 0) is t

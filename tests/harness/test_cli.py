@@ -1,0 +1,138 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.harness.cli import build_parser, main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "table04" in out and "fig02" in out
+
+
+def test_run_unknown(capsys):
+    assert main(["run", "table00"]) == 2
+    assert "unknown" in capsys.readouterr().err
+
+
+def test_run_table02(capsys):
+    assert main(["run", "table02"]) == 0
+    out = capsys.readouterr().out
+    assert "Worked example" in out
+    assert "completed in" in out
+
+
+def test_run_with_save(tmp_path, capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    assert main(["run", "table02", "--save"]) == 0
+    assert (tmp_path / "table02.json").exists()
+
+
+def test_info(capsys):
+    assert main(["info", "PK"]) == 0
+    out = capsys.readouterr().out
+    assert "stand-in" in out
+    assert "R-MAT" in out
+
+
+def test_parser_requires_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+class TestBuildAndQuery:
+    def test_build_saves_cg(self, tmp_path, capsys):
+        out = tmp_path / "pk-sssp.npz"
+        assert main(["build", "PK", "SSSP", "--hubs", "4",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        assert "CoreGraph" in capsys.readouterr().out
+
+    def test_build_from_edge_list(self, tmp_path, capsys, tiny_graph):
+        from repro.graph.edgelist import write_edge_list
+
+        edges = tmp_path / "edges.txt"
+        write_edge_list(tiny_graph, edges)
+        assert main(["build", str(edges), "SSWP", "--hubs", "2"]) == 0
+
+    def test_query_with_cg_is_exact(self, tmp_path, capsys):
+        out = tmp_path / "pk-sssp.npz"
+        main(["build", "PK", "SSSP", "--hubs", "4", "--out", str(out)])
+        assert main(["query", "PK", "SSSP", "3", "--cg", str(out),
+                     "--triangle"]) == 0
+        assert "exact=True" in capsys.readouterr().out
+
+    def test_query_without_cg(self, capsys):
+        assert main(["query", "PK", "REACH", "3"]) == 0
+        assert "direct evaluation" in capsys.readouterr().out
+
+    def test_query_wcc_needs_no_source(self, capsys):
+        assert main(["query", "PK", "WCC"]) == 0
+
+    def test_unknown_graph(self):
+        with pytest.raises(SystemExit):
+            main(["build", "NOPE", "SSSP"])
+
+
+def test_queries_listing(capsys):
+    assert main(["queries"]) == 0
+    out = capsys.readouterr().out
+    for name in ("SSSP", "SSNP", "Viterbi", "SSWP", "REACH", "WCC", "BFS"):
+        assert name in out
+    assert "uses REACH's CG" in out  # WCC's routing
+    assert "extension" in out       # BFS marked as beyond the paper
+
+
+class TestStats:
+    def test_zoo_graph(self, capsys):
+        assert main(["stats", "PK", "--samples", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "degree_gini" in out
+        assert "power-law regime" in out
+
+    def test_lattice_gets_limitations_verdict(self, tmp_path, capsys):
+        from repro.generators.random_graphs import lattice_graph
+        from repro.graph.edgelist import write_edge_list
+
+        path = tmp_path / "roads.txt"
+        write_edge_list(lattice_graph(12, 12, seed=1), path)
+        assert main(["stats", str(path), "--samples", "2"]) == 0
+        assert "Limitations" in capsys.readouterr().out
+
+
+class TestSummarize:
+    def test_compiles_markdown(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        main(["run", "table02", "--save"])
+        capsys.readouterr()
+        assert main(["summarize", str(tmp_path)]) == 0
+        out = tmp_path / "SUMMARY.md"
+        assert out.exists()
+        text = out.read_text()
+        assert "table02" in text and "Worked example" in text
+
+    def test_custom_output_path(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+        main(["run", "table02", "--save"])
+        target = tmp_path / "report.md"
+        assert main(["summarize", str(tmp_path), "--out", str(target)]) == 0
+        assert target.exists()
+
+    def test_empty_dir_fails(self, tmp_path, capsys):
+        assert main(["summarize", str(tmp_path)]) == 1
+        assert "no results" in capsys.readouterr().err
+
+
+class TestCache:
+    def test_empty_and_clear(self, tmp_path, capsys):
+        assert main(["cache", str(tmp_path)]) == 0
+        assert "empty" in capsys.readouterr().out
+        from repro.io.artifacts import ArtifactCache
+        from repro.generators.random_graphs import path_graph
+
+        ArtifactCache(tmp_path).graph("p", lambda: path_graph(3))
+        assert main(["cache", str(tmp_path)]) == 0
+        assert "graph-p" in capsys.readouterr().out
+        assert main(["cache", str(tmp_path), "--clear"]) == 0
+        assert "removed 1" in capsys.readouterr().out

@@ -1,0 +1,36 @@
+"""Tests for JSON result persistence."""
+
+import json
+
+import numpy as np
+
+from repro.harness.experiments.base import ExperimentResult
+from repro.harness.results import save_result
+
+
+def test_save_and_reload(tmp_path):
+    result = ExperimentResult(
+        exp_id="table99",
+        title="demo",
+        paper_reference="Table 99",
+        headers=["a", "b"],
+        rows=[[1, 2.5], [np.int64(3), np.float64(4.5)]],
+        notes="n",
+        config={"k": np.int64(7)},
+    )
+    path = save_result(result, tmp_path)
+    assert path.name == "table99.json"
+    payload = json.loads(path.read_text())
+    assert payload["rows"] == [[1, 2.5], [3, 4.5]]
+    assert payload["config"]["k"] == 7
+    assert payload["paper_reference"] == "Table 99"
+
+
+def test_render_includes_notes():
+    result = ExperimentResult(
+        exp_id="fig00", title="t", paper_reference="Fig 0",
+        headers=["h"], rows=[[1]], notes="shape holds",
+    )
+    out = result.render()
+    assert "shape holds" in out
+    assert "fig00" in out

@@ -1,0 +1,83 @@
+"""Direct tests of the system-sweep layer the experiment tables share."""
+
+import os
+
+import pytest
+
+from repro.harness.cache import clear_caches
+from repro.harness.config import HarnessConfig
+from repro.harness.experiments import systems as sys_mod
+from repro.harness.experiments.systems import SweepCell, speedup, sweep
+
+
+@pytest.fixture(scope="module", autouse=True)
+def small_env():
+    old = {k: os.environ.get(k) for k in ("REPRO_NUM_HUBS", "REPRO_NUM_QUERIES")}
+    os.environ["REPRO_NUM_HUBS"] = "4"
+    os.environ["REPRO_NUM_QUERIES"] = "2"
+    clear_caches()
+    sys_mod._SWEEPS.clear()
+    sys_mod._SIMS.clear()
+    yield
+    for k, v in old.items():
+        if v is None:
+            os.environ.pop(k, None)
+        else:
+            os.environ[k] = v
+    clear_caches()
+    sys_mod._SWEEPS.clear()
+    sys_mod._SIMS.clear()
+
+
+@pytest.fixture(scope="module")
+def cfg():
+    return HarnessConfig(num_hubs=4, num_queries=2, real_graphs=("PK",))
+
+
+class TestSweepCell:
+    def test_running_average(self):
+        from repro.systems.report import SystemReport
+
+        cell = SweepCell()
+        for t, edges in ((1.0, 100), (3.0, 300)):
+            rep = SystemReport("x", "SSSP", "baseline", time=t)
+            rep.counters["edges_processed"] = edges
+            cell.add(rep)
+        assert cell.runs == 2
+        assert cell.time == pytest.approx(2.0)
+        assert cell.counters["edges_processed"] == pytest.approx(200.0)
+
+
+class TestSweepCaching:
+    def test_cell_cached(self, cfg):
+        a = sweep("Ligra", "PK", "SSSP", "baseline", cfg)
+        b = sweep("Ligra", "PK", "SSSP", "baseline", cfg)
+        assert a is b
+
+    def test_modes_distinct(self, cfg):
+        base = sweep("Ligra", "PK", "SSSP", "baseline", cfg)
+        two = sweep("Ligra", "PK", "SSSP", "cg", cfg)
+        assert base is not two
+        assert two.counters.get("impacted", 0) > 0
+
+    def test_unknown_mode(self, cfg):
+        with pytest.raises(ValueError):
+            sweep("Ligra", "PK", "SSSP", "warp", cfg)
+
+    def test_unknown_system(self, cfg):
+        with pytest.raises(ValueError):
+            sweep("Spark", "PK", "SSSP", "baseline", cfg)
+
+    def test_speedup_consistent_with_cells(self, cfg):
+        s = speedup("Ligra", "PK", "SSSP", "cg", cfg)
+        base = sweep("Ligra", "PK", "SSSP", "baseline", cfg)
+        two = sweep("Ligra", "PK", "SSSP", "cg", cfg)
+        assert s == pytest.approx(base.time / two.time)
+
+    def test_wcc_single_run(self, cfg):
+        cell = sweep("Ligra", "PK", "WCC", "baseline", cfg)
+        assert cell.runs == 1  # multi-source: one evaluation, no sources
+
+    def test_triangle_mode(self, cfg):
+        tri = sweep("Ligra", "PK", "SSWP", "cg-tri", cfg)
+        assert tri.counters.get("certified_precise", 0) >= 0

@@ -1,0 +1,41 @@
+"""Tests for ASCII table rendering."""
+
+import pytest
+
+from repro.harness.tables import render_table
+
+
+def test_basic_alignment():
+    out = render_table(["a", "bb"], [[1, "x"], [22, "yy"]])
+    lines = out.splitlines()
+    assert len(lines) == 4
+    assert lines[0].startswith("a")
+    # numeric column right-aligned
+    assert lines[2].startswith(" 1")
+
+
+def test_title_adds_header():
+    out = render_table(["a"], [[1]], title="T")
+    assert out.splitlines()[0] == "T"
+
+
+def test_floats_formatted():
+    out = render_table(["v"], [[1.23456]], floatfmt=".1f")
+    assert "1.2" in out
+    assert "1.23" not in out
+
+
+def test_none_rendered_as_dash():
+    out = render_table(["v"], [[None]])
+    assert "-" in out.splitlines()[-1]
+
+
+def test_row_length_mismatch():
+    with pytest.raises(ValueError):
+        render_table(["a", "b"], [[1]])
+
+
+def test_percent_and_x_right_aligned():
+    out = render_table(["value"], [["95.5%"], ["2.31x"]])
+    for line in out.splitlines()[2:]:
+        assert line.endswith(("%", "x"))

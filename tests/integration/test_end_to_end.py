@@ -1,0 +1,97 @@
+"""Full-pipeline integration tests: dataset -> CG -> 2Phase -> systems."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    REACH,
+    SSSP,
+    WCC,
+    build_core_graph,
+    build_unweighted_core_graph,
+    evaluate_query,
+    two_phase,
+)
+from repro.core.precision import measure_precision
+from repro.datasets.zoo import load_zoo_graph
+from repro.systems.gridgraph import GridGraphSimulator
+from repro.systems.ligra import LigraSimulator
+from repro.systems.subway import SubwaySimulator
+
+
+@pytest.fixture(scope="module")
+def pk():
+    return load_zoo_graph("PK")
+
+
+@pytest.fixture(scope="module")
+def pk_cg(pk):
+    return build_core_graph(pk, SSSP, num_hubs=10)
+
+
+@pytest.fixture(scope="module")
+def pk_gcg(pk):
+    return build_unweighted_core_graph(pk, num_hubs=10)
+
+
+class TestPaperPipeline:
+    def test_cg_is_small(self, pk, pk_cg):
+        assert pk_cg.edge_fraction < 0.5
+
+    def test_cg_is_precise(self, pk, pk_cg):
+        rep = measure_precision(pk, pk_cg, SSSP, [1, 2, 3, 4, 5])
+        assert rep.pct_precise > 95.0
+
+    def test_all_systems_agree_with_engine(self, pk, pk_cg):
+        truth = evaluate_query(pk, SSSP, 1)
+        for sim in (
+            SubwaySimulator(pk),
+            GridGraphSimulator(pk),
+            LigraSimulator(pk),
+        ):
+            base = sim.baseline_run(SSSP, 1)
+            two = sim.two_phase_run(pk_cg, SSSP, 1)
+            assert np.array_equal(base.values, truth)
+            assert np.array_equal(two.values, truth)
+
+    def test_all_systems_speed_up_sssp(self, pk, pk_cg):
+        for sim in (
+            SubwaySimulator(pk),
+            GridGraphSimulator(pk),
+            LigraSimulator(pk),
+        ):
+            base = sim.baseline_run(SSSP, 1)
+            two = sim.two_phase_run(pk_cg, SSSP, 1)
+            assert two.speedup_over(base) > 1.0
+
+    def test_wcc_via_general_cg(self, pk, pk_gcg):
+        res = two_phase(pk, pk_gcg, WCC)
+        assert np.array_equal(res.values, evaluate_query(pk, WCC))
+
+    def test_reach_phase2_nearly_free(self, pk, pk_gcg):
+        res = two_phase(pk, pk_gcg, REACH, 1)
+        assert res.phase2.edges_processed < pk.num_edges / 4
+
+    def test_zoo_graphs_deterministic(self):
+        assert load_zoo_graph("PK") == load_zoo_graph("PK")
+
+    def test_unknown_zoo_graph(self):
+        with pytest.raises(KeyError):
+            load_zoo_graph("nope")
+
+
+class TestPublicAPI:
+    def test_package_exports(self):
+        import repro
+
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_quickstart_flow(self, pk):
+        """The README quickstart, verbatim in spirit."""
+        from repro import build_core_graph, two_phase, SSSP
+
+        cg = build_core_graph(pk, SSSP, num_hubs=5)
+        result = two_phase(pk, cg, SSSP, source=0)
+        assert result.values.shape == (pk.num_vertices,)
+        assert result.impacted > 0

@@ -1,0 +1,66 @@
+"""Tests for the disk-backed artifact cache."""
+
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.io.artifacts import ArtifactCache
+from repro.queries.specs import SSSP
+
+
+class Counter:
+    def __init__(self, fn):
+        self.fn = fn
+        self.calls = 0
+
+    def __call__(self):
+        self.calls += 1
+        return self.fn()
+
+
+def test_graph_built_once(tmp_path, medium_graph):
+    cache = ArtifactCache(tmp_path)
+    build = Counter(lambda: medium_graph)
+    a = cache.graph("m", build)
+    b = cache.graph("m", build)
+    assert build.calls == 1
+    assert a == b == medium_graph
+
+
+def test_core_graph_round_trip(tmp_path, medium_graph):
+    cache = ArtifactCache(tmp_path)
+    build = Counter(lambda: build_core_graph(medium_graph, SSSP, num_hubs=2))
+    a = cache.core_graph("m-sssp", build)
+    b = cache.core_graph("m-sssp", build)
+    assert build.calls == 1
+    assert a.graph == b.graph
+
+
+def test_keys_sanitized(tmp_path, medium_graph):
+    cache = ArtifactCache(tmp_path)
+    cache.graph("weird key/with:stuff", lambda: medium_graph)
+    assert cache.contains("graph", "weird key/with:stuff")
+
+
+def test_empty_key_rejected(tmp_path):
+    cache = ArtifactCache(tmp_path)
+    with pytest.raises(ValueError):
+        cache.graph("///", lambda: None)
+
+
+def test_invalidate(tmp_path, medium_graph):
+    cache = ArtifactCache(tmp_path)
+    cache.graph("a", lambda: medium_graph)
+    cache.graph("b", lambda: medium_graph)
+    assert cache.invalidate("graph", "a") == 1
+    assert not cache.contains("graph", "a")
+    assert cache.contains("graph", "b")
+    assert cache.invalidate() == 1
+
+
+def test_manifest(tmp_path, medium_graph):
+    cache = ArtifactCache(tmp_path)
+    cache.graph("a", lambda: medium_graph)
+    manifest = cache.manifest()
+    assert len(manifest) == 1
+    path = cache.write_manifest()
+    assert path.exists()

@@ -1,0 +1,103 @@
+"""Tests for the varint/delta compressed adjacency codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.generators.rmat import rmat
+from repro.graph.builder import from_arrays, from_edges
+from repro.graph.weights import ligra_weights
+from repro.io.compressed import (
+    compress_graph,
+    decode_varints,
+    decompress_graph,
+    encode_varints,
+    load_compressed,
+    save_compressed,
+)
+
+
+class TestVarints:
+    def test_small_values_one_byte(self):
+        data = encode_varints(np.array([0, 1, 127]))
+        assert len(data) == 3
+        assert np.array_equal(decode_varints(data, 3), [0, 1, 127])
+
+    def test_multi_byte_values(self):
+        values = np.array([128, 300, 2**20, 2**40])
+        data = encode_varints(values)
+        assert np.array_equal(decode_varints(data, 4), values)
+
+    def test_truncated_rejected(self):
+        data = encode_varints(np.array([300]))
+        with pytest.raises(ValueError, match="truncated"):
+            decode_varints(data[:-1] + bytes([0x80]), 1)
+
+    def test_trailing_rejected(self):
+        data = encode_varints(np.array([5]))
+        with pytest.raises(ValueError, match="trailing"):
+            decode_varints(data + b"\x00", 1)
+
+    @given(st.lists(st.integers(0, 2**50), max_size=50))
+    @settings(max_examples=50, deadline=None)
+    def test_round_trip_property(self, values):
+        arr = np.array(values, dtype=np.uint64)
+        assert np.array_equal(
+            decode_varints(encode_varints(arr), len(values)), arr
+        )
+
+
+class TestGraphCodec:
+    def test_round_trip_weighted(self, medium_graph):
+        g = decompress_graph(compress_graph(medium_graph))
+        # CSR ordering may differ (adjacency sorted); compare edge multisets
+        assert sorted(g.iter_edges()) == sorted(medium_graph.iter_edges())
+
+    def test_round_trip_unweighted(self):
+        g0 = rmat(8, 6, seed=141)
+        g = decompress_graph(compress_graph(g0))
+        assert not g.is_weighted
+        assert sorted(g.iter_edges()) == sorted(g0.iter_edges())
+
+    def test_empty_graph(self):
+        g0 = from_edges([], num_vertices=5)
+        g = decompress_graph(compress_graph(g0))
+        assert g.num_vertices == 5 and g.num_edges == 0
+
+    def test_bad_magic(self):
+        with pytest.raises(ValueError, match="magic|compressed"):
+            decompress_graph(b"XXXX" + b"\x00" * 40)
+
+    def test_powerlaw_compresses(self, tmp_path):
+        """Sorted power-law adjacencies must beat 4-byte raw ids."""
+        g = rmat(11, 12, seed=142)
+        report = save_compressed(g, tmp_path / "g.cg")
+        assert report.ratio > 1.0
+        loaded = load_compressed(tmp_path / "g.cg")
+        assert sorted(loaded.iter_edges()) == sorted(g.iter_edges())
+
+    def test_queries_unaffected(self, tmp_path):
+        from repro.engines.frontier import evaluate_query
+        from repro.queries.specs import SSSP
+
+        g = ligra_weights(rmat(8, 8, seed=143), seed=144)
+        save_compressed(g, tmp_path / "g.cg")
+        loaded = load_compressed(tmp_path / "g.cg")
+        assert np.array_equal(
+            evaluate_query(loaded, SSSP, 3), evaluate_query(g, SSSP, 3)
+        )
+
+
+@given(seed=st.integers(0, 2**31 - 1))
+@settings(max_examples=25, deadline=None)
+def test_property_round_trip(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(1, 20))
+    m = int(rng.integers(0, 60))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.integers(1, 9, m).astype(float)
+    g = from_arrays(n, src, dst, weights)
+    round_tripped = decompress_graph(compress_graph(g))
+    assert sorted(round_tripped.iter_edges()) == sorted(g.iter_edges())

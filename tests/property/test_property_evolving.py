@@ -1,0 +1,73 @@
+"""Property-based exactness of evolving core graphs under random churn."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.evolving import EvolvingCoreGraph
+from repro.engines.frontier import evaluate_query
+from repro.graph.builder import from_arrays
+from repro.queries.specs import SSSP, SSWP
+
+
+@st.composite
+def churn_scenario(draw):
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    n = draw(st.integers(4, 12))
+    m = draw(st.integers(4, 40))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.integers(1, 8, m).astype(float)
+    g = from_arrays(n, src, dst, weights)
+    ops = []
+    for _ in range(draw(st.integers(1, 4))):
+        if draw(st.booleans()):
+            k = draw(st.integers(1, 6))
+            ops.append(("insert", [
+                (int(rng.integers(n)), int(rng.integers(n)),
+                 float(rng.integers(1, 8)))
+                for _ in range(k)
+            ]))
+        else:
+            k = draw(st.integers(1, 4))
+            ops.append(("delete", [
+                (int(rng.integers(n)), int(rng.integers(n)))
+                for _ in range(k)
+            ]))
+    source = draw(st.integers(0, n - 1))
+    return g, ops, source
+
+
+@pytest.mark.parametrize("spec", (SSSP, SSWP), ids=lambda s: s.name)
+@given(data=churn_scenario())
+@settings(max_examples=30, deadline=None)
+def test_exact_after_arbitrary_churn(spec, data):
+    g, ops, source = data
+    ev = EvolvingCoreGraph(g, spec, num_hubs=2)
+    for kind, batch in ops:
+        if kind == "insert":
+            ev.insert_edges(batch)
+        else:
+            ev.delete_edges(batch)
+    res = ev.answer(source)
+    truth = evaluate_query(ev.graph, spec, source)
+    assert np.array_equal(res.values, truth)
+
+
+@given(data=churn_scenario())
+@settings(max_examples=20, deadline=None)
+def test_cg_stays_subgraph(data):
+    g, ops, _ = data
+    ev = EvolvingCoreGraph(g, SSSP, num_hubs=2)
+    for kind, batch in ops:
+        if kind == "insert":
+            ev.insert_edges(batch)
+        else:
+            ev.delete_edges(batch)
+    n = ev.graph.num_vertices
+    full = {
+        (u, v) for u, v, _ in ev.graph.iter_edges()
+    }
+    for u, v, _ in ev.cg.graph.iter_edges():
+        assert (u, v) in full

@@ -1,0 +1,79 @@
+"""Property-based tests for the graph substrate."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_edges
+from repro.graph.transform import (
+    edge_subgraph,
+    reverse,
+    reverse_edge_permutation,
+    symmetrize,
+)
+
+
+@st.composite
+def edge_lists(draw, max_n=12, max_m=40, weighted=True):
+    n = draw(st.integers(min_value=1, max_value=max_n))
+    m = draw(st.integers(min_value=0, max_value=max_m))
+    edges = []
+    for _ in range(m):
+        u = draw(st.integers(0, n - 1))
+        v = draw(st.integers(0, n - 1))
+        if weighted:
+            w = draw(st.floats(0.5, 10.0, allow_nan=False))
+            edges.append((u, v, w))
+        else:
+            edges.append((u, v))
+    return n, edges
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_csr_preserves_multiset_of_edges(data):
+    n, edges = data
+    g = from_edges(edges, num_vertices=n)
+    assert sorted((u, v) for u, v, _ in g.iter_edges()) == sorted(
+        (u, v) for u, v, _ in edges
+    )
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_involution(data):
+    n, edges = data
+    g = from_edges(edges, num_vertices=n)
+    assert reverse(reverse(g)) == g
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_reverse_permutation_bijective(data):
+    n, edges = data
+    g = from_edges(edges, num_vertices=n)
+    perm = reverse_edge_permutation(g)
+    assert np.array_equal(np.sort(perm), np.arange(g.num_edges))
+
+
+@given(edge_lists())
+@settings(max_examples=60, deadline=None)
+def test_symmetrize_degree_sum(data):
+    n, edges = data
+    g = from_edges(edges, num_vertices=n)
+    sym = symmetrize(g)
+    assert np.array_equal(
+        sym.out_degree(), g.out_degree() + g.in_degree()
+    )
+
+
+@given(edge_lists(), st.integers(0, 2**31 - 1))
+@settings(max_examples=60, deadline=None)
+def test_edge_subgraph_edge_count(data, seed):
+    n, edges = data
+    g = from_edges(edges, num_vertices=n)
+    rng = np.random.default_rng(seed)
+    mask = rng.random(g.num_edges) < 0.5
+    sub = edge_subgraph(g, mask)
+    assert sub.num_edges == int(mask.sum())
+    assert sub.num_vertices == n

@@ -1,0 +1,51 @@
+"""Property-based round-trip of the binary I/O layer."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.builder import from_arrays
+from repro.graph.edgelist import read_edge_list, write_edge_list
+from repro.io.binary import load_graph, save_graph
+
+
+@st.composite
+def random_graphs(draw, weighted=True):
+    n = draw(st.integers(min_value=1, max_value=20))
+    m = draw(st.integers(min_value=0, max_value=60))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.integers(1, 100, m).astype(float) / 4 if weighted else None
+    return from_arrays(n, src, dst, weights)
+
+
+@given(g=random_graphs())
+@settings(max_examples=40, deadline=None)
+def test_binary_round_trip(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.npz"
+    save_graph(g, path)
+    assert load_graph(path) == g
+
+
+@given(g=random_graphs(weighted=False))
+@settings(max_examples=25, deadline=None)
+def test_binary_round_trip_unweighted(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.npz"
+    save_graph(g, path)
+    loaded = load_graph(path)
+    assert not loaded.is_weighted
+    assert loaded == g
+
+
+@given(g=random_graphs())
+@settings(max_examples=25, deadline=None)
+def test_edge_list_round_trip(g, tmp_path_factory):
+    path = tmp_path_factory.mktemp("io") / "g.txt"
+    write_edge_list(g, path)
+    if g.num_edges == 0:
+        loaded = read_edge_list(path, num_vertices=g.num_vertices)
+        assert loaded.num_edges == 0
+        return
+    loaded = read_edge_list(path, num_vertices=g.num_vertices)
+    assert loaded == g

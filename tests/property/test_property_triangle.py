@@ -1,0 +1,54 @@
+"""Property-based soundness of the Theorem 1 certificates: a certified
+vertex is always genuinely precise."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import build_cg
+from repro.core.triangle import certify_precise
+from repro.engines.frontier import evaluate_query
+from repro.graph.builder import from_arrays
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI
+
+
+@st.composite
+def graph_and_source(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    m = draw(st.integers(min_value=1, max_value=50))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.integers(1, 8, m).astype(float)
+    g = from_arrays(n, src, dst, weights)
+    source = draw(st.integers(0, n - 1))
+    return g, source
+
+
+@pytest.mark.parametrize(
+    "spec", (SSSP, SSNP, SSWP, VITERBI, REACH), ids=lambda s: s.name
+)
+@given(data=graph_and_source())
+@settings(max_examples=40, deadline=None)
+def test_certificates_sound(spec, data):
+    g, source = data
+    cg = build_cg(g, spec, num_hubs=2)
+    cg_vals = evaluate_query(cg.graph, spec, source)
+    truth = evaluate_query(g, spec, source)
+    certified = certify_precise(cg, spec, source, cg_vals)
+    precise = spec.values_equal(cg_vals, truth)
+    # soundness: certified -> precise
+    assert not np.any(certified & ~precise)
+
+
+@given(data=graph_and_source())
+@settings(max_examples=30, deadline=None)
+def test_saturation_sound_for_reach(data):
+    """REACH saturation: a vertex reached on any subgraph is reached on G."""
+    g, source = data
+    cg = build_cg(g, REACH, num_hubs=2)
+    cg_vals = evaluate_query(cg.graph, REACH, source)
+    truth = evaluate_query(g, REACH, source)
+    saturated = REACH.saturated(cg_vals)
+    assert not np.any(saturated & (truth == 0.0))

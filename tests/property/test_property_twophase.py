@@ -1,0 +1,79 @@
+"""Property-based tests of the paper's central guarantee: 2Phase evaluation
+is exact for every query kind, any proxy subgraph, and any source."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.dispatch import build_cg
+from repro.core.twophase import two_phase
+from repro.engines.frontier import evaluate_query
+from repro.graph.builder import from_arrays
+from repro.graph.transform import edge_subgraph
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+
+@st.composite
+def graph_proxy_source(draw):
+    n = draw(st.integers(min_value=2, max_value=14))
+    m = draw(st.integers(min_value=0, max_value=50))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31 - 1)))
+    src = rng.integers(0, n, m)
+    dst = rng.integers(0, n, m)
+    weights = rng.integers(1, 8, m).astype(float)
+    g = from_arrays(n, src, dst, weights)
+    keep_prob = draw(st.floats(0.0, 1.0))
+    mask = rng.random(g.num_edges) < keep_prob
+    proxy = edge_subgraph(g, mask)
+    source = draw(st.integers(0, n - 1))
+    return g, proxy, source
+
+
+@pytest.mark.parametrize(
+    "spec", (SSSP, SSNP, SSWP, VITERBI, REACH), ids=lambda s: s.name
+)
+@given(data=graph_proxy_source())
+@settings(max_examples=40, deadline=None)
+def test_two_phase_exact_for_arbitrary_proxy(spec, data):
+    """Any edge-subgraph proxy (however bad) must yield precise results."""
+    g, proxy, source = data
+    res = two_phase(g, proxy, spec, source)
+    truth = evaluate_query(g, spec, source)
+    assert np.array_equal(res.values, truth)
+
+
+@given(data=graph_proxy_source())
+@settings(max_examples=30, deadline=None)
+def test_two_phase_wcc_exact(data):
+    g, proxy, _ = data
+    res = two_phase(g, proxy, WCC)
+    assert np.array_equal(res.values, evaluate_query(g, WCC))
+
+
+@pytest.mark.parametrize(
+    "spec", (SSSP, SSNP, SSWP, VITERBI, REACH, WCC), ids=lambda s: s.name
+)
+@given(data=graph_proxy_source())
+@settings(max_examples=25, deadline=None)
+def test_two_phase_with_real_cg(spec, data):
+    """The paper's actual pipeline: build the CG, then 2Phase-evaluate."""
+    g, _, source = data
+    cg = build_cg(g, spec, num_hubs=3)
+    res = two_phase(g, cg, spec, None if spec.multi_source else source)
+    truth = evaluate_query(g, spec, None if spec.multi_source else source)
+    assert np.array_equal(res.values, truth)
+
+
+@pytest.mark.parametrize(
+    "spec", (SSSP, SSNP, SSWP, VITERBI, REACH), ids=lambda s: s.name
+)
+@given(data=graph_proxy_source())
+@settings(max_examples=25, deadline=None)
+def test_two_phase_triangle_exact(spec, data):
+    """The triangle optimization must never break exactness."""
+    g, _, source = data
+    cg = build_cg(g, spec, num_hubs=3)
+    res = two_phase(g, cg, spec, source, triangle=True)
+    truth = evaluate_query(g, spec, source)
+    assert np.array_equal(res.values, truth)

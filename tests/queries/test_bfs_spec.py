@@ -1,0 +1,78 @@
+"""Tests for the BFS extension spec (unit-weight SSSP)."""
+
+import numpy as np
+import pytest
+
+from repro.core.dispatch import build_cg
+from repro.core.twophase import two_phase
+from repro.engines.frontier import evaluate_query
+from repro.generators.random_graphs import path_graph, star_graph
+from repro.queries.registry import ALL_SPECS, EXTENDED_SPECS, get_spec
+from repro.queries.reference import reference_solve
+from repro.queries.specs import BFS, SSSP
+
+
+class TestSemantics:
+    def test_hop_counts_on_path(self):
+        g = path_graph(5, weight=9.0)  # weights must be ignored
+        vals = evaluate_query(g, BFS, 0)
+        assert np.array_equal(vals, [0, 1, 2, 3, 4])
+
+    def test_star(self):
+        vals = evaluate_query(star_graph(6), BFS, 0)
+        assert vals[0] == 0
+        assert np.all(vals[1:] == 1)
+
+    def test_matches_unit_weight_sssp(self, medium_graph):
+        from repro.graph.transform import with_weights
+
+        unit = with_weights(medium_graph, np.ones(medium_graph.num_edges))
+        bfs = evaluate_query(medium_graph, BFS, 3)
+        sssp = evaluate_query(unit, SSSP, 3)
+        assert np.array_equal(bfs, sssp)
+
+    def test_reference_agrees(self, medium_graph):
+        assert np.array_equal(
+            evaluate_query(medium_graph, BFS, 3),
+            reference_solve(medium_graph, BFS, 3),
+        )
+
+
+class TestRegistry:
+    def test_lookup(self):
+        assert get_spec("bfs") is BFS
+
+    def test_not_in_paper_six(self):
+        assert BFS not in ALL_SPECS
+        assert BFS in EXTENDED_SPECS
+
+    def test_identification_routes(self):
+        assert BFS.identification == "algorithm1"
+        assert get_spec("REACH").identification == "algorithm2"
+
+
+class TestCoreGraphPipeline:
+    def test_cg_and_two_phase_exact(self, medium_graph):
+        cg = build_cg(medium_graph, BFS, num_hubs=5)
+        assert cg.spec_name == "BFS"
+        assert len(cg.hub_data) == 5  # Algorithm 1 path
+        truth = evaluate_query(medium_graph, BFS, 7)
+        res = two_phase(medium_graph, cg, BFS, 7)
+        assert np.array_equal(res.values, truth)
+
+    def test_triangle_certificates(self, medium_graph):
+        cg = build_cg(medium_graph, BFS, num_hubs=5)
+        truth = evaluate_query(medium_graph, BFS, 7)
+        res = two_phase(medium_graph, cg, BFS, 7, triangle=True)
+        assert np.array_equal(res.values, truth)
+        assert res.certified_precise > 0
+
+    def test_certificates_sound(self, medium_graph):
+        from repro.core.triangle import certify_precise
+
+        cg = build_cg(medium_graph, BFS, num_hubs=4)
+        cg_vals = evaluate_query(cg.graph, BFS, 11)
+        truth = evaluate_query(medium_graph, BFS, 11)
+        certified = certify_precise(cg, BFS, 11, cg_vals)
+        precise = BFS.values_equal(cg_vals, truth)
+        assert not np.any(certified & ~precise)

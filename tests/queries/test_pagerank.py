@@ -1,0 +1,69 @@
+"""Tests for PageRank (the non-monotonic counterexample)."""
+
+import numpy as np
+import pytest
+
+from repro.generators.random_graphs import cycle_graph, star_graph
+from repro.graph.builder import from_edges
+from repro.queries.pagerank import pagerank
+
+
+class TestBasics:
+    def test_ranks_sum_to_one(self, medium_graph):
+        res = pagerank(medium_graph)
+        assert res.converged
+        assert res.ranks.sum() == pytest.approx(1.0)
+        assert np.all(res.ranks > 0)
+
+    def test_cycle_is_uniform(self):
+        res = pagerank(cycle_graph(8))
+        assert np.allclose(res.ranks, 1.0 / 8)
+
+    def test_star_hub_receives_nothing(self):
+        # hub 0 points at leaves; leaves are dangling
+        res = pagerank(star_graph(5))
+        assert res.ranks[1] > res.ranks[0] or np.isclose(
+            res.ranks[1], res.ranks[0], rtol=0.5
+        )
+        assert res.ranks.sum() == pytest.approx(1.0)
+
+    def test_sink_accumulates(self):
+        # 0 -> 2, 1 -> 2: vertex 2 must outrank the sources
+        g = from_edges([(0, 2), (1, 2)], num_vertices=3)
+        res = pagerank(g)
+        assert res.ranks[2] > res.ranks[0]
+
+    def test_dangling_mass_conserved(self):
+        g = from_edges([(0, 1)], num_vertices=2)  # 1 is dangling
+        res = pagerank(g)
+        assert res.ranks.sum() == pytest.approx(1.0)
+
+
+class TestWarmStart:
+    def test_fixed_point_independent_of_init(self, medium_graph):
+        cold = pagerank(medium_graph, tol=1e-13)
+        rng = np.random.default_rng(3)
+        warm = pagerank(
+            medium_graph, tol=1e-13, init=rng.random(medium_graph.num_vertices)
+        )
+        assert np.allclose(cold.ranks, warm.ranks, atol=1e-10)
+
+    def test_good_init_saves_iterations(self, medium_graph):
+        cold = pagerank(medium_graph, tol=1e-12)
+        warm = pagerank(medium_graph, tol=1e-12, init=cold.ranks)
+        assert warm.iterations < cold.iterations
+
+
+class TestValidation:
+    def test_damping_range(self, medium_graph):
+        with pytest.raises(ValueError):
+            pagerank(medium_graph, damping=1.0)
+
+    def test_bad_init(self, medium_graph):
+        with pytest.raises(ValueError):
+            pagerank(medium_graph, init=np.zeros(medium_graph.num_vertices))
+
+    def test_max_iterations_respected(self, medium_graph):
+        res = pagerank(medium_graph, tol=0.0, max_iterations=3)
+        assert res.iterations == 3
+        assert not res.converged

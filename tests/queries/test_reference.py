@@ -1,0 +1,73 @@
+"""Tests for the reference solvers (against hand-computed answers)."""
+
+import numpy as np
+import pytest
+
+from repro.graph.builder import from_edges
+from repro.queries.reference import (
+    bfs_reach,
+    dijkstra_like,
+    reference_solve,
+    wcc_reference,
+)
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
+
+
+@pytest.fixture
+def diamond():
+    """0 -> {1, 2} -> 3, asymmetric weights."""
+    return from_edges(
+        [(0, 1, 1.0), (0, 2, 4.0), (1, 3, 5.0), (2, 3, 1.0)], num_vertices=4
+    )
+
+
+class TestHandComputed:
+    def test_sssp(self, diamond):
+        vals = dijkstra_like(diamond, SSSP, 0)
+        assert list(vals) == [0.0, 1.0, 4.0, 5.0]  # 3 via either path = 5/6
+
+    def test_sswp(self, diamond):
+        vals = dijkstra_like(diamond, SSWP, 0)
+        # widest to 3: max(min(1,5), min(4,1)) = 1
+        assert vals[3] == 1.0
+        assert vals[2] == 4.0
+
+    def test_ssnp(self, diamond):
+        vals = dijkstra_like(diamond, SSNP, 0)
+        # narrowest to 3: min(max(1,5), max(4,1)) = 4
+        assert vals[3] == 4.0
+
+    def test_viterbi(self, diamond):
+        vals = dijkstra_like(diamond, VITERBI, 0)
+        # probabilities: 1*(1/1*1/5)=0.2 vs (1/4*1/1)=0.25
+        assert np.isclose(vals[3], 0.25)
+
+    def test_reach(self, diamond):
+        assert list(bfs_reach(diamond, 0)) == [1, 1, 1, 1]
+        assert list(bfs_reach(diamond, 3)) == [0, 0, 0, 1]
+
+    def test_wcc_components(self):
+        g = from_edges([(0, 1), (1, 2), (4, 3)], num_vertices=6)
+        labels = wcc_reference(g)
+        assert list(labels) == [0, 0, 0, 3, 3, 5]
+
+
+class TestDispatch:
+    def test_reference_solve_routes(self, diamond):
+        assert reference_solve(diamond, SSSP, 0)[3] == 5.0
+        assert reference_solve(diamond, REACH, 0)[3] == 1.0
+        assert reference_solve(diamond, WCC).max() == 0.0
+
+    def test_source_required(self, diamond):
+        with pytest.raises(ValueError):
+            reference_solve(diamond, SSSP)
+        with pytest.raises(ValueError):
+            reference_solve(diamond, REACH)
+
+    def test_wcc_rejected_by_dijkstra(self, diamond):
+        with pytest.raises(ValueError):
+            dijkstra_like(diamond, WCC, 0)
+
+    def test_unreachable_stays_init(self, tiny_graph):
+        vals = dijkstra_like(tiny_graph, SSSP, 0)
+        assert np.isinf(vals[4])

@@ -1,0 +1,34 @@
+"""Tests for the query registry."""
+
+import pytest
+
+from repro.queries.registry import (
+    ALL_SPECS,
+    UNWEIGHTED_SPECS,
+    WEIGHTED_SPECS,
+    cg_spec_for,
+    get_spec,
+)
+from repro.queries.specs import REACH, SSSP, WCC
+
+
+def test_all_six_registered():
+    assert len(ALL_SPECS) == 6
+    assert len(WEIGHTED_SPECS) == 4
+    assert len(UNWEIGHTED_SPECS) == 2
+
+
+def test_lookup_case_insensitive():
+    assert get_spec("sssp") is SSSP
+    assert get_spec("ViTeRbI").name == "Viterbi"
+
+
+def test_unknown_name():
+    with pytest.raises(KeyError, match="SSSP"):
+        get_spec("pagerank")
+
+
+def test_wcc_uses_reach_cg():
+    assert cg_spec_for(WCC) is REACH
+    assert cg_spec_for(SSSP) is SSSP
+    assert cg_spec_for(REACH) is REACH

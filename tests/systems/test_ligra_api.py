@@ -1,0 +1,120 @@
+"""Tests for the mini-Ligra edgeMap/vertexMap API and its algorithms."""
+
+import numpy as np
+import pytest
+
+from repro.engines.frontier import evaluate_query
+from repro.generators.random_graphs import path_graph, star_graph
+from repro.queries.reference import reference_solve
+from repro.queries.specs import SSSP, WCC
+from repro.systems.ligra_algorithms import (
+    ligra_bellman_ford,
+    ligra_bfs,
+    ligra_components,
+)
+from repro.systems.ligra_api import VertexSubset, edge_map, vertex_map
+
+
+class TestVertexSubset:
+    def test_sparse_basics(self):
+        vs = VertexSubset(10, members=[3, 1, 3])
+        assert vs.size == 2
+        assert list(vs.ids()) == [1, 3]
+        assert vs.contains(3) and not vs.contains(0)
+        assert not vs.is_dense
+
+    def test_dense_basics(self):
+        mask = np.zeros(5, dtype=bool)
+        mask[2] = True
+        vs = VertexSubset(5, dense=mask)
+        assert vs.is_dense
+        assert vs.size == 1
+        assert list(vs.ids()) == [2]
+
+    def test_constructors(self):
+        assert VertexSubset.empty(4).size == 0
+        assert not VertexSubset.empty(4)
+        assert VertexSubset.single(4, 2).contains(2)
+        assert VertexSubset.full(4).size == 4
+
+    def test_mask_round_trip(self):
+        vs = VertexSubset(6, members=[0, 5])
+        assert list(np.flatnonzero(vs.mask())) == [0, 5]
+
+
+class TestEdgeMap:
+    def test_star_one_hop(self):
+        g = star_graph(5)
+        visited = np.zeros(5, dtype=bool)
+        visited[0] = True
+
+        def update(u, v, w):
+            fresh = ~visited[v]
+            visited[v[fresh]] = True
+            return fresh
+
+        out = edge_map(g, VertexSubset.single(5, 0), update)
+        assert set(out.ids().tolist()) == {1, 2, 3, 4}
+
+    def test_cond_skips(self):
+        g = star_graph(5)
+        out = edge_map(
+            g, VertexSubset.single(5, 0),
+            update=lambda u, v, w: np.ones(v.size, dtype=bool),
+            cond=lambda v: v % 2 == 0,
+        )
+        assert set(out.ids().tolist()) == {2, 4}
+
+    def test_empty_frontier(self):
+        g = star_graph(5)
+        out = edge_map(g, VertexSubset.empty(5),
+                       update=lambda u, v, w: np.ones(v.size, dtype=bool))
+        assert not out
+
+    def test_dense_output_for_large_subsets(self):
+        g = star_graph(50)
+        out = edge_map(
+            g, VertexSubset.single(50, 0),
+            update=lambda u, v, w: np.ones(v.size, dtype=bool),
+        )
+        assert out.is_dense  # 49/50 vertices activated
+        assert out.size == 49
+
+
+class TestVertexMap:
+    def test_filter(self):
+        vs = VertexSubset(10, members=[1, 2, 3, 4])
+        out = vertex_map(vs, lambda ids: ids % 2 == 0)
+        assert set(out.ids().tolist()) == {2, 4}
+
+    def test_side_effect_only(self):
+        touched = []
+        vs = VertexSubset(10, members=[1, 2])
+        out = vertex_map(vs, lambda ids: touched.extend(ids.tolist()))
+        assert out is vs
+        assert touched == [1, 2]
+
+    def test_bad_filter_shape(self):
+        vs = VertexSubset(10, members=[1, 2])
+        with pytest.raises(ValueError):
+            vertex_map(vs, lambda ids: np.ones(5, dtype=bool))
+
+
+class TestAlgorithms:
+    def test_bfs_levels_on_path(self):
+        g = path_graph(5)
+        assert list(ligra_bfs(g, 0)) == [0, 1, 2, 3, 4]
+        assert list(ligra_bfs(g, 2)) == [-1, -1, 0, 1, 2]
+
+    def test_bfs_matches_reach(self, medium_graph):
+        levels = ligra_bfs(medium_graph, 3)
+        reach = evaluate_query(medium_graph, SSSP, 3)  # reached = finite
+        assert np.array_equal(levels >= 0, np.isfinite(reach))
+
+    def test_bellman_ford_matches_engine(self, medium_graph):
+        dist = ligra_bellman_ford(medium_graph, 3)
+        assert np.array_equal(dist, evaluate_query(medium_graph, SSSP, 3))
+
+    def test_components_match_union_find(self, medium_graph):
+        labels = ligra_components(medium_graph)
+        assert np.array_equal(labels, reference_solve(medium_graph, WCC))

@@ -1,0 +1,105 @@
+"""Tests for the Pregel-style distributed BSP model."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.unweighted import build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import REACH, SSSP, SSWP, WCC
+from repro.systems.pregel import PregelSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = ligra_weights(rmat(9, 9, seed=201), seed=202)
+    return (
+        g,
+        PregelSimulator(g, workers=8),
+        build_core_graph(g, SSSP, num_hubs=6),
+    )
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("spec", (SSSP, SSWP, REACH), ids=lambda s: s.name)
+    def test_baseline_exact(self, setup, spec):
+        g, sim, _ = setup
+        rep = sim.baseline_run(spec, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, spec, 5))
+
+    def test_wcc(self, setup):
+        g, sim, _ = setup
+        rep = sim.baseline_run(WCC)
+        assert np.array_equal(rep.values, evaluate_query(g, WCC))
+
+    def test_two_phase_exact(self, setup):
+        g, sim, cg = setup
+        rep = sim.two_phase_run(cg, SSSP, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+    def test_triangle_exact(self, setup):
+        g, sim, cg = setup
+        rep = sim.two_phase_run(cg, SSSP, 5, triangle=True)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+    def test_range_placement(self, setup):
+        g, _, _ = setup
+        sim = PregelSimulator(g, workers=4, placement="range")
+        rep = sim.baseline_run(SSSP, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+
+class TestAccounting:
+    def test_single_worker_no_network(self, setup):
+        g, _, _ = setup
+        sim = PregelSimulator(g, workers=1)
+        rep = sim.baseline_run(SSSP, 5)
+        assert rep.counters["network_messages"] == 0
+
+    def test_messages_include_network_subset(self, setup):
+        g, sim, _ = setup
+        rep = sim.baseline_run(SSSP, 5)
+        assert 0 < rep.counters["network_messages"] <= rep.counters["messages"]
+
+    def test_two_phase_cuts_network_traffic(self, setup):
+        """The distributed payoff: a coordinator-local core phase plus a
+        short completion phase moves fewer values across workers (even
+        counting the bootstrap broadcast)."""
+        g, sim, cg = setup
+        base = sim.baseline_run(SSSP, 5)
+        two = sim.two_phase_run(cg, SSSP, 5)
+        assert (
+            two.counters["network_messages"]
+            < base.counters["network_messages"]
+        )
+
+    def test_two_phase_cuts_supersteps(self, setup):
+        g, sim, cg = setup
+        base = sim.baseline_run(SSSP, 5)
+        two = sim.two_phase_run(cg, SSSP, 5)
+        assert two.counters["supersteps"] <= base.counters["supersteps"]
+
+    def test_reach_network_near_zero_in_completion(self, setup):
+        g, sim, _ = setup
+        gcg = build_unweighted_core_graph(g, num_hubs=6)
+        base = sim.baseline_run(REACH, 5)
+        two = sim.two_phase_run(gcg, REACH, 5)
+        # completion traffic (beyond the n-message broadcast) is tiny
+        n = g.num_vertices
+        assert two.counters["network_messages"] - n < (
+            0.25 * base.counters["network_messages"]
+        )
+
+
+class TestValidation:
+    def test_bad_workers(self, setup):
+        g = setup[0]
+        with pytest.raises(ValueError):
+            PregelSimulator(g, workers=0)
+
+    def test_bad_placement(self, setup):
+        g = setup[0]
+        with pytest.raises(ValueError):
+            PregelSimulator(g, placement="random")

@@ -1,0 +1,34 @@
+"""Tests for the shared report structures."""
+
+import pytest
+
+from repro.systems.report import CostParams, SystemReport
+
+
+def test_counter_defaults_to_zero():
+    rep = SystemReport("Ligra", "SSSP", "baseline")
+    assert rep.counter("missing") == 0.0
+
+
+def test_speedup_over():
+    base = SystemReport("Ligra", "SSSP", "baseline", time=2.0)
+    two = SystemReport("Ligra", "SSSP", "2phase", time=0.5)
+    assert two.speedup_over(base) == 4.0
+
+
+def test_speedup_rejects_zero_time():
+    base = SystemReport("Ligra", "SSSP", "baseline", time=2.0)
+    bad = SystemReport("Ligra", "SSSP", "2phase", time=0.0)
+    with pytest.raises(ValueError):
+        bad.speedup_over(base)
+
+
+def test_cost_params_frozen():
+    p = CostParams()
+    with pytest.raises(Exception):
+        p.pcie_bandwidth = 1.0
+
+
+def test_repr():
+    rep = SystemReport("Subway", "REACH", "2phase", time=1.25)
+    assert "Subway/REACH/2phase" in repr(rep)

@@ -1,0 +1,95 @@
+"""Tests for the Subway GPU cost model."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.unweighted import build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.queries.specs import REACH, SSSP, WCC
+from repro.systems.subway import SubwaySimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    # Power-law input (the paper's regime): its CG is small enough to fit
+    # in the modeled GPU memory, unlike a uniform random graph's.
+    from repro.generators.rmat import rmat
+    from repro.graph.weights import ligra_weights
+
+    g = ligra_weights(rmat(9, 10, seed=51), seed=52)
+    return g, SubwaySimulator(g), build_core_graph(g, SSSP, num_hubs=6)
+
+
+class TestBaseline:
+    def test_values_correct(self, setup):
+        g, sim, _ = setup
+        rep = sim.baseline_run(SSSP, 0)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 0))
+
+    def test_counters_populated(self, setup):
+        g, sim, _ = setup
+        rep = sim.baseline_run(SSSP, 0)
+        assert rep.counters["gen_edges"] > 0
+        assert rep.counters["trans_bytes"] > 0
+        assert rep.counters["comp_edges"] == rep.counters["gen_edges"]
+        assert rep.counters["atomics"] > 0
+        assert rep.time > 0
+        assert rep.time == pytest.approx(sum(rep.breakdown.values()))
+
+    def test_gen_equals_comp_edges(self, setup):
+        """Baseline Subway generates exactly what it computes on."""
+        _, sim, _ = setup
+        rep = sim.baseline_run(SSSP, 3)
+        assert rep.counters["gen_edges"] == rep.counters["comp_edges"]
+
+
+class TestTwoPhase:
+    def test_values_correct(self, setup):
+        g, sim, cg = setup
+        rep = sim.two_phase_run(cg, SSSP, 0)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 0))
+
+    def test_core_phase_free_of_gen(self, setup):
+        """Phase 1 runs in GPU memory: GEN only counts completion-phase
+        subgraph builds, so 2phase GEN < baseline GEN."""
+        _, sim, cg = setup
+        base = sim.baseline_run(SSSP, 0)
+        two = sim.two_phase_run(cg, SSSP, 0)
+        assert two.counters["gen_edges"] < base.counters["gen_edges"]
+
+    def test_transfer_includes_cg_once(self, setup):
+        g, sim, cg = setup
+        two = sim.two_phase_run(cg, SSSP, 0)
+        cg_bytes = (
+            cg.graph.num_edges * sim.params.bytes_per_edge
+            + g.num_vertices * sim.params.bytes_per_vertex
+        )
+        assert two.counters["trans_bytes"] >= cg_bytes
+
+    def test_speedup_over_baseline(self, setup):
+        _, sim, cg = setup
+        base = sim.baseline_run(SSSP, 0)
+        two = sim.two_phase_run(cg, SSSP, 0)
+        assert two.speedup_over(base) > 1.0
+
+    def test_triangle_mode_flag(self, setup):
+        g, sim, cg = setup
+        rep = sim.two_phase_run(cg, SSSP, 0, triangle=True)
+        assert rep.mode == "2phase-triangle"
+        assert rep.counters["certified_precise"] >= 0
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 0))
+
+    def test_wcc_supported(self, setup):
+        g, sim, _ = setup
+        gcg = build_unweighted_core_graph(g, num_hubs=6)
+        rep = sim.two_phase_run(gcg, WCC)
+        assert np.array_equal(rep.values, evaluate_query(g, WCC))
+
+    def test_reach_atomics_reduced(self, setup):
+        g, sim, _ = setup
+        gcg = build_unweighted_core_graph(g, num_hubs=6)
+        base = sim.baseline_run(REACH, 0)
+        two = sim.two_phase_run(gcg, REACH, 0)
+        assert np.array_equal(two.values, evaluate_query(g, REACH, 0))
+        assert two.counters["gen_edges"] < base.counters["gen_edges"]

@@ -1,0 +1,75 @@
+"""Tests for Subway's asynchronous mode."""
+
+import numpy as np
+import pytest
+
+from repro.core.identify import build_core_graph
+from repro.core.unweighted import build_unweighted_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import REACH, SSSP, SSWP, WCC
+from repro.systems.subway import SubwaySimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = ligra_weights(rmat(9, 10, seed=61), seed=62)
+    return (
+        g,
+        SubwaySimulator(g, mode="sync"),
+        SubwaySimulator(g, mode="async"),
+        build_core_graph(g, SSSP, num_hubs=6),
+    )
+
+
+def test_mode_validated(setup):
+    g = setup[0]
+    with pytest.raises(ValueError):
+        SubwaySimulator(g, mode="turbo")
+
+
+@pytest.mark.parametrize("spec", (SSSP, SSWP, REACH), ids=lambda s: s.name)
+def test_async_baseline_exact(setup, spec):
+    g, _, async_sim, _ = setup
+    rep = async_sim.baseline_run(spec, 5)
+    assert np.array_equal(rep.values, evaluate_query(g, spec, 5))
+
+
+def test_async_two_phase_exact(setup):
+    g, _, async_sim, cg = setup
+    rep = async_sim.two_phase_run(cg, SSSP, 5)
+    assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+    tri = async_sim.two_phase_run(cg, SSSP, 5, triangle=True)
+    assert np.array_equal(tri.values, evaluate_query(g, SSSP, 5))
+
+
+def test_async_wcc(setup):
+    g, _, async_sim, _ = setup
+    gcg = build_unweighted_core_graph(g, num_hubs=6)
+    rep = async_sim.two_phase_run(gcg, WCC)
+    assert np.array_equal(rep.values, evaluate_query(g, WCC))
+
+
+def test_async_ships_fewer_subgraphs(setup):
+    """Local convergence per window means fewer generations/transfers."""
+    g, sync_sim, async_sim, _ = setup
+    sync_rep = sync_sim.baseline_run(SSSP, 5)
+    async_rep = async_sim.baseline_run(SSSP, 5)
+    assert (
+        async_rep.counters["iterations"] <= sync_rep.counters["iterations"]
+    )
+    assert (
+        async_rep.counters["trans_bytes"] <= sync_rep.counters["trans_bytes"]
+    )
+
+
+def test_async_may_compute_more_but_transfer_less(setup):
+    """The async trade: on-device rounds may rise, transfers must not."""
+    g, sync_sim, async_sim, cg = setup
+    sync_rep = sync_sim.two_phase_run(cg, SSSP, 5)
+    async_rep = async_sim.two_phase_run(cg, SSSP, 5)
+    assert np.array_equal(sync_rep.values, async_rep.values)
+    assert (
+        async_rep.counters["gen_edges"] <= sync_rep.counters["gen_edges"]
+    )

@@ -1,0 +1,93 @@
+"""Tests for the Wonderland abstraction-guided streaming model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.abstraction import build_abstraction_graph
+from repro.core.identify import build_core_graph
+from repro.engines.frontier import evaluate_query
+from repro.generators.rmat import rmat
+from repro.graph.weights import ligra_weights
+from repro.queries.specs import REACH, SSNP, SSSP, SSWP, WCC
+from repro.systems.wonderland import WonderlandSimulator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    g = ligra_weights(rmat(9, 10, seed=71), seed=72)
+    sim = WonderlandSimulator(g, num_partitions=4)
+    cg = build_core_graph(g, SSSP, num_hubs=6)
+    ag, _ = build_abstraction_graph(g, cg.num_edges)
+    return g, sim, cg, ag
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("spec", (SSSP, SSNP, SSWP, REACH),
+                             ids=lambda s: s.name)
+    def test_baseline_exact(self, setup, spec):
+        g, sim, _, _ = setup
+        rep = sim.baseline_run(spec, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, spec, 5))
+
+    def test_wcc_exact(self, setup):
+        g, sim, _, _ = setup
+        rep = sim.baseline_run(WCC)
+        assert np.array_equal(rep.values, evaluate_query(g, WCC))
+
+    def test_two_phase_with_cg_exact(self, setup):
+        g, sim, cg, _ = setup
+        rep = sim.two_phase_run(cg, SSSP, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+    def test_two_phase_with_ag_exact(self, setup):
+        g, sim, _, ag = setup
+        rep = sim.two_phase_run(ag, SSSP, 5)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+    def test_triangle_exact(self, setup):
+        g, sim, cg, _ = setup
+        rep = sim.two_phase_run(cg, SSSP, 5, triangle=True)
+        assert np.array_equal(rep.values, evaluate_query(g, SSSP, 5))
+
+
+class TestWonderlandClaims:
+    def test_weight_ordering_reduces_passes(self, setup):
+        """Ascending-weight streaming converges SSSP in fewer passes."""
+        g, _, _, _ = setup
+        ordered = WonderlandSimulator(g, 4, ordering="weight")
+        natural = WonderlandSimulator(g, 4, ordering="natural")
+        po = ordered.baseline_run(SSSP, 5).counters["passes"]
+        pn = natural.baseline_run(SSSP, 5).counters["passes"]
+        assert po <= pn
+
+    def test_bootstrap_reduces_passes(self, setup):
+        g, sim, cg, _ = setup
+        base = sim.baseline_run(SSSP, 5)
+        two = sim.two_phase_run(cg, SSSP, 5)
+        assert two.counters["passes"] <= base.counters["passes"]
+
+    def test_every_pass_streams_everything(self, setup):
+        """Edge-centric: no selective skipping — IO = passes x |E| bytes."""
+        g, sim, _, _ = setup
+        rep = sim.baseline_run(SSSP, 5)
+        per_pass = g.num_edges * (sim.params.bytes_per_edge + 4)
+        assert rep.counters["io_bytes"] == rep.counters["passes"] * per_pass
+
+    def test_cg_bootstrap_at_least_as_good_as_ag(self, setup):
+        """The paper's claim from the other side: CG >= AG as a bootstrap."""
+        g, sim, cg, ag = setup
+        cg_rep = sim.two_phase_run(cg, SSSP, 5)
+        ag_rep = sim.two_phase_run(ag, SSSP, 5)
+        assert cg_rep.counters["passes"] <= ag_rep.counters["passes"] + 1
+
+
+class TestValidation:
+    def test_bad_partitions(self, setup):
+        g = setup[0]
+        with pytest.raises(ValueError):
+            WonderlandSimulator(g, 0)
+
+    def test_bad_ordering(self, setup):
+        g = setup[0]
+        with pytest.raises(ValueError):
+            WonderlandSimulator(g, 4, ordering="random")
