@@ -1,0 +1,68 @@
+"""Telemetry overhead: the disabled path must be free.
+
+Every iteration of the frontier engine pays one flag check when telemetry
+is off (the acceptance bar is <2% wall time vs. the pre-instrumentation
+engine). The enabled benchmarks bound what a traced run costs — metrics
+registry updates per iteration, plus journal appends when a sink is
+active.
+"""
+
+import pytest
+
+from repro import obs
+from repro.engines.frontier import evaluate_query
+from repro.harness.cache import get_graph, get_sources
+from repro.queries.registry import get_spec
+
+
+@pytest.fixture
+def tt_sssp():
+    g = get_graph("TT")
+    source = int(get_sources("TT", 1)[0])
+    return g, get_spec("SSSP"), source
+
+
+def test_engine_telemetry_disabled(benchmark, tt_sssp):
+    """Baseline: the default (disabled) path."""
+    g, spec, source = tt_sssp
+    obs.disable()
+    vals = benchmark(evaluate_query, g, spec, source)
+    assert vals.shape == (g.num_vertices,)
+    assert obs.spans.records() == []
+
+
+def test_engine_telemetry_metrics_only(benchmark, tt_sssp):
+    """Enabled without a journal: counters accumulate in-process."""
+    g, spec, source = tt_sssp
+
+    def run():
+        with obs.telemetry():
+            return evaluate_query(g, spec, source)
+
+    vals = benchmark(run)
+    assert vals.shape == (g.num_vertices,)
+
+
+def test_engine_telemetry_journaled(benchmark, tmp_path, tt_sssp):
+    """Enabled with a JSONL sink: the full tracing cost."""
+    g, spec, source = tt_sssp
+    counter = iter(range(10 ** 9))
+
+    def run():
+        path = tmp_path / f"run{next(counter)}.jsonl"
+        with obs.telemetry(trace_path=path, graph=g):
+            return evaluate_query(g, spec, source)
+
+    vals = benchmark(run)
+    assert vals.shape == (g.num_vertices,)
+
+
+def test_null_span_entry_exit(benchmark):
+    """The no-op span: what each instrumented region costs when off."""
+    obs.disable()
+
+    def enter_exit():
+        with obs.span("disabled"):
+            pass
+
+    benchmark(enter_exit)

@@ -10,15 +10,36 @@ Run with::
     pytest benchmarks/ --benchmark-only
 
 Knobs: REPRO_NUM_HUBS (default 20), REPRO_NUM_QUERIES (default 5),
-REPRO_SCALE_DELTA (default 0).
+REPRO_SCALE_DELTA (default 0). Set REPRO_TRACE_DIR to additionally write
+one telemetry journal (``<id>.jsonl``, see ``repro.obs``) per experiment.
 """
 
 from __future__ import annotations
+
+import os
+from pathlib import Path
 
 import pytest
 
 from repro.harness.experiments import run_experiment
 from repro.harness.results import save_result
+
+
+def _traced_run(exp_id: str):
+    """One driver run, journaled under REPRO_TRACE_DIR when set."""
+    trace_dir = os.environ.get("REPRO_TRACE_DIR")
+    if not trace_dir:
+        return run_experiment(exp_id)
+    from repro import obs
+    from repro.harness.config import default_config
+
+    with obs.telemetry(
+        trace_path=Path(trace_dir) / f"{exp_id}.jsonl",
+        config=default_config(),
+        seed=default_config().source_seed,
+        experiment=exp_id,
+    ):
+        return run_experiment(exp_id)
 
 
 @pytest.fixture
@@ -28,7 +49,7 @@ def record_experiment(benchmark):
 
     def _run(exp_id: str, floatfmt: str = ".2f"):
         result = benchmark.pedantic(
-            run_experiment, args=(exp_id,), rounds=1, iterations=1
+            _traced_run, args=(exp_id,), rounds=1, iterations=1
         )
         path = save_result(result)
         text = result.render(floatfmt)

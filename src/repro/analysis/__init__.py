@@ -3,7 +3,12 @@
 from repro.analysis.degree_dist import degree_distribution_series, powerlaw_fit
 from repro.analysis.overlap import top_degree_overlap
 from repro.analysis.stats import graph_summary, GraphSummary
-from repro.analysis.traces import Trace, two_phase_trace, write_traces_csv
+from repro.analysis.traces import (
+    Trace,
+    traces_from_journal,
+    two_phase_trace,
+    write_traces_csv,
+)
 from repro.analysis.diameter import (
     estimate_effective_diameter,
     DiameterEstimate,
@@ -18,6 +23,7 @@ __all__ = [
     "graph_summary",
     "GraphSummary",
     "Trace",
+    "traces_from_journal",
     "two_phase_trace",
     "write_traces_csv",
 ]

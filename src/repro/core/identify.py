@@ -20,6 +20,9 @@ from repro.engines.frontier import evaluate_query
 from repro.graph.csr import Graph
 from repro.graph.degree import top_degree_vertices
 from repro.graph.transform import edge_subgraph, reverse_edge_permutation
+from repro.obs import journal as obs_journal
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import span
 from repro.queries.base import QuerySpec
 
 #: The paper fixes the number of hub queries at 20 after observing that
@@ -102,29 +105,50 @@ def build_core_graph(
     selection = np.zeros(g.num_edges, dtype=np.int32) if track_selection else None
     hub_data = []
 
-    for h in hub_arr:
-        h = int(h)
-        fvals = evaluate_query(g, spec, h, weights=fw_weights)
-        fmask = spec.on_solution_path(fvals[fw_sources], fw_weights, fvals[g.dst])
-        mask |= fmask
-        if selection is not None:
-            selection += fmask
-        if include_backward:
-            bvals = evaluate_query(grev, spec, h, weights=bw_weights)
-            bmask = spec.on_solution_path(
-                bvals[bw_sources], bw_weights, bvals[grev.dst]
-            )
-            mask[perm[np.flatnonzero(bmask)]] = True
-        else:
-            bvals = None
-        if keep_hub_values and bvals is not None:
-            hub_data.append(HubData(hub=h, forward=fvals, backward=bvals))
-        if growth is not None:
-            growth.append(int(mask.sum()))
+    build_span = span("cg.build", algorithm="weighted", query=spec.name,
+                      num_hubs=len(hub_arr))
+    with build_span:
+        for h in hub_arr:
+            h = int(h)
+            with span("cg.hub_query", hub=h, query=spec.name):
+                fvals = evaluate_query(g, spec, h, weights=fw_weights)
+                fmask = spec.on_solution_path(
+                    fvals[fw_sources], fw_weights, fvals[g.dst]
+                )
+                mask |= fmask
+                if selection is not None:
+                    selection += fmask
+                if include_backward:
+                    bvals = evaluate_query(grev, spec, h, weights=bw_weights)
+                    bmask = spec.on_solution_path(
+                        bvals[bw_sources], bw_weights, bvals[grev.dst]
+                    )
+                    mask[perm[np.flatnonzero(bmask)]] = True
+                else:
+                    bvals = None
+            if keep_hub_values and bvals is not None:
+                hub_data.append(HubData(hub=h, forward=fvals, backward=bvals))
+            if growth is not None:
+                growth.append(int(mask.sum()))
 
-    connectivity_added = 0
-    if connectivity:
-        connectivity_added = add_connectivity_edges(g, mask, spec)
+        connectivity_added = 0
+        if connectivity:
+            with span("cg.connectivity"):
+                connectivity_added = add_connectivity_edges(g, mask, spec)
+
+    if obs_runtime._enabled:
+        obs_journal.emit(
+            {
+                "type": "event",
+                "name": "cg.built",
+                "algorithm": "weighted",
+                "query": spec.name,
+                "num_hubs": len(hub_arr),
+                "core_edges": int(mask.sum()),
+                "source_edges": int(g.num_edges),
+                "connectivity_edges": connectivity_added,
+            }
+        )
 
     return CoreGraph(
         graph=edge_subgraph(g, mask),

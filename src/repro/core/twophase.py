@@ -20,6 +20,10 @@ from repro.core.triangle import certify_precise
 from repro.engines.frontier import run_push, symmetric_view
 from repro.engines.stats import RunStats
 from repro.graph.csr import Graph
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import span
 from repro.queries.base import QuerySpec
 
 
@@ -72,10 +76,11 @@ def two_phase(
     work_cg = symmetric_view(proxy_g) if spec.symmetric else proxy_g
     vals = spec.initial_values(n, source)
     frontier = spec.initial_frontier(n, source)
-    run_push(
-        work_cg, spec, vals, frontier,
-        stats=phase1_stats, keep_frontier=keep_frontier,
-    )
+    with span("twophase.core", query=spec.name):
+        run_push(
+            work_cg, spec, vals, frontier,
+            stats=phase1_stats, keep_frontier=keep_frontier,
+        )
 
     if spec.multi_source:
         # Initialization impacts every vertex (each starts with its own
@@ -106,14 +111,35 @@ def two_phase(
     work_g = symmetric_view(g) if spec.symmetric else g
     visited = np.zeros(n, dtype=bool)
     visited[impacted] = True
-    run_push(
-        work_g, spec, vals, impacted,
-        stats=phase2_stats,
-        first_visit=True,
-        visited=visited,
-        blocked_dst=blocked,
-        keep_frontier=keep_frontier,
-    )
+    with span("twophase.completion", query=spec.name):
+        run_push(
+            work_g, spec, vals, impacted,
+            stats=phase2_stats,
+            first_visit=True,
+            visited=visited,
+            blocked_dst=blocked,
+            keep_frontier=keep_frontier,
+        )
+
+    if obs_runtime._enabled:
+        obs_metrics.gauge("twophase.impacted", query=spec.name).set(
+            int(impacted.size)
+        )
+        obs_metrics.gauge("twophase.certified_precise", query=spec.name).set(
+            certified
+        )
+        obs_journal.emit(
+            {
+                "type": "event",
+                "name": "twophase.result",
+                "query": spec.name,
+                "source": None if source is None else int(source),
+                "impacted": int(impacted.size),
+                "certified_precise": certified,
+                "phase1": phase1_stats.to_dict(include_iterations=False),
+                "phase2": phase2_stats.to_dict(include_iterations=False),
+            }
+        )
 
     return TwoPhaseResult(
         values=vals,

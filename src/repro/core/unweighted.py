@@ -22,6 +22,9 @@ from repro.engines.frontier import ragged_gather
 from repro.graph.csr import Graph
 from repro.graph.degree import top_degree_vertices
 from repro.graph.transform import edge_subgraph, reverse_edge_permutation
+from repro.obs import journal as obs_journal
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import span
 from repro.queries.base import QuerySpec
 from repro.queries.specs import REACH
 
@@ -86,21 +89,40 @@ def build_unweighted_core_graph(
     bw_qid = np.zeros(g.num_vertices, dtype=np.int64)
     growth = [] if track_growth else None
 
-    for i, h in enumerate(hub_arr):
-        s_id = i + 1  # 0 is the "unvisited" label
-        _qid_traverse(g, int(h), s_id, fw_qid, fw_mask)
-        _qid_traverse(grev, int(h), s_id, bw_qid, bw_mask)
-        if growth is not None:
-            combined = fw_mask.copy()
-            combined[perm[np.flatnonzero(bw_mask)]] = True
-            growth.append(int(combined.sum()))
+    build_span = span("cg.build", algorithm="unweighted", query=spec.name,
+                      num_hubs=len(hub_arr))
+    with build_span:
+        for i, h in enumerate(hub_arr):
+            s_id = i + 1  # 0 is the "unvisited" label
+            with span("cg.hub_traverse", hub=int(h)):
+                _qid_traverse(g, int(h), s_id, fw_qid, fw_mask)
+                _qid_traverse(grev, int(h), s_id, bw_qid, bw_mask)
+            if growth is not None:
+                combined = fw_mask.copy()
+                combined[perm[np.flatnonzero(bw_mask)]] = True
+                growth.append(int(combined.sum()))
 
-    mask = fw_mask
-    mask[perm[np.flatnonzero(bw_mask)]] = True
+        mask = fw_mask
+        mask[perm[np.flatnonzero(bw_mask)]] = True
 
-    connectivity_added = 0
-    if connectivity:
-        connectivity_added = add_connectivity_edges(g, mask, spec)
+        connectivity_added = 0
+        if connectivity:
+            with span("cg.connectivity"):
+                connectivity_added = add_connectivity_edges(g, mask, spec)
+
+    if obs_runtime._enabled:
+        obs_journal.emit(
+            {
+                "type": "event",
+                "name": "cg.built",
+                "algorithm": "unweighted",
+                "query": spec.name,
+                "num_hubs": len(hub_arr),
+                "core_edges": int(mask.sum()),
+                "source_edges": int(g.num_edges),
+                "connectivity_edges": connectivity_added,
+            }
+        )
 
     return CoreGraph(
         graph=edge_subgraph(g, mask),

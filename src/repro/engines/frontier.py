@@ -23,6 +23,10 @@ import numpy as np
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
 from repro.graph.transform import symmetrize
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
 
 try:  # pragma: no cover - import guard exercised implicitly
@@ -68,6 +72,36 @@ def ragged_gather(
     )
     u_per_edge = np.repeat(frontier, degs)
     return edge_idx, u_per_edge
+
+
+def _emit_iteration(info: IterationInfo) -> None:
+    """Telemetry for one push round: labeled counters + a journal event.
+
+    The phase label is the innermost open span (``twophase.core``,
+    ``cg.hub_query``, ...), so the same engine loop is attributed to
+    whichever caller is driving it.
+    """
+    phase = obs_spans.current_span_name()
+    obs_metrics.counter("engine.iterations", phase=phase).inc()
+    obs_metrics.counter(
+        "engine.edges_scanned", phase=phase
+    ).inc(info.edges_scanned)
+    obs_metrics.counter("engine.updates", phase=phase).inc(info.updates)
+    obs_metrics.counter(
+        "engine.vertices_activated", phase=phase
+    ).inc(info.activated)
+    obs_journal.emit(
+        {
+            "type": "iteration",
+            "engine": "frontier",
+            "phase": phase,
+            "iteration": info.index,
+            "frontier": info.frontier_size,
+            "edges_scanned": info.edges_scanned,
+            "updates": info.updates,
+            "activated": info.activated,
+        }
+    )
 
 
 def push_iterations(
@@ -128,7 +162,7 @@ def push_iterations(
         else:
             activate = changed
         new_frontier = np.unique(v[activate])
-        yield IterationInfo(
+        info = IterationInfo(
             index=iteration,
             frontier_size=int(frontier.size),
             edges_scanned=int(edge_idx.size),
@@ -136,6 +170,9 @@ def push_iterations(
             activated=int(new_frontier.size),
             frontier=frontier if keep_frontier else None,
         )
+        if obs_runtime._enabled:
+            _emit_iteration(info)
+        yield info
         frontier = new_frontier
         iteration += 1
         if max_iterations is not None and iteration >= max_iterations:

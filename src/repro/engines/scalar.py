@@ -14,6 +14,10 @@ import numpy as np
 
 from repro.graph.csr import Graph
 from repro.graph.transform import symmetrize
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
 
 
@@ -27,16 +31,39 @@ def scalar_evaluate(
     queue = deque(int(x) for x in spec.initial_frontier(g.num_vertices, source))
     in_queue = np.zeros(g.num_vertices, dtype=bool)
     in_queue[list(queue)] = True
+    pops = edges_scanned = updates = 0
     while queue:
         u = queue.popleft()
         in_queue[u] = False
+        pops += 1
         lo, hi = work.offsets[u], work.offsets[u + 1]
+        edges_scanned += int(hi - lo)
         for i in range(lo, hi):
             v = int(work.dst[i])
             cand = float(spec.propagate(vals[u], weights[i]))
             if spec.better(cand, vals[v]):
                 vals[v] = cand
+                updates += 1
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
+    if obs_runtime._enabled:
+        phase = obs_spans.current_span_name()
+        obs_metrics.counter("engine.scalar.pops", phase=phase).inc(pops)
+        obs_metrics.counter(
+            "engine.scalar.edges_scanned", phase=phase
+        ).inc(edges_scanned)
+        obs_metrics.counter("engine.scalar.updates", phase=phase).inc(updates)
+        obs_journal.emit(
+            {
+                "type": "event",
+                "name": "scalar.run",
+                "engine": "scalar",
+                "phase": phase,
+                "query": spec.name,
+                "pops": pops,
+                "edges_scanned": edges_scanned,
+                "updates": updates,
+            }
+        )
     return vals

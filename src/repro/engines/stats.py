@@ -8,7 +8,7 @@ processed (Ligra's EDGES metric, Table 11), and successful value updates
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -58,7 +58,36 @@ class RunStats:
         self.vertices_activated += info.activated
         if not keep_frontier:
             info.frontier = None
+        elif info.frontier is not None:
+            # Own the array: engines may hand out a buffer they go on to
+            # rebind or reuse, and stats must stay valid after the run.
+            info.frontier = np.array(info.frontier, dtype=np.int64, copy=True)
         self.per_iteration.append(info)
+
+    def to_dict(self, include_iterations: bool = True) -> Dict[str, Any]:
+        """JSON-ready view used by the telemetry journal and exports.
+
+        Frontier arrays are summarized by their size, never serialized.
+        """
+        out: Dict[str, Any] = {
+            "iterations": self.iterations,
+            "edges_processed": self.edges_processed,
+            "updates": self.updates,
+            "vertices_activated": self.vertices_activated,
+            "wall_time": self.wall_time,
+        }
+        if include_iterations:
+            out["per_iteration"] = [
+                {
+                    "index": info.index,
+                    "frontier_size": info.frontier_size,
+                    "edges_scanned": info.edges_scanned,
+                    "updates": info.updates,
+                    "activated": info.activated,
+                }
+                for info in self.per_iteration
+            ]
+        return out
 
     def merged_with(self, other: "RunStats") -> "RunStats":
         """Combined counters of two runs (phase 1 + phase 2)."""

@@ -9,6 +9,14 @@ Examples::
     repro-coregraph build FR SSSP --out fr-sssp.npz
     repro-coregraph build my_edges.txt SSSP --out my-cg.npz
     repro-coregraph query FR SSSP 42 --cg fr-sssp.npz --triangle
+
+Every subcommand accepts the telemetry flags ``--trace PATH`` (write a
+JSONL run journal: manifest line, span/iteration/event lines, final
+metrics snapshot) and ``--metrics`` (print span and metrics summary
+tables on exit)::
+
+    repro-coregraph query FR SSSP 42 --cg fr-sssp.npz --trace run.jsonl
+    repro-coregraph build FR SSSP --metrics
 """
 
 from __future__ import annotations
@@ -74,7 +82,9 @@ def _resolve_graph(name_or_path: str):
     from repro.harness.cache import get_graph
 
     if name_or_path.upper() in ZOO:
-        return get_graph(name_or_path)
+        g = get_graph(name_or_path)
+        _emit_graph_loaded(name_or_path.upper(), g)
+        return g
     path = Path(name_or_path)
     if not path.exists():
         raise SystemExit(
@@ -84,10 +94,28 @@ def _resolve_graph(name_or_path: str):
     if path.suffix == ".npz":
         from repro.io.binary import load_graph
 
-        return load_graph(path)
-    from repro.graph.edgelist import read_edge_list
+        g = load_graph(path)
+    else:
+        from repro.graph.edgelist import read_edge_list
 
-    return read_edge_list(path)
+        g = read_edge_list(path)
+    _emit_graph_loaded(name_or_path, g)
+    return g
+
+
+def _emit_graph_loaded(name: str, g) -> None:
+    """Record the resolved graph's shape in the journal (if tracing)."""
+    from repro.obs import journal as obs_journal
+
+    obs_journal.emit(
+        {
+            "type": "event",
+            "name": "graph.loaded",
+            "graph": name,
+            "num_vertices": int(g.num_vertices),
+            "num_edges": int(g.num_edges),
+        }
+    )
 
 
 def _cmd_build(args) -> int:
@@ -253,21 +281,31 @@ def build_parser() -> argparse.ArgumentParser:
         description="Regenerate the tables and figures of the Core Graph "
         "paper (EuroSys '24) on scaled stand-in graphs.",
     )
+    # Telemetry flags ride on every subcommand (argparse only accepts
+    # top-level options before the subcommand, which nobody expects).
+    tele = argparse.ArgumentParser(add_help=False)
+    tele.add_argument("--trace", metavar="PATH", default=None,
+                      help="write a JSONL telemetry journal of this run")
+    tele.add_argument("--metrics", action="store_true",
+                      help="print span/metrics summary tables on exit")
     sub = parser.add_subparsers(dest="command", required=True)
-    sub.add_parser("list", help="list experiment ids").set_defaults(
-        func=_cmd_list
-    )
-    run_p = sub.add_parser("run", help="run experiments by id (or 'all')")
+    sub.add_parser(
+        "list", help="list experiment ids", parents=[tele]
+    ).set_defaults(func=_cmd_list)
+    run_p = sub.add_parser("run", help="run experiments by id (or 'all')",
+                           parents=[tele])
     run_p.add_argument("experiments", nargs="+")
     run_p.add_argument("--save", action="store_true",
                        help="write JSON results under the results directory")
     run_p.set_defaults(func=_cmd_run)
-    info_p = sub.add_parser("info", help="describe a zoo graph")
+    info_p = sub.add_parser("info", help="describe a zoo graph",
+                            parents=[tele])
     info_p.add_argument("graph")
     info_p.set_defaults(func=_cmd_info)
 
     build_p = sub.add_parser(
-        "build", help="identify a core graph (zoo name, edge list, or .npz)"
+        "build", help="identify a core graph (zoo name, edge list, or .npz)",
+        parents=[tele],
     )
     build_p.add_argument("graph", help="zoo name or path")
     build_p.add_argument("query", help="SSSP/SSNP/Viterbi/SSWP/REACH/WCC")
@@ -276,7 +314,8 @@ def build_parser() -> argparse.ArgumentParser:
     build_p.set_defaults(func=_cmd_build)
 
     query_p = sub.add_parser(
-        "query", help="evaluate a query directly and (optionally) via a CG"
+        "query", help="evaluate a query directly and (optionally) via a CG",
+        parents=[tele],
     )
     query_p.add_argument("graph", help="zoo name or path")
     query_p.add_argument("query")
@@ -286,17 +325,20 @@ def build_parser() -> argparse.ArgumentParser:
                          help="enable Theorem 1 certificates")
     query_p.set_defaults(func=_cmd_query)
 
-    cache_p = sub.add_parser("cache", help="inspect or clear an artifact cache")
+    cache_p = sub.add_parser("cache", help="inspect or clear an artifact cache",
+                             parents=[tele])
     cache_p.add_argument("dir")
     cache_p.add_argument("--clear", action="store_true")
     cache_p.set_defaults(func=_cmd_cache)
 
     sub.add_parser(
-        "queries", help="describe the supported query kinds (Table 6)"
+        "queries", help="describe the supported query kinds (Table 6)",
+        parents=[tele],
     ).set_defaults(func=_cmd_queries)
 
     stats_p = sub.add_parser(
-        "stats", help="summary statistics + effective diameter of a graph"
+        "stats", help="summary statistics + effective diameter of a graph",
+        parents=[tele],
     )
     stats_p.add_argument("graph", help="zoo name or path")
     stats_p.add_argument("--samples", type=int, default=6,
@@ -304,7 +346,8 @@ def build_parser() -> argparse.ArgumentParser:
     stats_p.set_defaults(func=_cmd_stats)
 
     sum_p = sub.add_parser(
-        "summarize", help="compile saved results into one markdown report"
+        "summarize", help="compile saved results into one markdown report",
+        parents=[tele],
     )
     sum_p.add_argument("dir", nargs="?", default="results")
     sum_p.add_argument("--out", help="output path (default <dir>/SUMMARY.md)")
@@ -314,7 +357,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    trace_path = getattr(args, "trace", None)
+    want_metrics = getattr(args, "metrics", False)
+    if trace_path is None and not want_metrics:
+        return args.func(args)
+
+    from repro import obs
+
+    with obs.telemetry(
+        trace_path=trace_path,
+        config=default_config(),
+        seed=default_config().source_seed,
+        argv=list(argv) if argv is not None else sys.argv[1:],
+    ):
+        rc = args.func(args)
+    if want_metrics:
+        print("\n== span summary ==")
+        print(obs.spans.render_summary())
+        print("\n== metrics ==")
+        print(obs.REGISTRY.render_table())
+    if trace_path is not None:
+        print(f"telemetry journal -> {trace_path}")
+    return rc
 
 
 if __name__ == "__main__":

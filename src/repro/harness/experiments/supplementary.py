@@ -17,6 +17,7 @@ from typing import Optional
 
 import numpy as np
 
+from repro.analysis.traces import Trace, two_phase_trace
 from repro.baselines.reduced import build_reduced_graph
 from repro.core.pointtopoint import bidirectional_sssp, pnp_point_to_point
 from repro.core.twophase import two_phase
@@ -83,12 +84,13 @@ def suppl_convergence(
         notes="The core phase works on CG edges only; the completion phase "
         "collapses to a few sweeps.",
     )
-    for label, stats in (
-        ("direct", baseline), ("core", res.phase1), ("completion", res.phase2)
-    ):
-        for info in stats.per_iteration:
+    traces = [Trace.from_stats("direct", baseline)]
+    traces.extend(two_phase_trace(res))
+    for trace in traces:
+        for i in range(trace.iterations):
             result.rows.append(
-                [label, info.index, info.frontier_size, info.edges_scanned]
+                [trace.label, i, trace.frontier_sizes[i],
+                 trace.edges_scanned[i]]
             )
     return result
 

@@ -1,0 +1,145 @@
+"""Roll a JSONL journal up into the ``results/`` schemas.
+
+Two consumers exist today: the ``results/<id>.json`` experiment payloads
+(``id``/``title``/``paper_reference``/``headers``/``rows``/``notes``/
+``config`` — what :func:`repro.harness.results.save_result` writes and the
+CLI ``summarize`` command compiles), and the long-format per-iteration CSV
+that :func:`repro.analysis.traces.write_traces_csv` produces. Both can now
+be regenerated from a journal alone, so a run traced once can be
+re-analyzed without re-running it.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from collections import OrderedDict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.obs.journal import iter_events
+
+EventsOrPath = Union[str, Path, List[Dict[str, Any]]]
+
+
+def manifest_of(events: EventsOrPath) -> Dict[str, Any]:
+    """The journal's manifest event (first line), or an empty dict."""
+    for event in iter_events(events):
+        if event.get("type") == "manifest":
+            return event
+    return {}
+
+
+def iteration_series(
+    events: EventsOrPath,
+) -> "OrderedDict[str, List[Dict[str, Any]]]":
+    """Per-iteration engine events grouped by phase label, in seq order.
+
+    Events without a surrounding span get the label ``"run"``; the phase
+    label is the innermost open span at emission time (e.g.
+    ``twophase.core``).
+    """
+    series: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
+    for event in iter_events(events):
+        if event.get("type") != "iteration":
+            continue
+        label = event.get("phase") or "run"
+        series.setdefault(label, []).append(event)
+    return series
+
+
+def summary_rows(
+    events: EventsOrPath,
+) -> Tuple[List[str], List[List[Any]]]:
+    """Roll spans, iteration work, and final metrics into table rows."""
+    events = list(iter_events(events))
+    headers = ["kind", "name", "count", "total", "mean"]
+    rows: List[List[Any]] = []
+
+    span_agg: "OrderedDict[str, List[float]]" = OrderedDict()
+    for event in events:
+        if event.get("type") == "span":
+            span_agg.setdefault(event["name"], []).append(
+                float(event.get("duration_s", 0.0))
+            )
+    for name, durations in span_agg.items():
+        total = sum(durations)
+        rows.append([
+            "span_ms", name, len(durations),
+            round(total * 1e3, 3), round(total * 1e3 / len(durations), 3),
+        ])
+
+    for label, its in iteration_series(events).items():
+        edges = sum(int(i.get("edges_scanned", 0)) for i in its)
+        rows.append([
+            "iterations", label, len(its), edges,
+            round(edges / len(its), 1) if its else 0.0,
+        ])
+
+    for event in events:
+        if event.get("type") != "metrics":
+            continue
+        for key, value in sorted(event.get("metrics", {}).items()):
+            if isinstance(value, dict):  # histogram
+                rows.append([
+                    "metric", key, value.get("count", 0),
+                    value.get("sum"), value.get("mean"),
+                ])
+            else:
+                rows.append(["metric", key, 1, value, value])
+    return headers, rows
+
+
+def export_bench_json(
+    events: EventsOrPath,
+    out: Optional[Union[str, Path]] = None,
+    exp_id: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Journal -> ``results/<id>.json`` payload (optionally written out)."""
+    events = list(iter_events(events))
+    manifest = manifest_of(events)
+    headers, rows = summary_rows(events)
+    if exp_id is None:
+        source = manifest.get("journal_path")
+        exp_id = Path(source).stem if source else "journal"
+    payload = {
+        "id": exp_id,
+        "title": f"Telemetry rollup of run {exp_id}",
+        "paper_reference": "observability journal (repro.obs)",
+        "headers": headers,
+        "rows": rows,
+        "notes": f"manifest: git={manifest.get('git_sha')} "
+        f"python={manifest.get('python')} numpy={manifest.get('numpy')}",
+        "config": manifest.get("config"),
+    }
+    if out is not None:
+        out = Path(out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        with out.open("w") as fh:
+            json.dump(payload, fh, indent=2)
+    return payload
+
+
+def export_csv(
+    events: EventsOrPath, out: Union[str, Path]
+) -> Path:
+    """Journal -> long-format per-iteration CSV.
+
+    Columns match :func:`repro.analysis.traces.write_traces_csv`:
+    label, iteration, frontier, edges, updates.
+    """
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(["label", "iteration", "frontier", "edges", "updates"])
+        for label, its in iteration_series(events).items():
+            for event in its:
+                writer.writerow([
+                    label,
+                    event.get("iteration"),
+                    event.get("frontier"),
+                    event.get("edges_scanned"),
+                    event.get("updates"),
+                ])
+    return out

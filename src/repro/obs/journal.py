@@ -1,0 +1,177 @@
+"""Append-only JSONL run journals.
+
+A journal is one file per run: the first line is a ``manifest`` event
+capturing everything needed to reproduce or compare the run (config, graph
+shape, seed, git SHA, Python/numpy versions), and every subsequent line is
+one telemetry event (``span``, ``iteration``, ``event``, ``metrics``).
+Events carry a monotonically increasing ``seq`` and an elapsed-seconds
+``t`` so the stream is totally ordered even across threads.
+
+Exactly one journal may be active per process; :func:`emit` from anywhere
+in the stack appends to it (or silently drops the event when none is
+active, which is the disabled path).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import subprocess
+import sys
+import threading
+import time
+from dataclasses import asdict, is_dataclass
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, Iterator, List, Optional, Union
+
+
+def _jsonable(value: Any) -> Any:
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if hasattr(value, "item") and not hasattr(value, "ndim"):  # numpy scalar
+        return value.item()
+    if hasattr(value, "tolist"):  # numpy array
+        return value.tolist()
+    if is_dataclass(value) and not isinstance(value, type):
+        return _jsonable(asdict(value))
+    if isinstance(value, Path):
+        return str(value)
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [_jsonable(v) for v in value]
+    return repr(value)
+
+
+def git_sha() -> Optional[str]:
+    """HEAD commit of the working tree, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            cwd=Path(__file__).resolve().parent,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = proc.stdout.strip()
+    return sha if proc.returncode == 0 and sha else None
+
+
+def build_manifest(
+    config: Any = None,
+    graph: Any = None,
+    seed: Optional[int] = None,
+    **extra: Any,
+) -> Dict[str, Any]:
+    """The run manifest: environment fingerprint + run parameters.
+
+    ``config`` may be a dataclass (e.g. :class:`HarnessConfig`) or dict;
+    ``graph`` may be a :class:`~repro.graph.csr.Graph` (its shape is
+    recorded) or an explicit ``{"num_vertices": ..., "num_edges": ...}``.
+    """
+    import numpy as np
+
+    if graph is not None and hasattr(graph, "num_vertices"):
+        graph = {
+            "num_vertices": int(graph.num_vertices),
+            "num_edges": int(graph.num_edges),
+        }
+    return {
+        "type": "manifest",
+        "created": datetime.now(timezone.utc).isoformat(),
+        "git_sha": git_sha(),
+        "python": sys.version.split()[0],
+        "numpy": np.__version__,
+        "platform": platform.platform(),
+        "config": _jsonable(config),
+        "graph": _jsonable(graph),
+        "seed": seed,
+        **{k: _jsonable(v) for k, v in extra.items()},
+    }
+
+
+class Journal:
+    """One open JSONL sink; thread-safe appends."""
+
+    def __init__(self, path: Union[str, Path], manifest: Optional[Dict] = None):
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = self.path.open("w")
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._t0 = time.perf_counter()
+        self.emit(manifest if manifest is not None else {"type": "manifest"})
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        payload = {k: _jsonable(v) for k, v in event.items()}
+        with self._lock:
+            if self._fh.closed:
+                return
+            payload.setdefault("seq", self._seq)
+            payload.setdefault(
+                "t", round(time.perf_counter() - self._t0, 9)
+            )
+            self._seq += 1
+            self._fh.write(json.dumps(payload) + "\n")
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+
+_active: Optional[Journal] = None
+
+
+def activate(journal: Journal) -> None:
+    global _active
+    if _active is not None:
+        raise RuntimeError(f"a journal is already active: {_active.path}")
+    _active = journal
+
+
+def deactivate() -> None:
+    global _active
+    _active = None
+
+
+def active_journal() -> Optional[Journal]:
+    return _active
+
+
+def emit(event: Dict[str, Any]) -> None:
+    """Append ``event`` to the active journal; no-op when none is active."""
+    journal = _active
+    if journal is not None:
+        journal.emit(event)
+
+
+def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Parse a JSONL journal back into its event dicts."""
+    events = []
+    with Path(path).open() as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                events.append(json.loads(line))
+    return events
+
+
+def iter_events(
+    events_or_path: Union[str, Path, List[Dict[str, Any]]]
+) -> Iterator[Dict[str, Any]]:
+    """Iterate events given either a parsed list or a journal path."""
+    if isinstance(events_or_path, (str, Path)):
+        yield from read_events(events_or_path)
+    else:
+        yield from events_or_path

@@ -1,0 +1,181 @@
+"""Process-wide registry of labeled counters, gauges, and histograms.
+
+Metric identity is ``name`` plus a frozen label set, rendered Prometheus
+style: ``engine.edges_scanned{phase="core"}``. Counters accumulate, gauges
+hold the last value, histograms keep count/sum/min/max. Instrumented code
+fetches the metric object once per run and updates it per iteration, so
+the registry lookup is off the hot path.
+
+The registry is always functional — whether anything feeds it is decided
+by the :mod:`repro.obs.runtime` guard at the instrumentation points.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+LabelSet = Tuple[Tuple[str, str], ...]
+
+
+def _label_key(labels: Dict[str, object]) -> LabelSet:
+    return tuple(sorted((k, str(v)) for k, v in labels.items() if v is not None))
+
+
+def format_metric(name: str, labels: LabelSet) -> str:
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{v}"' for k, v in labels)
+    return f"{name}{{{inner}}}"
+
+
+class Counter:
+    """Monotonically accumulating value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value: Optional[float] = None
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming count/sum/min/max of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Thread-safe name+labels -> metric map."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
+        self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
+        self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_key(labels))
+        with self._lock:
+            try:
+                return self._counters[key]
+            except KeyError:
+                metric = self._counters[key] = Counter()
+                return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_key(labels))
+        with self._lock:
+            try:
+                return self._gauges[key]
+            except KeyError:
+                metric = self._gauges[key] = Gauge()
+                return metric
+
+    def histogram(self, name: str, **labels: object) -> Histogram:
+        key = (name, _label_key(labels))
+        with self._lock:
+            try:
+                return self._histograms[key]
+            except KeyError:
+                metric = self._histograms[key] = Histogram()
+                return metric
+
+    def aggregate(self, name: str) -> int:
+        """Sum of a counter across all of its label sets."""
+        with self._lock:
+            return sum(
+                c.value for (n, _), c in self._counters.items() if n == name
+            )
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready view of every metric, keyed by rendered name."""
+        out: Dict[str, object] = {}
+        with self._lock:
+            for (name, labels), c in self._counters.items():
+                out[format_metric(name, labels)] = c.value
+            for (name, labels), g in self._gauges.items():
+                out[format_metric(name, labels)] = g.value
+            for (name, labels), h in self._histograms.items():
+                out[format_metric(name, labels)] = {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min if h.count else None,
+                    "max": h.max if h.count else None,
+                    "mean": h.mean,
+                }
+        return out
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+    def render_table(self) -> str:
+        """Aligned text table of the snapshot, sorted by metric name."""
+        snap = self.snapshot()
+        if not snap:
+            return "no metrics recorded"
+        width = max(len(k) for k in snap)
+        lines = []
+        for key in sorted(snap):
+            value = snap[key]
+            if isinstance(value, dict):
+                value = (f"count={value['count']} sum={value['sum']:.6g} "
+                         f"mean={value['mean']:.6g}")
+            lines.append(f"{key:{width}s}  {value}")
+        return "\n".join(lines)
+
+
+#: The process-wide registry every instrumentation point shares.
+REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: object) -> Counter:
+    return REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: object) -> Gauge:
+    return REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: object) -> Histogram:
+    return REGISTRY.histogram(name, **labels)
+
+
+def names(snapshot_keys: Iterable[str]) -> set:
+    """Bare metric names (labels stripped) of rendered snapshot keys."""
+    return {k.split("{", 1)[0] for k in snapshot_keys}

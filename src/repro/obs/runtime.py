@@ -1,0 +1,42 @@
+"""Global telemetry switch.
+
+Instrumentation points throughout the stack guard on :func:`is_enabled`
+before touching spans, metrics, or the journal, so the disabled path costs
+one module-attribute read per check. Telemetry is **off by default**; the
+CLI's ``--trace``/``--metrics`` flags (or :func:`repro.obs.telemetry`)
+turn it on for the duration of a run.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+_enabled: bool = False
+
+
+def is_enabled() -> bool:
+    """Whether telemetry collection is active."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled(state: bool = True) -> Iterator[None]:
+    """Temporarily force telemetry on (or off), restoring the prior state."""
+    global _enabled
+    prior = _enabled
+    _enabled = state
+    try:
+        yield
+    finally:
+        _enabled = prior

@@ -1,0 +1,167 @@
+"""Nested wall-time spans on ``perf_counter``.
+
+A span times one region of work (a 2Phase phase, one hub query, one CG
+build). Spans nest: entering a span pushes it onto a thread-local stack,
+so concurrently-running threads keep independent nestings and every span
+knows its parent and depth. Completed spans accumulate in a process-wide
+list for the CLI summary table and, when a journal is active, each one is
+emitted as a ``span`` event on exit.
+
+When telemetry is disabled :func:`span` returns a shared inert context
+manager, so instrumented code pays one flag check and no allocation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.obs import runtime
+
+
+@dataclass
+class SpanRecord:
+    """One completed span."""
+
+    name: str
+    start: float
+    duration: float
+    depth: int
+    parent: Optional[str] = None
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+
+class _NullSpan:
+    """Inert stand-in returned while telemetry is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_SPAN = _NullSpan()
+
+_lock = threading.Lock()
+_records: List[SpanRecord] = []
+_local = threading.local()
+
+
+def _stack() -> List["Span"]:
+    try:
+        return _local.stack
+    except AttributeError:
+        _local.stack = []
+        return _local.stack
+
+
+class Span:
+    """Live timing context; use via :func:`span`."""
+
+    __slots__ = ("name", "attrs", "start", "depth", "parent")
+
+    def __init__(self, name: str, attrs: Dict[str, Any]):
+        self.name = name
+        self.attrs = attrs
+        self.start = 0.0
+        self.depth = 0
+        self.parent: Optional[str] = None
+
+    def __enter__(self) -> "Span":
+        stack = _stack()
+        self.depth = len(stack)
+        self.parent = stack[-1].name if stack else None
+        stack.append(self)
+        self.start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        duration = time.perf_counter() - self.start
+        stack = _stack()
+        if stack and stack[-1] is self:
+            stack.pop()
+        record = SpanRecord(
+            name=self.name,
+            start=self.start,
+            duration=duration,
+            depth=self.depth,
+            parent=self.parent,
+            attrs=self.attrs,
+        )
+        with _lock:
+            _records.append(record)
+        from repro.obs import journal
+
+        journal.emit(
+            {
+                "type": "span",
+                "name": self.name,
+                "duration_s": duration,
+                "depth": self.depth,
+                "parent": self.parent,
+                **self.attrs,
+            }
+        )
+        return False
+
+
+def span(name: str, **attrs: Any):
+    """Context manager timing a named region (no-op when disabled)."""
+    if not runtime._enabled:
+        return _NULL_SPAN
+    return Span(name, attrs)
+
+
+def current_span_name() -> Optional[str]:
+    """Name of the innermost open span on this thread, if any."""
+    stack = _stack()
+    return stack[-1].name if stack else None
+
+
+def records() -> List[SpanRecord]:
+    """Snapshot of all completed spans so far."""
+    with _lock:
+        return list(_records)
+
+
+def reset() -> None:
+    """Drop all completed spans (the open stack is left alone)."""
+    with _lock:
+        _records.clear()
+
+
+def summary() -> Dict[str, Dict[str, float]]:
+    """Per-name rollup: count, total/min/max seconds."""
+    rollup: Dict[str, Dict[str, float]] = {}
+    for rec in records():
+        agg = rollup.setdefault(
+            rec.name,
+            {"count": 0, "total_s": 0.0, "min_s": float("inf"), "max_s": 0.0},
+        )
+        agg["count"] += 1
+        agg["total_s"] += rec.duration
+        agg["min_s"] = min(agg["min_s"], rec.duration)
+        agg["max_s"] = max(agg["max_s"], rec.duration)
+    return rollup
+
+
+def render_summary() -> str:
+    """Aligned text table of :func:`summary` (total-time descending)."""
+    rollup = summary()
+    if not rollup:
+        return "no spans recorded"
+    lines = [f"{'span':32s} {'count':>6s} {'total ms':>10s} "
+             f"{'min ms':>10s} {'max ms':>10s}"]
+    for name, agg in sorted(
+        rollup.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+    ):
+        lines.append(
+            f"{name:32s} {agg['count']:>6d} {agg['total_s'] * 1e3:>10.2f} "
+            f"{agg['min_s'] * 1e3:>10.2f} {agg['max_s'] * 1e3:>10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,71 @@
+"""RunStats accumulation, serialization, and frontier ownership."""
+
+import numpy as np
+
+from repro.engines.stats import IterationInfo, RunStats
+
+
+def _info(i, frontier=None):
+    return IterationInfo(
+        index=i, frontier_size=3, edges_scanned=10 * (i + 1), updates=2,
+        activated=1, frontier=frontier,
+    )
+
+
+def test_record_accumulates():
+    stats = RunStats()
+    stats.record(_info(0))
+    stats.record(_info(1))
+    assert stats.iterations == 2
+    assert stats.edges_processed == 30
+    assert stats.updates == 4
+    assert stats.vertices_activated == 2
+
+
+def test_record_drops_frontier_by_default():
+    stats = RunStats()
+    stats.record(_info(0, frontier=np.arange(3)))
+    assert stats.per_iteration[0].frontier is None
+
+
+def test_record_copies_frontier_when_kept():
+    buffer = np.array([1, 2, 3], dtype=np.int64)
+    stats = RunStats()
+    stats.record(_info(0, frontier=buffer), keep_frontier=True)
+    kept = stats.per_iteration[0].frontier
+    assert kept is not buffer
+    buffer[0] = 99  # caller reuses its buffer; stats must not see it
+    assert kept.tolist() == [1, 2, 3]
+
+
+def test_to_dict_roundtrips_counters():
+    stats = RunStats()
+    stats.record(_info(0, frontier=np.arange(4)), keep_frontier=True)
+    stats.wall_time = 0.5
+    d = stats.to_dict()
+    assert d["iterations"] == 1
+    assert d["edges_processed"] == 10
+    assert d["wall_time"] == 0.5
+    (it,) = d["per_iteration"]
+    assert it == {"index": 0, "frontier_size": 3, "edges_scanned": 10,
+                  "updates": 2, "activated": 1}
+    assert "frontier" not in it  # arrays are never serialized
+    import json
+
+    json.dumps(d)  # the whole dict is JSON-ready
+
+
+def test_to_dict_can_skip_iterations():
+    stats = RunStats()
+    stats.record(_info(0))
+    assert "per_iteration" not in stats.to_dict(include_iterations=False)
+
+
+def test_merged_with_keeps_both_series():
+    a, b = RunStats(), RunStats()
+    a.record(_info(0))
+    b.record(_info(0))
+    b.record(_info(1))
+    merged = a.merged_with(b)
+    assert merged.iterations == 3
+    assert len(merged.per_iteration) == 3

@@ -29,6 +29,13 @@ def test_every_example_is_listed_in_the_index():
 def test_example_runs(name, tmp_path):
     env = dict(os.environ)
     env["REPRO_SCALE_DELTA"] = "-3"
+    # The scripts `from repro import ...`; make src/ resolvable in the
+    # subprocess regardless of how pytest itself was launched.
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src if not existing else os.pathsep.join(
+        [src, existing]
+    )
     proc = subprocess.run(
         [sys.executable, str(REPO_ROOT / "examples" / name)],
         cwd=tmp_path,  # scripts that write results/ do so in a sandbox

@@ -124,6 +124,55 @@ class TestSummarize:
         assert "no results" in capsys.readouterr().err
 
 
+class TestTelemetry:
+    def test_trace_writes_journal(self, tmp_path, capsys):
+        from repro.obs.journal import read_events
+
+        cg = tmp_path / "pk.npz"
+        main(["build", "PK", "SSSP", "--hubs", "2", "--out", str(cg)])
+        trace = tmp_path / "run.jsonl"
+        assert main(["query", "PK", "SSSP", "3", "--cg", str(cg),
+                     "--trace", str(trace)]) == 0
+        assert "telemetry journal" in capsys.readouterr().out
+        events = read_events(trace)
+        manifest = events[0]
+        assert manifest["type"] == "manifest"
+        assert manifest["config"]["num_hubs"] > 0
+        assert manifest["seed"] == manifest["config"]["source_seed"]
+        span_names = {e["name"] for e in events if e["type"] == "span"}
+        assert {"twophase.core", "twophase.completion"} <= span_names
+        assert any(e["type"] == "iteration" for e in events)
+        assert any(e.get("name") == "graph.loaded" for e in events)
+        assert events[-1]["type"] == "metrics"
+
+    def test_metrics_prints_summary(self, tmp_path, capsys):
+        assert main(["build", "PK", "SSSP", "--hubs", "2",
+                     "--out", str(tmp_path / "x.npz"), "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "span summary" in out
+        assert "cg.build" in out
+        assert "engine.edges_scanned" in out
+
+    def test_telemetry_off_by_default(self, capsys):
+        from repro import obs
+
+        obs.reset()
+        assert main(["query", "PK", "REACH", "3"]) == 0
+        assert obs.spans.records() == []
+        assert obs.REGISTRY.snapshot() == {}
+
+    def test_journal_exports_to_bench_schema(self, tmp_path, capsys):
+        from repro.obs.export import export_bench_json
+
+        trace = tmp_path / "run.jsonl"
+        main(["query", "PK", "REACH", "3", "--trace", str(trace)])
+        payload = export_bench_json(trace, out=tmp_path / "bench.json")
+        assert payload["id"] == "run"
+        assert payload["headers"] == ["kind", "name", "count", "total",
+                                      "mean"]
+        assert any(r[0] == "iterations" for r in payload["rows"])
+
+
 class TestCache:
     def test_empty_and_clear(self, tmp_path, capsys):
         assert main(["cache", str(tmp_path)]) == 0

@@ -1,0 +1,14 @@
+"""Telemetry tests always start from a clean slate and leave one behind."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def clean_telemetry():
+    obs.reset()
+    obs.disable()
+    yield
+    obs.reset()
+    obs.disable()

@@ -1,0 +1,88 @@
+"""Journal -> BENCH json / CSV rollups."""
+
+import csv
+import json
+
+from repro.obs import export
+
+EVENTS = [
+    {"type": "manifest", "git_sha": "a" * 40, "python": "3.11.7",
+     "numpy": "2.0", "config": {"num_hubs": 4},
+     "journal_path": "runs/demo.jsonl", "seq": 0, "t": 0.0},
+    {"type": "span", "name": "twophase.core", "duration_s": 0.002,
+     "depth": 0, "parent": None, "seq": 3, "t": 0.01},
+    {"type": "iteration", "engine": "frontier", "phase": "twophase.core",
+     "iteration": 0, "frontier": 1, "edges_scanned": 10, "updates": 4,
+     "activated": 4, "seq": 1, "t": 0.005},
+    {"type": "iteration", "engine": "frontier", "phase": "twophase.core",
+     "iteration": 1, "frontier": 4, "edges_scanned": 30, "updates": 2,
+     "activated": 2, "seq": 2, "t": 0.006},
+    {"type": "iteration", "engine": "frontier", "phase": None,
+     "iteration": 0, "frontier": 2, "edges_scanned": 7, "updates": 1,
+     "activated": 1, "seq": 4, "t": 0.02},
+    {"type": "metrics", "metrics": {
+        'engine.edges_scanned{phase="twophase.core"}': 40,
+        "hub.duration": {"count": 2, "sum": 3.0, "min": 1.0, "max": 2.0,
+                         "mean": 1.5},
+    }, "seq": 5, "t": 0.03},
+]
+
+
+def test_manifest_of():
+    assert export.manifest_of(EVENTS)["git_sha"] == "a" * 40
+    assert export.manifest_of([]) == {}
+
+
+def test_iteration_series_groups_by_phase():
+    series = export.iteration_series(EVENTS)
+    assert list(series) == ["twophase.core", "run"]
+    assert [e["edges_scanned"] for e in series["twophase.core"]] == [10, 30]
+    assert [e["edges_scanned"] for e in series["run"]] == [7]
+
+
+def test_summary_rows_cover_spans_iterations_metrics():
+    headers, rows = export.summary_rows(EVENTS)
+    assert headers == ["kind", "name", "count", "total", "mean"]
+    by_kind = {}
+    for row in rows:
+        by_kind.setdefault(row[0], []).append(row)
+    assert by_kind["span_ms"][0][:4] == ["span_ms", "twophase.core", 1, 2.0]
+    itr = {r[1]: r for r in by_kind["iterations"]}
+    assert itr["twophase.core"][2:4] == [2, 40]
+    assert itr["run"][2:4] == [1, 7]
+    metric_names = {r[1] for r in by_kind["metric"]}
+    assert 'engine.edges_scanned{phase="twophase.core"}' in metric_names
+    assert "hub.duration" in metric_names
+
+
+def test_export_bench_json_shape(tmp_path):
+    out = tmp_path / "bench.json"
+    payload = export.export_bench_json(EVENTS, out=out)
+    assert payload["id"] == "demo"  # from the manifest's journal_path
+    for key in ("id", "title", "paper_reference", "headers", "rows",
+                "notes", "config"):
+        assert key in payload
+    assert payload["config"] == {"num_hubs": 4}
+    assert json.loads(out.read_text()) == payload
+
+
+def test_export_bench_json_explicit_id():
+    assert export.export_bench_json(EVENTS, exp_id="x7")["id"] == "x7"
+
+
+def test_export_csv_matches_traces_schema(tmp_path):
+    out = export.export_csv(EVENTS, tmp_path / "trace.csv")
+    with out.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0] == ["label", "iteration", "frontier", "edges", "updates"]
+    assert rows[1] == ["twophase.core", "0", "1", "10", "4"]
+    assert rows[-1] == ["run", "0", "2", "7", "1"]
+
+
+def test_roundtrip_from_file(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with path.open("w") as fh:
+        for event in EVENTS:
+            fh.write(json.dumps(event) + "\n")
+    payload = export.export_bench_json(path)
+    assert any(r[0] == "span_ms" for r in payload["rows"])

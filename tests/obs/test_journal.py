@@ -1,0 +1,110 @@
+"""JSONL journal round-trip and the telemetry context manager."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.obs import journal
+from repro.obs.journal import Journal, build_manifest, read_events
+
+
+def test_round_trip_write_parse(tmp_path):
+    path = tmp_path / "run.jsonl"
+    j = Journal(path, build_manifest(seed=7))
+    j.emit({"type": "event", "name": "x", "value": np.int64(3)})
+    j.emit({"type": "event", "name": "y", "arr": np.arange(3)})
+    j.close()
+    events = read_events(path)
+    assert [e["type"] for e in events] == ["manifest", "event", "event"]
+    assert events[1]["value"] == 3
+    assert events[2]["arr"] == [0, 1, 2]
+    # every line is independently valid JSON
+    for line in path.read_text().splitlines():
+        json.loads(line)
+
+
+def test_manifest_captures_environment(tmp_path):
+    manifest = build_manifest(
+        config={"num_hubs": 4}, graph={"num_vertices": 10, "num_edges": 20},
+        seed=42,
+    )
+    assert manifest["python"]
+    assert manifest["numpy"] == np.__version__
+    assert manifest["seed"] == 42
+    assert manifest["config"] == {"num_hubs": 4}
+    assert manifest["graph"]["num_edges"] == 20
+    # inside this repo the SHA resolves to 40 hex chars
+    assert manifest["git_sha"] is None or len(manifest["git_sha"]) == 40
+
+
+def test_manifest_takes_graph_object(tmp_path, tiny_graph):
+    manifest = build_manifest(graph=tiny_graph)
+    assert manifest["graph"] == {
+        "num_vertices": tiny_graph.num_vertices,
+        "num_edges": tiny_graph.num_edges,
+    }
+
+
+def test_seq_and_t_are_monotonic(tmp_path):
+    path = tmp_path / "run.jsonl"
+    with Journal(path, build_manifest()) as j:
+        for i in range(5):
+            j.emit({"type": "event", "name": f"e{i}"})
+    events = read_events(path)
+    seqs = [e["seq"] for e in events]
+    ts = [e["t"] for e in events]
+    assert seqs == list(range(len(events)))
+    assert ts == sorted(ts)
+
+
+def test_emit_without_active_journal_is_a_noop():
+    journal.emit({"type": "event", "name": "dropped"})  # must not raise
+    assert journal.active_journal() is None
+
+
+def test_only_one_journal_may_be_active(tmp_path):
+    j = Journal(tmp_path / "a.jsonl")
+    journal.activate(j)
+    try:
+        with pytest.raises(RuntimeError):
+            journal.activate(Journal(tmp_path / "b.jsonl"))
+    finally:
+        journal.deactivate()
+        j.close()
+
+
+def test_telemetry_context_manages_lifecycle(tmp_path):
+    path = tmp_path / "run.jsonl"
+    assert not obs.is_enabled()
+    with obs.telemetry(trace_path=path, seed=3) as j:
+        assert obs.is_enabled()
+        assert journal.active_journal() is j
+        obs.counter("c").inc(2)
+        obs.emit({"type": "event", "name": "inside"})
+    assert not obs.is_enabled()
+    assert journal.active_journal() is None
+    events = read_events(path)
+    assert events[0]["type"] == "manifest"
+    assert events[0]["seed"] == 3
+    assert any(e.get("name") == "inside" for e in events)
+    final = events[-1]
+    assert final["type"] == "metrics"
+    assert final["metrics"]["c"] == 2
+
+
+def test_telemetry_without_trace_path_still_enables():
+    with obs.telemetry() as j:
+        assert j is None
+        assert obs.is_enabled()
+        with obs.span("timed"):
+            pass
+    assert not obs.is_enabled()
+    assert "timed" in obs.spans.summary()
+
+
+def test_telemetry_fresh_resets_prior_state():
+    obs.REGISTRY.counter("stale").inc()
+    with obs.telemetry():
+        assert obs.REGISTRY.snapshot() == {}
