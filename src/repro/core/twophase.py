@@ -22,6 +22,7 @@ from repro.engines.stats import RunStats
 from repro.graph.csr import Graph
 from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
+from repro.obs import quality as obs_quality
 from repro.obs import runtime as obs_runtime
 from repro.obs.spans import span
 from repro.queries.base import QuerySpec
@@ -81,6 +82,10 @@ def two_phase(
             work_cg, spec, vals, frontier,
             stats=phase1_stats, keep_frontier=keep_frontier,
         )
+    # The completion phase's output is the full-graph ground truth, so a
+    # snapshot of the core-phase values is all the precision measurement
+    # needs (one O(n) copy + compare, paid only while tracing).
+    phase1_snapshot = vals.copy() if obs_runtime._enabled else None
 
     if spec.multi_source:
         # Initialization impacts every vertex (each starts with its own
@@ -128,6 +133,23 @@ def two_phase(
         obs_metrics.gauge("twophase.certified_precise", query=spec.name).set(
             certified
         )
+        precise_fraction = None
+        if phase1_snapshot is not None:
+            precise_fraction = obs_quality.phase1_precise_fraction(
+                spec, phase1_snapshot, vals
+            )
+        redundant = (
+            phase1_stats.redundant_relaxations
+            + phase2_stats.redundant_relaxations
+        )
+        obs_quality.record_two_phase(
+            query=spec.name,
+            num_vertices=n,
+            precise_fraction=precise_fraction,
+            certified=certified,
+            edges_skipped=phase2_stats.edges_skipped,
+            redundant_relaxations=redundant,
+        )
         obs_journal.emit(
             {
                 "type": "event",
@@ -136,6 +158,9 @@ def two_phase(
                 "source": None if source is None else int(source),
                 "impacted": int(impacted.size),
                 "certified_precise": certified,
+                "phase1_precise_fraction": precise_fraction,
+                "edges_skipped": phase2_stats.edges_skipped,
+                "redundant_relaxations": redundant,
                 "phase1": phase1_stats.to_dict(include_iterations=False),
                 "phase2": phase2_stats.to_dict(include_iterations=False),
             }

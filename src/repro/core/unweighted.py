@@ -23,6 +23,7 @@ from repro.graph.csr import Graph
 from repro.graph.degree import top_degree_vertices
 from repro.graph.transform import edge_subgraph, reverse_edge_permutation
 from repro.obs import journal as obs_journal
+from repro.obs import quality as obs_quality
 from repro.obs import runtime as obs_runtime
 from repro.obs.spans import span
 from repro.queries.base import QuerySpec
@@ -111,6 +112,14 @@ def build_unweighted_core_graph(
                 connectivity_added = add_connectivity_edges(g, mask, spec)
 
     if obs_runtime._enabled:
+        core_edges = int(mask.sum())
+        fraction = obs_quality.record_cg_build(
+            algorithm="unweighted",
+            query=spec.name,
+            core_edges=core_edges,
+            source_edges=int(g.num_edges),
+            connectivity_edges=connectivity_added,
+        )
         obs_journal.emit(
             {
                 "type": "event",
@@ -118,8 +127,9 @@ def build_unweighted_core_graph(
                 "algorithm": "unweighted",
                 "query": spec.name,
                 "num_hubs": len(hub_arr),
-                "core_edges": int(mask.sum()),
+                "core_edges": core_edges,
                 "source_edges": int(g.num_edges),
+                "edge_fraction": fraction,
                 "connectivity_edges": connectivity_added,
             }
         )

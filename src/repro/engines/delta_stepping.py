@@ -20,6 +20,10 @@ import numpy as np
 
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
 
 _SUPPORTED = {"SSSP", "BFS"}
@@ -58,6 +62,21 @@ def delta_stepping(
     bucket_of[source] = 0
     current = 0
     round_idx = 0
+    # Re-improving a previously-settled tentative distance means the prior
+    # relaxation was redundant; the mask is only kept while telemetry is on.
+    ever_improved = np.zeros(n, dtype=bool) if obs_runtime._enabled else None
+    relaxations = redundant = 0
+
+    def _account(improved: np.ndarray) -> int:
+        nonlocal relaxations, redundant
+        if ever_improved is None:
+            return 0
+        again = int(np.count_nonzero(ever_improved[improved]))
+        ever_improved[improved] = True
+        relaxations += int(improved.size)
+        redundant += again
+        return again
+
     while True:
         in_bucket = np.flatnonzero(bucket_of == current)
         if in_bucket.size == 0:
@@ -80,6 +99,7 @@ def delta_stepping(
             v = g.dst[edge_idx[sel]]
             cand = dist[u[sel]] + weights[edge_idx[sel]]
             improved = _relax(dist, v, cand)
+            again = _account(improved)
             _rebucket(bucket_of, dist, improved, delta)
             if stats is not None:
                 stats.record(IterationInfo(
@@ -87,6 +107,7 @@ def delta_stepping(
                     edges_scanned=int(edge_idx.size),
                     updates=int(improved.size),
                     activated=int(improved.size),
+                    redundant=again,
                 ))
             round_idx += 1
             frontier = improved[bucket_of[improved] == current]
@@ -98,15 +119,37 @@ def delta_stepping(
             v = g.dst[edge_idx[sel]]
             cand = dist[u[sel]] + weights[edge_idx[sel]]
             improved = _relax(dist, v, cand)
+            again = _account(improved)
             _rebucket(bucket_of, dist, improved, delta)
             if stats is not None:
                 stats.record(IterationInfo(
                     index=round_idx, frontier_size=int(settled.size),
                     edges_scanned=int(edge_idx.size),
                     updates=int(improved.size), activated=int(improved.size),
+                    redundant=again,
                 ))
             round_idx += 1
         current += 1
+    if obs_runtime._enabled:
+        phase = obs_spans.current_span_name()
+        obs_metrics.counter(
+            "engine.delta_stepping.relaxations", phase=phase
+        ).inc(relaxations)
+        obs_metrics.counter(
+            "engine.delta_stepping.redundant_relaxations", phase=phase
+        ).inc(redundant)
+        obs_journal.emit(
+            {
+                "type": "event",
+                "name": "delta_stepping.run",
+                "engine": "delta_stepping",
+                "phase": phase,
+                "query": spec.name,
+                "rounds": round_idx,
+                "relaxations": relaxations,
+                "redundant": redundant,
+            }
+        )
     return dist
 
 

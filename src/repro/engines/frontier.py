@@ -90,6 +90,12 @@ def _emit_iteration(info: IterationInfo) -> None:
     obs_metrics.counter(
         "engine.vertices_activated", phase=phase
     ).inc(info.activated)
+    obs_metrics.counter(
+        "engine.edges_skipped", phase=phase
+    ).inc(info.edges_skipped)
+    obs_metrics.counter(
+        "engine.redundant_relaxations", phase=phase
+    ).inc(info.redundant)
     obs_journal.emit(
         {
             "type": "iteration",
@@ -100,6 +106,8 @@ def _emit_iteration(info: IterationInfo) -> None:
             "edges_scanned": info.edges_scanned,
             "updates": info.updates,
             "activated": info.activated,
+            "edges_skipped": info.edges_skipped,
+            "redundant": info.redundant,
         }
     )
 
@@ -146,13 +154,20 @@ def push_iterations(
     while frontier.size:
         edge_idx, u = ragged_gather(g.offsets, frontier)
         v = g.dst[edge_idx]
+        skipped = 0
         if blocked_dst is not None and edge_idx.size:
             keep = ~blocked_dst[v]
+            skipped = int(edge_idx.size - np.count_nonzero(keep))
             edge_idx, u, v = edge_idx[keep], u[keep], v[keep]
         old_v = vals[v]
         cand = spec.propagate(vals[u], weights[edge_idx])
         improving = spec.better(cand, old_v)
         updates = int(np.count_nonzero(improving))
+        # All but one improving candidate per destination lose the reduce
+        # race; counting the losers needs a unique() so it only runs traced.
+        redundant = 0
+        if obs_runtime._enabled and updates:
+            redundant = updates - int(np.unique(v[improving]).size)
         spec.reduce_at(vals, v, cand)
         changed = spec.better(vals[v], old_v)
         if first_visit:
@@ -169,6 +184,8 @@ def push_iterations(
             updates=updates,
             activated=int(new_frontier.size),
             frontier=frontier if keep_frontier else None,
+            edges_skipped=skipped,
+            redundant=redundant,
         )
         if obs_runtime._enabled:
             _emit_iteration(info)

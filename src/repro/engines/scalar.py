@@ -32,6 +32,9 @@ def scalar_evaluate(
     in_queue = np.zeros(g.num_vertices, dtype=bool)
     in_queue[list(queue)] = True
     pops = edges_scanned = updates = 0
+    # Every write to an already-written vertex means the earlier relaxation
+    # was wasted work (the Bellman-Ford redundancy delta-stepping targets).
+    updated = np.zeros(g.num_vertices, dtype=bool) if obs_runtime._enabled else None
     while queue:
         u = queue.popleft()
         in_queue[u] = False
@@ -44,16 +47,22 @@ def scalar_evaluate(
             if spec.better(cand, vals[v]):
                 vals[v] = cand
                 updates += 1
+                if updated is not None:
+                    updated[v] = True
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
     if obs_runtime._enabled:
         phase = obs_spans.current_span_name()
+        redundant = updates - int(updated.sum()) if updated is not None else 0
         obs_metrics.counter("engine.scalar.pops", phase=phase).inc(pops)
         obs_metrics.counter(
             "engine.scalar.edges_scanned", phase=phase
         ).inc(edges_scanned)
         obs_metrics.counter("engine.scalar.updates", phase=phase).inc(updates)
+        obs_metrics.counter(
+            "engine.scalar.redundant_relaxations", phase=phase
+        ).inc(redundant)
         obs_journal.emit(
             {
                 "type": "event",
@@ -64,6 +73,7 @@ def scalar_evaluate(
                 "pops": pops,
                 "edges_scanned": edges_scanned,
                 "updates": updates,
+                "redundant": redundant,
             }
         )
     return vals

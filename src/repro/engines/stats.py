@@ -30,6 +30,15 @@ class IterationInfo:
         vectorized stand-in for successful CASMIN/CASMAX atomics.
     activated:
         Vertices entering the next frontier.
+    edges_skipped:
+        Edges dropped before evaluation because their destination held a
+        Theorem 1 precision certificate (``blocked_dst`` in the push
+        engine) — the work the triangle optimization provably saves.
+    redundant:
+        Improving relaxations whose written value was superseded by a
+        better candidate for the same destination within the round (the
+        lost-CAS stand-in). Only populated while telemetry is enabled;
+        the counter costs a ``np.unique`` the hot path otherwise skips.
     """
 
     index: int
@@ -38,6 +47,8 @@ class IterationInfo:
     updates: int
     activated: int
     frontier: Optional[np.ndarray] = None
+    edges_skipped: int = 0
+    redundant: int = 0
 
 
 @dataclass
@@ -48,6 +59,8 @@ class RunStats:
     edges_processed: int = 0
     updates: int = 0
     vertices_activated: int = 0
+    edges_skipped: int = 0
+    redundant_relaxations: int = 0
     wall_time: float = 0.0
     per_iteration: List[IterationInfo] = field(default_factory=list)
 
@@ -56,6 +69,8 @@ class RunStats:
         self.edges_processed += info.edges_scanned
         self.updates += info.updates
         self.vertices_activated += info.activated
+        self.edges_skipped += info.edges_skipped
+        self.redundant_relaxations += info.redundant
         if not keep_frontier:
             info.frontier = None
         elif info.frontier is not None:
@@ -74,6 +89,8 @@ class RunStats:
             "edges_processed": self.edges_processed,
             "updates": self.updates,
             "vertices_activated": self.vertices_activated,
+            "edges_skipped": self.edges_skipped,
+            "redundant_relaxations": self.redundant_relaxations,
             "wall_time": self.wall_time,
         }
         if include_iterations:
@@ -96,6 +113,10 @@ class RunStats:
             edges_processed=self.edges_processed + other.edges_processed,
             updates=self.updates + other.updates,
             vertices_activated=self.vertices_activated + other.vertices_activated,
+            edges_skipped=self.edges_skipped + other.edges_skipped,
+            redundant_relaxations=(
+                self.redundant_relaxations + other.redundant_relaxations
+            ),
             wall_time=self.wall_time + other.wall_time,
         )
         merged.per_iteration = list(self.per_iteration) + list(other.per_iteration)

@@ -17,6 +17,14 @@ tables on exit)::
 
     repro-coregraph query FR SSSP 42 --cg fr-sssp.npz --trace run.jsonl
     repro-coregraph build FR SSSP --metrics
+
+The ``obs`` family analyzes journals after the fact::
+
+    repro-coregraph obs report run.jsonl --html report.html
+    repro-coregraph obs diff old.jsonl new.jsonl
+    repro-coregraph obs baseline run.jsonl --out benchmarks/baselines/x.json
+    repro-coregraph obs check run.jsonl --baseline benchmarks/baselines/ \\
+        --fail-on-regress
 """
 
 from __future__ import annotations
@@ -258,6 +266,90 @@ def _cmd_summarize(args) -> int:
     return 0
 
 
+def _cmd_obs_report(args) -> int:
+    """Render one journal as a terminal (and optionally HTML) report."""
+    from repro.obs.journal import read_events
+    from repro.obs.report import render_html, render_report
+
+    events = read_events(args.journal)
+    print(render_report(events, source=str(args.journal)))
+    if args.html:
+        path = render_html(events, args.html, source=str(args.journal))
+        print(f"\nhtml report -> {path}")
+    return 0
+
+
+def _cmd_obs_diff(args) -> int:
+    """Compare two journals; exit 1 when the newer run regressed."""
+    from repro.obs.compare import Thresholds, compare, regressions, summarize_run
+    from repro.obs.report import render_diff
+
+    base = summarize_run(args.journal_a, source=str(args.journal_a))
+    new = summarize_run(args.journal_b, source=str(args.journal_b))
+    deltas = compare(base, new, Thresholds.from_args(args))
+    print(render_diff(deltas, base.label() or str(args.journal_a),
+                      new.label() or str(args.journal_b)))
+    bad = regressions(deltas)
+    if bad:
+        print(f"\n{len(bad)} regression(s) beyond thresholds")
+        return 1
+    return 0
+
+
+def _cmd_obs_baseline(args) -> int:
+    """Distill a journal into a committed-baseline JSON file."""
+    from repro.obs.compare import summarize_run, write_baseline
+
+    summary = summarize_run(args.journal, source=str(args.journal))
+    path = write_baseline(summary, args.out)
+    print(f"baseline ({summary.label()}) -> {path}")
+    return 0
+
+
+def _cmd_obs_check(args) -> int:
+    """Gate a journal against a committed baseline (file or directory)."""
+    from repro.obs.compare import (
+        Thresholds, align, compare, load_baselines, regressions,
+        summarize_run,
+    )
+    from repro.obs.report import render_diff, render_html
+
+    summary = summarize_run(args.journal, source=str(args.journal))
+    baselines = load_baselines(args.baseline)
+    if not baselines:
+        print(f"no baselines under {args.baseline}", file=sys.stderr)
+        return 2
+    baseline = align(summary, baselines)
+    if baseline is None:
+        print(
+            f"no baseline matches run key {summary.key} "
+            f"(checked {len(baselines)} under {args.baseline})",
+            file=sys.stderr,
+        )
+        return 2
+    deltas = compare(baseline, summary, Thresholds.from_args(args))
+    print(render_diff(deltas, f"baseline:{baseline.label()}",
+                      summary.label() or str(args.journal)))
+    if args.html:
+        from repro.obs.journal import read_events
+
+        render_html(read_events(args.journal), args.html,
+                    source=str(args.journal), deltas=deltas)
+        print(f"html report -> {args.html}")
+    bad = regressions(deltas)
+    if bad:
+        print(f"\n{len(bad)} regression(s) vs {baseline.source}:")
+        for d in bad:
+            print(f"  {d.name}: {d.base:.6g} -> {d.new:.6g}"
+                  + (f" ({d.pct:+.1f}%)" if d.pct is not None else ""))
+        if args.fail_on_regress:
+            return 1
+        print("(informational: pass --fail-on-regress to gate on this)")
+    else:
+        print("\nno regressions vs baseline")
+    return 0
+
+
 def _cmd_cache(args) -> int:
     from repro.io.artifacts import ArtifactCache
 
@@ -352,6 +444,58 @@ def build_parser() -> argparse.ArgumentParser:
     sum_p.add_argument("dir", nargs="?", default="results")
     sum_p.add_argument("--out", help="output path (default <dir>/SUMMARY.md)")
     sum_p.set_defaults(func=_cmd_summarize)
+
+    # Regression thresholds shared by `obs diff` and `obs check`.
+    thresh = argparse.ArgumentParser(add_help=False)
+    thresh.add_argument(
+        "--threshold-time-pct", type=float, default=None, metavar="PCT",
+        help="phase wall-time growth counted as a regression (default 15)")
+    thresh.add_argument(
+        "--threshold-counter-pct", type=float, default=None, metavar="PCT",
+        help="work-counter growth counted as a regression (default 10)")
+    thresh.add_argument(
+        "--threshold-quality-drop", type=float, default=None, metavar="ABS",
+        help="absolute drop of a quality fraction counted as a regression "
+             "(default 0.01)")
+
+    obs_p = sub.add_parser(
+        "obs", help="analyze run journals: report, diff, check, baseline")
+    obs_sub = obs_p.add_subparsers(dest="obs_command", required=True)
+
+    rep_p = obs_sub.add_parser(
+        "report", help="render a journal as a terminal/HTML run report")
+    rep_p.add_argument("journal", help="JSONL journal from --trace")
+    rep_p.add_argument("--html", metavar="PATH",
+                       help="also write a self-contained HTML report")
+    rep_p.set_defaults(func=_cmd_obs_report)
+
+    diff_p = obs_sub.add_parser(
+        "diff", help="per-phase and per-counter deltas of two journals",
+        parents=[thresh])
+    diff_p.add_argument("journal_a", help="baseline journal")
+    diff_p.add_argument("journal_b", help="newer journal")
+    diff_p.set_defaults(func=_cmd_obs_diff)
+
+    base_p = obs_sub.add_parser(
+        "baseline", help="distill a journal into a committable baseline")
+    base_p.add_argument("journal")
+    base_p.add_argument("--out", required=True,
+                        help="baseline JSON path (e.g. benchmarks/baselines/)")
+    base_p.set_defaults(func=_cmd_obs_baseline)
+
+    check_p = obs_sub.add_parser(
+        "check", help="gate a journal against a committed baseline",
+        parents=[thresh])
+    check_p.add_argument("journal")
+    check_p.add_argument("--baseline", required=True,
+                         help="baseline file, or a directory of baselines "
+                              "matched by run key")
+    check_p.add_argument("--fail-on-regress", action="store_true",
+                         help="exit non-zero when a threshold is exceeded")
+    check_p.add_argument("--html", metavar="PATH",
+                         help="also write the HTML report with the delta "
+                              "table embedded")
+    check_p.set_defaults(func=_cmd_obs_check)
     return parser
 
 
@@ -376,6 +520,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(obs.spans.render_summary())
         print("\n== metrics ==")
         print(obs.REGISTRY.render_table())
+        quality_line = obs.quality.summary_line()
+        if quality_line:
+            print(quality_line)
     if trace_path is not None:
         print(f"telemetry journal -> {trace_path}")
     return rc

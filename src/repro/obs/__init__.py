@@ -11,6 +11,16 @@ through:
   opened with a manifest (config, graph shape, seed, git SHA, versions);
 * :mod:`~repro.obs.export` — journal -> ``results/*.json`` + CSV rollups.
 
+On top of the substrate sit the analytics layers:
+
+* :mod:`~repro.obs.quality` — paper-grounded quality counters (CG edge
+  fraction, phase-1 precision, Theorem 1 certificates, redundant
+  relaxations);
+* :mod:`~repro.obs.compare` — cross-run summaries, committed baselines,
+  and threshold-gated regression detection;
+* :mod:`~repro.obs.report` — terminal + self-contained HTML run reports
+  (the ``repro-coregraph obs`` command family drives all three).
+
 Telemetry is disabled by default and every instrumentation point guards on
 :func:`is_enabled`, so the off path costs one flag check. Turn it on for a
 region with :func:`telemetry`::
@@ -28,14 +38,15 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
-from repro.obs import journal, metrics, runtime, spans
+from repro.obs import compare, export, journal, metrics, quality, report, runtime, spans
 from repro.obs.journal import Journal, build_manifest, emit, read_events
 from repro.obs.metrics import REGISTRY, counter, gauge, histogram
 from repro.obs.runtime import disable, enable, is_enabled
 from repro.obs.spans import span
 
 __all__ = [
-    "journal", "metrics", "runtime", "spans",
+    "compare", "export", "journal", "metrics", "quality", "report",
+    "runtime", "spans",
     "Journal", "build_manifest", "emit", "read_events",
     "REGISTRY", "counter", "gauge", "histogram",
     "disable", "enable", "is_enabled", "span", "telemetry", "reset",

@@ -1,0 +1,322 @@
+"""Cross-run comparison and regression detection over JSONL journals.
+
+A journal (or a committed baseline distilled from one) reduces to a
+:class:`RunSummary`: an identity key (graph, query, source, seed, git SHA),
+per-phase wall times aggregated from span events, and the final metrics
+snapshot (flattened to numbers). Two summaries aligned by key compare into
+a list of :class:`Delta` records; :class:`Thresholds` decides which deltas
+count as regressions:
+
+* **time** — a phase's total wall time grew by more than ``time_pct``;
+* **counter** — a work counter (``engine.*``: edges scanned, iterations,
+  redundant relaxations) grew by more than ``counter_pct``. These are
+  deterministic for a fixed graph/seed, so CI can gate them tightly even
+  when wall times are noisy across machines;
+* **quality** — a paper-grounded ``quality.*`` gauge moved the wrong way:
+  fractions (CG edge fraction, phase-1 precision, certified share) by more
+  than ``quality_drop`` absolute, counts by more than ``counter_pct``.
+
+Baselines serialize as small JSON files (``schema: repro-obs-baseline/v1``)
+suitable for committing under ``benchmarks/baselines/``; a directory of
+them acts as a baseline set that :func:`align` matches against by key.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+from repro.obs import quality as obs_quality
+from repro.obs.export import EventsOrPath, manifest_of
+from repro.obs.journal import iter_events
+
+BASELINE_SCHEMA = "repro-obs-baseline/v1"
+
+#: Manifest fields that must agree for two runs to be comparable.
+KEY_FIELDS = ("graph", "query", "source", "seed")
+
+
+@dataclass
+class RunSummary:
+    """One run, reduced to what cross-run comparison needs."""
+
+    source: str
+    key: Dict[str, Any] = field(default_factory=dict)
+    phases: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def quality(self) -> Dict[str, float]:
+        return {
+            k: v for k, v in self.metrics.items()
+            if k.startswith(obs_quality.PREFIX)
+        }
+
+    def label(self) -> str:
+        parts = [
+            str(self.key.get(f)) for f in ("graph", "query", "source")
+            if self.key.get(f) is not None
+        ]
+        return "/".join(parts) if parts else Path(self.source).stem
+
+
+@dataclass
+class Delta:
+    """One compared quantity between a baseline and a new run."""
+
+    name: str
+    kind: str  # "time" | "counter" | "quality"
+    base: Optional[float]
+    new: Optional[float]
+    pct: Optional[float]  # percent change vs base, None when base is 0/None
+    regressed: bool = False
+    note: str = ""
+
+
+@dataclass(frozen=True)
+class Thresholds:
+    """When a delta becomes a regression (all one-sided, worse-direction)."""
+
+    time_pct: float = 15.0
+    counter_pct: float = 10.0
+    quality_drop: float = 0.01
+
+    @classmethod
+    def from_args(cls, args: Any) -> "Thresholds":
+        """Build from CLI args, falling back to the defaults."""
+        kwargs = {}
+        for attr, opt in (
+            ("time_pct", "threshold_time_pct"),
+            ("counter_pct", "threshold_counter_pct"),
+            ("quality_drop", "threshold_quality_drop"),
+        ):
+            value = getattr(args, opt, None)
+            if value is not None:
+                kwargs[attr] = float(value)
+        return cls(**kwargs)
+
+
+def _flatten_metrics(snapshot: Dict[str, Any]) -> Dict[str, float]:
+    """Final metrics snapshot -> flat name -> number map.
+
+    Histograms contribute ``<name>.count`` and ``<name>.sum``; everything
+    non-numeric is dropped.
+    """
+    flat: Dict[str, float] = {}
+    for name, value in snapshot.items():
+        if isinstance(value, bool):
+            continue
+        if isinstance(value, (int, float)):
+            flat[name] = float(value)
+        elif isinstance(value, dict):
+            for part in ("count", "sum"):
+                inner = value.get(part)
+                if isinstance(inner, (int, float)):
+                    flat[f"{name}.{part}"] = float(inner)
+    return flat
+
+
+def summarize_run(events: EventsOrPath, source: str = "") -> RunSummary:
+    """Reduce a journal to its :class:`RunSummary`."""
+    events = list(iter_events(events))
+    manifest = manifest_of(events)
+    key: Dict[str, Any] = {
+        "seed": manifest.get("seed"),
+        "git_sha": manifest.get("git_sha"),
+        "graph": None,
+        "query": None,
+        "source": None,
+    }
+    if isinstance(manifest.get("experiment"), str):
+        key["query"] = manifest["experiment"]
+
+    phases: Dict[str, Dict[str, float]] = {}
+    metrics: Dict[str, float] = {}
+    for event in events:
+        etype = event.get("type")
+        if etype == "span":
+            agg = phases.setdefault(
+                str(event.get("name")), {"count": 0.0, "total_s": 0.0}
+            )
+            agg["count"] += 1
+            agg["total_s"] += float(event.get("duration_s", 0.0))
+        elif etype == "metrics":
+            metrics = _flatten_metrics(event.get("metrics", {}))
+        elif etype == "event":
+            name = event.get("name")
+            if name == "graph.loaded":
+                key["graph"] = event.get("graph")
+            elif name in ("twophase.result", "cg.built"):
+                key["query"] = event.get("query") or key["query"]
+                if event.get("source") is not None:
+                    key["source"] = event.get("source")
+    if not source:
+        source = str(manifest.get("journal_path") or "<events>")
+    return RunSummary(source=source, key=key, phases=phases, metrics=metrics)
+
+
+def to_baseline(summary: RunSummary) -> Dict[str, Any]:
+    """A committed-baseline payload for ``summary``."""
+    return {
+        "schema": BASELINE_SCHEMA,
+        "created": datetime.now(timezone.utc).isoformat(),
+        "source": summary.source,
+        "key": summary.key,
+        "phases": summary.phases,
+        "metrics": summary.metrics,
+    }
+
+
+def write_baseline(summary: RunSummary, path: Union[str, Path]) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w") as fh:
+        json.dump(to_baseline(summary), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return path
+
+
+def load_baseline(path: Union[str, Path]) -> RunSummary:
+    path = Path(path)
+    payload = json.loads(path.read_text())
+    if payload.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path} is not a {BASELINE_SCHEMA} baseline "
+            f"(schema={payload.get('schema')!r})"
+        )
+    return RunSummary(
+        source=str(path),
+        key=dict(payload.get("key", {})),
+        phases={
+            str(k): dict(v) for k, v in payload.get("phases", {}).items()
+        },
+        metrics={
+            str(k): float(v)
+            for k, v in payload.get("metrics", {}).items()
+            if isinstance(v, (int, float)) and not isinstance(v, bool)
+        },
+    )
+
+
+def load_baselines(path: Union[str, Path]) -> List[RunSummary]:
+    """One baseline file, or every ``*.json`` baseline in a directory."""
+    path = Path(path)
+    if path.is_dir():
+        out = []
+        for child in sorted(path.glob("*.json")):
+            try:
+                out.append(load_baseline(child))
+            except (ValueError, json.JSONDecodeError):
+                continue  # unrelated JSON living in the same directory
+        return out
+    return [load_baseline(path)]
+
+
+def keys_match(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Whether two run keys describe the same experiment.
+
+    Fields that are ``None`` on either side are ignored (a baseline may
+    predate a key field); everything known on both sides must agree.
+    ``git_sha`` is deliberately not compared — differing across runs is
+    the whole point.
+    """
+    for field_name in KEY_FIELDS:
+        va, vb = a.get(field_name), b.get(field_name)
+        if va is not None and vb is not None and va != vb:
+            return False
+    return True
+
+
+def align(
+    summary: RunSummary, baselines: List[RunSummary]
+) -> Optional[RunSummary]:
+    """The baseline matching ``summary``'s key, or None."""
+    for baseline in baselines:
+        if keys_match(summary.key, baseline.key):
+            return baseline
+    return None
+
+
+def _pct(base: float, new: float) -> Optional[float]:
+    if base == 0:
+        return None
+    return 100.0 * (new - base) / abs(base)
+
+
+def compare(
+    base: RunSummary,
+    new: RunSummary,
+    thresholds: Optional[Thresholds] = None,
+) -> List[Delta]:
+    """All comparable quantities of two runs, worst offenders first."""
+    th = thresholds or Thresholds()
+    deltas: List[Delta] = []
+
+    for phase in sorted(set(base.phases) | set(new.phases)):
+        b = base.phases.get(phase)
+        n = new.phases.get(phase)
+        if b is None or n is None:
+            deltas.append(Delta(
+                name=f"phase:{phase}", kind="time",
+                base=None if b is None else b["total_s"],
+                new=None if n is None else n["total_s"],
+                pct=None, regressed=False,
+                note="only in one run",
+            ))
+            continue
+        pct = _pct(b["total_s"], n["total_s"])
+        deltas.append(Delta(
+            name=f"phase:{phase}", kind="time",
+            base=b["total_s"], new=n["total_s"], pct=pct,
+            regressed=pct is not None and pct > th.time_pct,
+        ))
+
+    shared = set(base.metrics) & set(new.metrics)
+    for name in sorted(shared):
+        b, n = base.metrics[name], new.metrics[name]
+        bare = obs_quality.bare_name(name)
+        if bare.startswith(obs_quality.PREFIX):
+            deltas.append(_quality_delta(name, bare, b, n, th))
+        elif bare.startswith("engine."):
+            pct = _pct(b, n)
+            # Work counters regress upward, except skipped edges, where a
+            # drop means the certificates stopped saving work.
+            if bare == "engine.edges_skipped":
+                regressed = pct is not None and pct < -th.counter_pct
+            else:
+                regressed = pct is not None and pct > th.counter_pct
+            deltas.append(Delta(
+                name=name, kind="counter", base=b, new=n, pct=pct,
+                regressed=regressed,
+            ))
+
+    deltas.sort(key=lambda d: (not d.regressed, -(abs(d.pct or 0.0))))
+    return deltas
+
+
+def _quality_delta(
+    name: str, bare: str, base: float, new: float, th: Thresholds
+) -> Delta:
+    lower_better = bare in obs_quality.LOWER_IS_BETTER
+    # Orient so positive `worse` always means movement in the bad direction.
+    worse = (new - base) if lower_better else (base - new)
+    if bare in obs_quality.FRACTIONS:
+        regressed = worse > th.quality_drop
+    else:
+        base_mag = abs(base)
+        regressed = (
+            100.0 * worse / base_mag > th.counter_pct
+            if base_mag else worse > 0
+        )
+    return Delta(
+        name=name, kind="quality", base=base, new=new,
+        pct=_pct(base, new), regressed=regressed,
+        note="lower is better" if lower_better else "higher is better",
+    )
+
+
+def regressions(deltas: List[Delta]) -> List[Delta]:
+    return [d for d in deltas if d.regressed]

@@ -30,20 +30,61 @@ def manifest_of(events: EventsOrPath) -> Dict[str, Any]:
     return {}
 
 
+def _span_intervals(
+    events: List[Dict[str, Any]]
+) -> Dict[Any, List[Tuple[float, float, int, str]]]:
+    """Per-thread ``(start, end, depth, name)`` of every journaled span.
+
+    Spans journal on exit, carrying an explicit ``start_t`` (older journals
+    fall back to ``t - duration_s``, the emit time minus the duration).
+    """
+    intervals: Dict[Any, List[Tuple[float, float, int, str]]] = {}
+    for event in events:
+        if event.get("type") != "span" or "t" not in event:
+            continue
+        end = float(event["t"])
+        start = float(event.get("start_t", end - float(event.get("duration_s", 0.0))))
+        intervals.setdefault(event.get("thread"), []).append(
+            (start, end, int(event.get("depth", 0)), str(event.get("name")))
+        )
+    return intervals
+
+
+def _enclosing_span(
+    event: Dict[str, Any],
+    intervals: Dict[Any, List[Tuple[float, float, int, str]]],
+) -> Optional[str]:
+    """Innermost span on the event's own thread containing its timestamp."""
+    if "t" not in event:
+        return None
+    t = float(event["t"])
+    best: Optional[Tuple[int, str]] = None
+    for start, end, depth, name in intervals.get(event.get("thread"), ()):
+        if start <= t <= end and (best is None or depth > best[0]):
+            best = (depth, name)
+    return best[1] if best else None
+
+
 def iteration_series(
     events: EventsOrPath,
 ) -> "OrderedDict[str, List[Dict[str, Any]]]":
     """Per-iteration engine events grouped by phase label, in seq order.
 
-    Events without a surrounding span get the label ``"run"``; the phase
-    label is the innermost open span at emission time (e.g.
-    ``twophase.core``).
+    The label is the event's recorded ``phase`` (the innermost span open on
+    the emitting thread at emission time). Events journaled without one —
+    e.g. by instrumentation layers that do not know their caller — are
+    attributed to the innermost journaled span *of their own thread* whose
+    interval contains the event, so journals that interleave concurrent
+    engines still split cleanly per phase. Events enclosed by no span get
+    the label ``"run"``.
     """
+    events = list(iter_events(events))
+    intervals = _span_intervals(events)
     series: "OrderedDict[str, List[Dict[str, Any]]]" = OrderedDict()
-    for event in iter_events(events):
+    for event in events:
         if event.get("type") != "iteration":
             continue
-        label = event.get("phase") or "run"
+        label = event.get("phase") or _enclosing_span(event, intervals) or "run"
         series.setdefault(label, []).append(event)
     return series
 

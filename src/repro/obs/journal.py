@@ -9,7 +9,10 @@ Events carry a monotonically increasing ``seq`` and an elapsed-seconds
 
 Exactly one journal may be active per process; :func:`emit` from anywhere
 in the stack appends to it (or silently drops the event when none is
-active, which is the disabled path).
+active, which is the disabled path). Every event also records the emitting
+``thread`` (its :func:`threading.get_ident`), which is what lets journal
+consumers re-attribute events to the right span when concurrent engines
+interleave their streams.
 """
 
 from __future__ import annotations
@@ -107,6 +110,7 @@ class Journal:
 
     def emit(self, event: Dict[str, Any]) -> None:
         payload = {k: _jsonable(v) for k, v in event.items()}
+        payload.setdefault("thread", threading.get_ident())
         with self._lock:
             if self._fh.closed:
                 return
@@ -116,6 +120,10 @@ class Journal:
             )
             self._seq += 1
             self._fh.write(json.dumps(payload) + "\n")
+
+    def rel_time(self, perf_t: float) -> float:
+        """A ``perf_counter`` reading as this journal's elapsed seconds."""
+        return max(0.0, perf_t - self._t0)
 
     def close(self) -> None:
         with self._lock:

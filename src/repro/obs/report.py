@@ -1,0 +1,281 @@
+"""Render run journals as terminal reports and self-contained HTML.
+
+The terminal report (:func:`render_report`) stacks four sections: the run
+manifest, the per-phase timing breakdown, the paper-grounded quality
+counters (:mod:`repro.obs.quality`), and a per-phase convergence digest of
+the iteration stream. :func:`render_html` produces a single HTML file with
+the same tables plus inline-SVG convergence curves (frontier size and
+edges scanned per iteration) — no external assets, so the file can ride
+along as a CI artifact. :func:`render_diff` tabulates the
+:class:`~repro.obs.compare.Delta` records of a two-run comparison.
+"""
+
+from __future__ import annotations
+
+import html as _html
+import math
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.obs import quality as obs_quality
+from repro.obs.compare import Delta, RunSummary, summarize_run
+from repro.obs.export import EventsOrPath, iteration_series, manifest_of
+from repro.obs.journal import iter_events
+
+
+def _render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                  title: Optional[str] = None, floatfmt: str = ".3f") -> str:
+    # Lazy import: repro.harness pulls in the experiment registry, which
+    # itself imports repro.obs — fine at call time, circular at import time.
+    from repro.harness.tables import render_table
+
+    return render_table(headers, rows, title=title, floatfmt=floatfmt)
+
+
+def _manifest_rows(manifest: Dict[str, Any]) -> List[List[Any]]:
+    rows: List[List[Any]] = []
+    for field in ("created", "git_sha", "python", "numpy", "platform",
+                  "seed", "argv", "experiment"):
+        if manifest.get(field) is not None:
+            rows.append([field, str(manifest[field])])
+    graph = manifest.get("graph")
+    if isinstance(graph, dict):
+        rows.append(["graph", f"|V|={graph.get('num_vertices'):,} "
+                              f"|E|={graph.get('num_edges'):,}"])
+    return rows
+
+
+def _phase_rows(summary: RunSummary) -> List[List[Any]]:
+    total = sum(agg["total_s"] for agg in summary.phases.values()) or 1.0
+    rows = []
+    for name, agg in sorted(
+        summary.phases.items(), key=lambda kv: kv[1]["total_s"], reverse=True
+    ):
+        rows.append([
+            name, int(agg["count"]), round(agg["total_s"] * 1e3, 3),
+            f"{100.0 * agg['total_s'] / total:.1f}%",
+        ])
+    return rows
+
+
+def _quality_rows(summary: RunSummary) -> List[List[Any]]:
+    rows = []
+    for name, value in sorted(summary.quality.items()):
+        bare = obs_quality.bare_name(name)
+        if bare in obs_quality.FRACTIONS:
+            shown: Any = f"{100.0 * value:.2f}%"
+        elif float(value) == int(value):
+            shown = int(value)
+        else:
+            shown = round(float(value), 4)
+        direction = (
+            "lower better" if bare in obs_quality.LOWER_IS_BETTER
+            else "higher better"
+        )
+        rows.append([name, shown, direction])
+    return rows
+
+
+def _convergence_rows(
+    series: Dict[str, List[Dict[str, Any]]]
+) -> List[List[Any]]:
+    rows = []
+    for label, its in series.items():
+        edges = sum(int(i.get("edges_scanned", 0)) for i in its)
+        updates = sum(int(i.get("updates", 0)) for i in its)
+        peak = max((int(i.get("frontier", 0) or 0) for i in its), default=0)
+        rows.append([label, len(its), edges, updates, peak])
+    return rows
+
+
+def render_report(events: EventsOrPath, source: str = "") -> str:
+    """The terminal run report (manifest, timing, quality, convergence)."""
+    events = list(iter_events(events))
+    manifest = manifest_of(events)
+    summary = summarize_run(events, source=source)
+    series = iteration_series(events)
+
+    sections = [_render_table(
+        ["field", "value"], _manifest_rows(manifest),
+        title=f"Run report — {summary.label()}",
+    )]
+    if summary.phases:
+        sections.append(_render_table(
+            ["phase", "count", "total ms", "share"], _phase_rows(summary),
+            title="Phase timing",
+        ))
+    quality_rows = _quality_rows(summary)
+    if quality_rows:
+        sections.append(_render_table(
+            ["quality counter", "value", "direction"], quality_rows,
+            title="Quality counters",
+        ))
+    if series:
+        sections.append(_render_table(
+            ["phase", "iterations", "edges", "updates", "peak frontier"],
+            _convergence_rows(series), title="Convergence",
+        ))
+    return "\n\n".join(sections)
+
+
+def render_diff(
+    deltas: List[Delta], base_label: str, new_label: str
+) -> str:
+    """Terminal delta table of a two-run comparison."""
+    rows = []
+    for d in deltas:
+        rows.append([
+            "REGRESS" if d.regressed else "ok",
+            d.kind,
+            d.name,
+            "-" if d.base is None else f"{d.base:.6g}",
+            "-" if d.new is None else f"{d.new:.6g}",
+            "-" if d.pct is None else f"{d.pct:+.1f}%",
+            d.note,
+        ])
+    return _render_table(
+        ["status", "kind", "metric", "base", "new", "delta", "note"],
+        rows,
+        title=f"{base_label} -> {new_label}",
+    )
+
+
+# ---------------------------------------------------------------------------
+# HTML
+# ---------------------------------------------------------------------------
+
+_CSS = """
+body { font: 14px/1.5 system-ui, sans-serif; margin: 2rem auto;
+       max-width: 72rem; padding: 0 1rem; color: #1a1a2e; }
+h1 { font-size: 1.4rem; } h2 { font-size: 1.1rem; margin-top: 2rem; }
+table { border-collapse: collapse; margin: .75rem 0; }
+th, td { border: 1px solid #d0d0dd; padding: .3rem .6rem; text-align: left; }
+th { background: #f0f0f7; }
+td.num { text-align: right; font-variant-numeric: tabular-nums; }
+tr.regress td { background: #ffe5e5; }
+.curve { margin: 1rem 0; }
+.curve svg { background: #fafaff; border: 1px solid #d0d0dd; }
+.legend { font-size: .85rem; color: #555; }
+"""
+
+
+def _html_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
+                regress_col: Optional[int] = None) -> str:
+    head = "".join(f"<th>{_html.escape(str(h))}</th>" for h in headers)
+    body = []
+    for row in rows:
+        regressed = (
+            regress_col is not None
+            and str(row[regress_col]) == "REGRESS"
+        )
+        cells = []
+        for cell in row:
+            klass = ' class="num"' if isinstance(cell, (int, float)) else ""
+            cells.append(f"<td{klass}>{_html.escape(str(cell))}</td>")
+        cls = ' class="regress"' if regressed else ""
+        body.append(f"<tr{cls}>{''.join(cells)}</tr>")
+    return (f"<table><thead><tr>{head}</tr></thead>"
+            f"<tbody>{''.join(body)}</tbody></table>")
+
+
+def _svg_curve(
+    series: List[Tuple[int, float]], width: int = 460, height: int = 160
+) -> str:
+    """One log-scaled polyline curve as an inline SVG."""
+    pad = 28
+    if not series:
+        return ""
+    xs = [p[0] for p in series]
+    ys = [math.log10(max(p[1], 1.0)) for p in series]
+    x_lo, x_hi = min(xs), max(xs)
+    y_hi = max(max(ys), 1e-9)
+    x_span = max(x_hi - x_lo, 1)
+
+    def sx(x: float) -> float:
+        return pad + (width - 2 * pad) * (x - x_lo) / x_span
+
+    def sy(y: float) -> float:
+        return height - pad - (height - 2 * pad) * (y / y_hi)
+
+    points = " ".join(f"{sx(x):.1f},{sy(y):.1f}" for x, y in zip(xs, ys))
+    ticks = []
+    for frac in (0.0, 0.5, 1.0):
+        x = x_lo + frac * x_span
+        ticks.append(
+            f'<text x="{sx(x):.0f}" y="{height - 8}" font-size="10" '
+            f'text-anchor="middle">{int(x)}</text>'
+        )
+    top = int(round(10 ** y_hi))
+    return (
+        f'<svg viewBox="0 0 {width} {height}" width="{width}" '
+        f'height="{height}" xmlns="http://www.w3.org/2000/svg">'
+        f'<polyline fill="none" stroke="#4a5bd4" stroke-width="1.5" '
+        f'points="{points}"/>'
+        f'<line x1="{pad}" y1="{height - pad}" x2="{width - pad}" '
+        f'y2="{height - pad}" stroke="#999"/>'
+        f'<text x="{pad}" y="14" font-size="10">log scale, '
+        f'peak {top:,}</text>{"".join(ticks)}</svg>'
+    )
+
+
+def render_html(
+    events: EventsOrPath,
+    out: Union[str, Path],
+    source: str = "",
+    deltas: Optional[List[Delta]] = None,
+) -> Path:
+    """Write a self-contained HTML run report; returns the output path."""
+    events = list(iter_events(events))
+    manifest = manifest_of(events)
+    summary = summarize_run(events, source=source)
+    series = iteration_series(events)
+
+    parts: List[str] = [
+        "<!doctype html><html><head><meta charset='utf-8'>",
+        f"<title>repro obs report — {_html.escape(summary.label())}</title>",
+        f"<style>{_CSS}</style></head><body>",
+        f"<h1>Run report — {_html.escape(summary.label())}</h1>",
+        "<h2>Manifest</h2>",
+        _html_table(["field", "value"], _manifest_rows(manifest)),
+    ]
+    if summary.phases:
+        parts += ["<h2>Phase timing</h2>", _html_table(
+            ["phase", "count", "total ms", "share"], _phase_rows(summary))]
+    quality_rows = _quality_rows(summary)
+    if quality_rows:
+        parts += ["<h2>Quality counters</h2>", _html_table(
+            ["quality counter", "value", "direction"], quality_rows)]
+    if series:
+        parts += ["<h2>Convergence</h2>", _html_table(
+            ["phase", "iterations", "edges", "updates", "peak frontier"],
+            _convergence_rows(series))]
+        for label, its in series.items():
+            frontier = [(int(i.get("iteration", k)),
+                         float(i.get("frontier", 0) or 0))
+                        for k, i in enumerate(its)]
+            edges = [(int(i.get("iteration", k)),
+                      float(i.get("edges_scanned", 0) or 0))
+                     for k, i in enumerate(its)]
+            parts.append(
+                f"<div class='curve'><h2>{_html.escape(label)}</h2>"
+                f"<div class='legend'>frontier size per iteration</div>"
+                f"{_svg_curve(frontier)}"
+                f"<div class='legend'>edges scanned per iteration</div>"
+                f"{_svg_curve(edges)}</div>"
+            )
+    if deltas is not None:
+        rows = [[
+            "REGRESS" if d.regressed else "ok", d.kind, d.name,
+            "-" if d.base is None else f"{d.base:.6g}",
+            "-" if d.new is None else f"{d.new:.6g}",
+            "-" if d.pct is None else f"{d.pct:+.1f}%", d.note,
+        ] for d in deltas]
+        parts += ["<h2>Baseline comparison</h2>", _html_table(
+            ["status", "kind", "metric", "base", "new", "delta", "note"],
+            rows, regress_col=0)]
+    parts.append("</body></html>")
+
+    out = Path(out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text("".join(parts))
+    return out

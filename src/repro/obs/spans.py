@@ -97,16 +97,20 @@ class Span:
             _records.append(record)
         from repro.obs import journal
 
-        journal.emit(
-            {
-                "type": "span",
-                "name": self.name,
-                "duration_s": duration,
-                "depth": self.depth,
-                "parent": self.parent,
-                **self.attrs,
-            }
-        )
+        event = {
+            "type": "span",
+            "name": self.name,
+            "duration_s": duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            **self.attrs,
+        }
+        active = journal.active_journal()
+        if active is not None:
+            # Spans journal on *exit*; the explicit start time is what lets
+            # consumers place other events inside the right span interval.
+            event["start_t"] = active.rel_time(self.start)
+        journal.emit(event)
         return False
 
 

@@ -5,10 +5,11 @@ import numpy as np
 from repro.engines.stats import IterationInfo, RunStats
 
 
-def _info(i, frontier=None):
+def _info(i, frontier=None, skipped=0, redundant=0):
     return IterationInfo(
         index=i, frontier_size=3, edges_scanned=10 * (i + 1), updates=2,
-        activated=1, frontier=frontier,
+        activated=1, frontier=frontier, edges_skipped=skipped,
+        redundant=redundant,
     )
 
 
@@ -20,6 +21,26 @@ def test_record_accumulates():
     assert stats.edges_processed == 30
     assert stats.updates == 4
     assert stats.vertices_activated == 2
+
+
+def test_record_accumulates_quality_counters():
+    stats = RunStats()
+    stats.record(_info(0, skipped=5, redundant=2))
+    stats.record(_info(1, skipped=3, redundant=1))
+    assert stats.edges_skipped == 8
+    assert stats.redundant_relaxations == 3
+    d = stats.to_dict(include_iterations=False)
+    assert d["edges_skipped"] == 8
+    assert d["redundant_relaxations"] == 3
+
+
+def test_merged_with_sums_quality_counters():
+    a, b = RunStats(), RunStats()
+    a.record(_info(0, skipped=4, redundant=1))
+    b.record(_info(0, skipped=6, redundant=2))
+    merged = a.merged_with(b)
+    assert merged.edges_skipped == 10
+    assert merged.redundant_relaxations == 3
 
 
 def test_record_drops_frontier_by_default():
@@ -46,6 +67,8 @@ def test_to_dict_roundtrips_counters():
     assert d["iterations"] == 1
     assert d["edges_processed"] == 10
     assert d["wall_time"] == 0.5
+    assert d["edges_skipped"] == 0
+    assert d["redundant_relaxations"] == 0
     (it,) = d["per_iteration"]
     assert it == {"index": 0, "frontier_size": 3, "edges_scanned": 10,
                   "updates": 2, "activated": 1}

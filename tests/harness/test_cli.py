@@ -173,6 +173,130 @@ class TestTelemetry:
         assert any(r[0] == "iterations" for r in payload["rows"])
 
 
+@pytest.fixture(scope="module")
+def obs_run(tmp_path_factory):
+    """A traced SSSP query run: (dir, journal path)."""
+    root = tmp_path_factory.mktemp("obsrun")
+    cg = root / "pk.npz"
+    trace = root / "run.jsonl"
+    assert main(["build", "PK", "SSSP", "--hubs", "4",
+                 "--out", str(cg)]) == 0
+    assert main(["query", "PK", "SSSP", "3", "--cg", str(cg), "--triangle",
+                 "--trace", str(trace)]) == 0
+    return root, trace
+
+
+def _degrade(journal, out, slow_pct=25.0, precision_drop=0.05):
+    """Copy a journal, slowing the completion phase and dropping precision."""
+    import json
+
+    lines = []
+    for line in journal.read_text().splitlines():
+        event = json.loads(line)
+        if (event.get("type") == "span"
+                and event.get("name") == "twophase.completion"):
+            event["duration_s"] *= 1.0 + slow_pct / 100.0
+        elif event.get("type") == "metrics":
+            key = 'quality.phase1_precise_fraction{query="SSSP"}'
+            if key in event.get("metrics", {}):
+                event["metrics"][key] -= precision_drop
+        lines.append(json.dumps(event))
+    out.write_text("\n".join(lines) + "\n")
+    return out
+
+
+class TestObs:
+    def test_report_renders_terminal_and_html(self, obs_run, capsys):
+        root, trace = obs_run
+        html = root / "report.html"
+        assert main(["obs", "report", str(trace),
+                     "--html", str(html)]) == 0
+        out = capsys.readouterr().out
+        assert "Run report" in out
+        assert "Phase timing" in out
+        assert "Quality counters" in out
+        assert "Convergence" in out
+        assert html.exists()
+        assert "<svg" in html.read_text()
+
+    def test_baseline_then_self_check_passes(self, obs_run, capsys):
+        root, trace = obs_run
+        baseline = root / "baselines" / "sssp.json"
+        assert main(["obs", "baseline", str(trace),
+                     "--out", str(baseline)]) == 0
+        assert baseline.exists()
+        capsys.readouterr()
+        assert main(["obs", "check", str(trace), "--baseline",
+                     str(baseline.parent), "--fail-on-regress"]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+    def test_check_fails_on_injected_regression(self, obs_run, capsys):
+        root, trace = obs_run
+        baseline = root / "baselines" / "sssp.json"
+        if not baseline.exists():
+            main(["obs", "baseline", str(trace), "--out", str(baseline)])
+        slow = _degrade(trace, root / "slow.jsonl")
+        capsys.readouterr()
+        assert main(["obs", "check", str(slow), "--baseline",
+                     str(baseline.parent), "--fail-on-regress"]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESS" in out
+        assert "phase:twophase.completion" in out
+        assert "quality.phase1_precise_fraction" in out
+
+    def test_check_without_flag_is_informational(self, obs_run, capsys):
+        root, trace = obs_run
+        baseline = root / "baselines" / "sssp.json"
+        if not baseline.exists():
+            main(["obs", "baseline", str(trace), "--out", str(baseline)])
+        slow = _degrade(trace, root / "slow2.jsonl")
+        capsys.readouterr()
+        assert main(["obs", "check", str(slow),
+                     "--baseline", str(baseline.parent)]) == 0
+        assert "--fail-on-regress" in capsys.readouterr().out
+
+    def test_check_respects_threshold_overrides(self, obs_run, capsys):
+        root, trace = obs_run
+        baseline = root / "baselines" / "sssp.json"
+        if not baseline.exists():
+            main(["obs", "baseline", str(trace), "--out", str(baseline)])
+        slow = _degrade(trace, root / "slow3.jsonl")
+        # Loosened thresholds swallow the injected 25% / 0.05 regression.
+        assert main(["obs", "check", str(slow), "--baseline",
+                     str(baseline.parent), "--fail-on-regress",
+                     "--threshold-time-pct", "50",
+                     "--threshold-quality-drop", "0.2"]) == 0
+
+    def test_check_errors_without_matching_baseline(self, obs_run, tmp_path,
+                                                    capsys):
+        _, trace = obs_run
+        assert main(["obs", "check", str(trace),
+                     "--baseline", str(tmp_path)]) == 2
+        assert "no baselines" in capsys.readouterr().err
+
+    def test_diff_identical_ok_degraded_fails(self, obs_run, capsys):
+        root, trace = obs_run
+        assert main(["obs", "diff", str(trace), str(trace)]) == 0
+        slow = _degrade(trace, root / "slow4.jsonl")
+        capsys.readouterr()
+        assert main(["obs", "diff", str(trace), str(slow)]) == 1
+        assert "regression(s) beyond thresholds" in capsys.readouterr().out
+
+    def test_metrics_run_prints_quality_line(self, tmp_path, capsys):
+        cg = tmp_path / "pk.npz"
+        main(["build", "PK", "SSSP", "--hubs", "4", "--out", str(cg)])
+        capsys.readouterr()
+        assert main(["query", "PK", "SSSP", "3", "--cg", str(cg),
+                     "--triangle", "--metrics"]) == 0
+        out = capsys.readouterr().out
+        assert "quality: " in out
+        assert "phase1_precise=" in out
+        # one line, appended to the metrics summary
+        quality_lines = [l for l in out.splitlines()
+                         if l.startswith("quality: ")]
+        assert len(quality_lines) == 1
+
+
 class TestCache:
     def test_empty_and_clear(self, tmp_path, capsys):
         assert main(["cache", str(tmp_path)]) == 0

@@ -1,0 +1,210 @@
+"""Cross-run summaries, baselines, and regression thresholds."""
+
+import argparse
+import json
+
+import pytest
+
+from repro.obs import compare
+
+
+def _events(*, seed=7, core_s=0.002, completion_s=0.004, metrics=None):
+    base_metrics = {
+        'engine.edges_scanned{phase="twophase.core"}': 40.0,
+        "engine.edges_skipped": 100.0,
+        'quality.phase1_precise_fraction{query="SSSP"}': 0.95,
+        'quality.redundant_relaxations{query="SSSP"}': 10.0,
+        "hub.duration": {"count": 2, "sum": 3.0, "mean": 1.5},
+        "telemetry.enabled": True,
+    }
+    if metrics:
+        base_metrics.update(metrics)
+    return [
+        {"type": "manifest", "seed": seed, "git_sha": "a" * 40,
+         "experiment": "SSSP", "journal_path": "runs/demo.jsonl",
+         "seq": 0, "t": 0.0},
+        {"type": "event", "name": "graph.loaded", "graph": "PK",
+         "seq": 1, "t": 0.001},
+        {"type": "span", "name": "twophase.core", "duration_s": core_s,
+         "depth": 0, "seq": 2, "t": 0.01},
+        {"type": "span", "name": "twophase.completion",
+         "duration_s": completion_s, "depth": 0, "seq": 3, "t": 0.02},
+        {"type": "event", "name": "twophase.result", "query": "SSSP",
+         "source": 3, "seq": 4, "t": 0.021},
+        {"type": "metrics", "metrics": base_metrics, "seq": 5, "t": 0.03},
+    ]
+
+
+def test_summarize_run_extracts_key_phases_metrics():
+    summary = compare.summarize_run(_events())
+    assert summary.key["graph"] == "PK"
+    assert summary.key["query"] == "SSSP"
+    assert summary.key["source"] == 3
+    assert summary.key["seed"] == 7
+    assert summary.phases["twophase.core"] == {"count": 1, "total_s": 0.002}
+    assert summary.metrics["engine.edges_skipped"] == 100.0
+    # histograms flatten, booleans drop
+    assert summary.metrics["hub.duration.count"] == 2.0
+    assert summary.metrics["hub.duration.sum"] == 3.0
+    assert "telemetry.enabled" not in summary.metrics
+    assert summary.source == "runs/demo.jsonl"
+    assert summary.label() == "PK/SSSP/3"
+
+
+def test_summary_quality_view():
+    summary = compare.summarize_run(_events())
+    assert set(summary.quality) == {
+        'quality.phase1_precise_fraction{query="SSSP"}',
+        'quality.redundant_relaxations{query="SSSP"}',
+    }
+
+
+def test_baseline_roundtrip(tmp_path):
+    summary = compare.summarize_run(_events())
+    path = compare.write_baseline(summary, tmp_path / "sub" / "base.json")
+    payload = json.loads(path.read_text())
+    assert payload["schema"] == compare.BASELINE_SCHEMA
+    loaded = compare.load_baseline(path)
+    assert loaded.key == summary.key
+    assert loaded.phases == summary.phases
+    assert loaded.metrics == summary.metrics
+
+
+def test_load_baseline_rejects_wrong_schema(tmp_path):
+    path = tmp_path / "other.json"
+    path.write_text(json.dumps({"schema": "something-else"}))
+    with pytest.raises(ValueError, match="not a repro-obs-baseline"):
+        compare.load_baseline(path)
+
+
+def test_load_baselines_dir_skips_unrelated_json(tmp_path):
+    compare.write_baseline(
+        compare.summarize_run(_events()), tmp_path / "good.json"
+    )
+    (tmp_path / "rollup.json").write_text(json.dumps({"rows": []}))
+    (tmp_path / "junk.json").write_text("not json at all")
+    loaded = compare.load_baselines(tmp_path)
+    assert len(loaded) == 1
+    assert loaded[0].key["query"] == "SSSP"
+
+
+def test_keys_match_ignores_none_and_git_sha():
+    a = {"graph": "PK", "query": "SSSP", "source": 3, "seed": 7,
+         "git_sha": "a" * 40}
+    b = {"graph": "PK", "query": "SSSP", "source": None, "seed": 7,
+         "git_sha": "b" * 40}
+    assert compare.keys_match(a, b)
+    assert not compare.keys_match(a, {**b, "query": "BFS"})
+
+
+def test_align_picks_matching_baseline():
+    run = compare.summarize_run(_events())
+    other = compare.summarize_run(_events())
+    other.key["query"] = "BFS"
+    match = compare.summarize_run(_events())
+    assert compare.align(run, [other, match]) is match
+    assert compare.align(run, [other]) is None
+
+
+def test_compare_flags_time_regression():
+    base = compare.summarize_run(_events(completion_s=0.004))
+    new = compare.summarize_run(_events(completion_s=0.006))  # +50%
+    deltas = compare.compare(base, new)
+    by_name = {d.name: d for d in deltas}
+    assert by_name["phase:twophase.completion"].regressed
+    assert by_name["phase:twophase.completion"].kind == "time"
+    assert not by_name["phase:twophase.core"].regressed
+    # regressions sort first
+    assert deltas[0].regressed
+
+
+def test_compare_time_within_threshold_ok():
+    base = compare.summarize_run(_events(completion_s=0.004))
+    new = compare.summarize_run(_events(completion_s=0.0044))  # +10% < 15%
+    assert not compare.regressions(compare.compare(base, new))
+
+
+def test_compare_counter_regresses_upward_only():
+    key = 'engine.edges_scanned{phase="twophase.core"}'
+    base = compare.summarize_run(_events())
+    more = compare.summarize_run(_events(metrics={key: 60.0}))  # +50%
+    fewer = compare.summarize_run(_events(metrics={key: 20.0}))  # -50%
+    assert any(
+        d.name == key and d.regressed
+        for d in compare.compare(base, more)
+    )
+    assert not any(
+        d.name == key and d.regressed
+        for d in compare.compare(base, fewer)
+    )
+
+
+def test_compare_edges_skipped_regresses_on_drop():
+    base = compare.summarize_run(_events())
+    dropped = compare.summarize_run(
+        _events(metrics={"engine.edges_skipped": 40.0})
+    )
+    grown = compare.summarize_run(
+        _events(metrics={"engine.edges_skipped": 200.0})
+    )
+    assert any(
+        d.name == "engine.edges_skipped" and d.regressed
+        for d in compare.compare(base, dropped)
+    )
+    assert not any(
+        d.name == "engine.edges_skipped" and d.regressed
+        for d in compare.compare(base, grown)
+    )
+
+
+def test_compare_quality_fraction_absolute_drop():
+    key = 'quality.phase1_precise_fraction{query="SSSP"}'
+    base = compare.summarize_run(_events())
+    dropped = compare.summarize_run(_events(metrics={key: 0.90}))  # -0.05
+    tiny = compare.summarize_run(_events(metrics={key: 0.945}))  # -0.005
+    improved = compare.summarize_run(_events(metrics={key: 0.99}))
+    assert any(
+        d.name == key and d.regressed for d in compare.compare(base, dropped)
+    )
+    assert not any(
+        d.name == key and d.regressed for d in compare.compare(base, tiny)
+    )
+    assert not any(
+        d.name == key and d.regressed
+        for d in compare.compare(base, improved)
+    )
+
+
+def test_compare_quality_lower_is_better_count():
+    key = 'quality.redundant_relaxations{query="SSSP"}'
+    base = compare.summarize_run(_events())
+    worse = compare.summarize_run(_events(metrics={key: 20.0}))  # doubled
+    better = compare.summarize_run(_events(metrics={key: 2.0}))
+    assert any(
+        d.name == key and d.regressed for d in compare.compare(base, worse)
+    )
+    assert not any(
+        d.name == key and d.regressed for d in compare.compare(base, better)
+    )
+
+
+def test_compare_phase_only_in_one_run_is_informational():
+    base = compare.summarize_run(_events())
+    new = compare.summarize_run(_events())
+    new.phases["extra.phase"] = {"count": 1, "total_s": 0.1}
+    deltas = compare.compare(base, new)
+    extra = next(d for d in deltas if d.name == "phase:extra.phase")
+    assert not extra.regressed
+    assert extra.note == "only in one run"
+
+
+def test_thresholds_from_args_fall_back_to_defaults():
+    args = argparse.Namespace(
+        threshold_time_pct=None,
+        threshold_counter_pct=25.0,
+        threshold_quality_drop=None,
+    )
+    th = compare.Thresholds.from_args(args)
+    assert th.time_pct == 15.0
+    assert th.counter_pct == 25.0
+    assert th.quality_drop == 0.01

@@ -79,6 +79,66 @@ def test_export_csv_matches_traces_schema(tmp_path):
     assert rows[-1] == ["run", "0", "2", "7", "1"]
 
 
+def test_iteration_series_interleaved_threads_label_by_own_span():
+    """Phase-less events from concurrent engines split by their thread's span.
+
+    Two engines run in overlapping spans on different threads; their
+    iteration events carry no ``phase``. Each must land in the span open on
+    *its own* thread at its timestamp — not in whichever span happens to
+    overlap in wall time.
+    """
+    events = [
+        {"type": "span", "name": "twophase.core", "duration_s": 0.08,
+         "depth": 0, "thread": 111, "start_t": 0.01, "seq": 10, "t": 0.09},
+        {"type": "span", "name": "twophase.completion", "duration_s": 0.08,
+         "depth": 0, "thread": 222, "start_t": 0.02, "seq": 11, "t": 0.10},
+        # interleaved in time: 0.03 (t1), 0.04 (t2), 0.05 (t1), 0.06 (t2)
+        {"type": "iteration", "iteration": 0, "edges_scanned": 1,
+         "phase": None, "thread": 111, "seq": 1, "t": 0.03},
+        {"type": "iteration", "iteration": 0, "edges_scanned": 2,
+         "phase": None, "thread": 222, "seq": 2, "t": 0.04},
+        {"type": "iteration", "iteration": 1, "edges_scanned": 3,
+         "phase": None, "thread": 111, "seq": 3, "t": 0.05},
+        {"type": "iteration", "iteration": 1, "edges_scanned": 4,
+         "phase": None, "thread": 222, "seq": 4, "t": 0.06},
+        # a third thread with no span at all -> "run"
+        {"type": "iteration", "iteration": 0, "edges_scanned": 5,
+         "phase": None, "thread": 333, "seq": 5, "t": 0.05},
+    ]
+    series = export.iteration_series(events)
+    assert [e["edges_scanned"] for e in series["twophase.core"]] == [1, 3]
+    assert [e["edges_scanned"] for e in series["twophase.completion"]] == [2, 4]
+    assert [e["edges_scanned"] for e in series["run"]] == [5]
+
+
+def test_iteration_series_prefers_innermost_span():
+    events = [
+        {"type": "span", "name": "outer", "duration_s": 0.10, "depth": 0,
+         "thread": 1, "start_t": 0.0, "seq": 10, "t": 0.10},
+        {"type": "span", "name": "inner", "duration_s": 0.04, "depth": 1,
+         "thread": 1, "start_t": 0.02, "seq": 11, "t": 0.06},
+        {"type": "iteration", "iteration": 0, "edges_scanned": 1,
+         "phase": None, "thread": 1, "seq": 1, "t": 0.03},  # inside both
+        {"type": "iteration", "iteration": 1, "edges_scanned": 2,
+         "phase": None, "thread": 1, "seq": 2, "t": 0.08},  # outer only
+    ]
+    series = export.iteration_series(events)
+    assert [e["edges_scanned"] for e in series["inner"]] == [1]
+    assert [e["edges_scanned"] for e in series["outer"]] == [2]
+
+
+def test_iteration_series_span_start_falls_back_to_duration():
+    # Journals written before start_t existed: start = t - duration_s.
+    events = [
+        {"type": "span", "name": "core", "duration_s": 0.05, "depth": 0,
+         "thread": 1, "seq": 10, "t": 0.06},  # implies [0.01, 0.06]
+        {"type": "iteration", "iteration": 0, "edges_scanned": 9,
+         "phase": None, "thread": 1, "seq": 1, "t": 0.02},
+    ]
+    series = export.iteration_series(events)
+    assert [e["edges_scanned"] for e in series["core"]] == [9]
+
+
 def test_roundtrip_from_file(tmp_path):
     path = tmp_path / "run.jsonl"
     with path.open("w") as fh:

@@ -1,0 +1,126 @@
+"""Paper-grounded quality counters: recording, snapshot, summary line."""
+
+import numpy as np
+
+from repro import obs
+from repro.core.dispatch import build_cg
+from repro.core.twophase import two_phase
+from repro.obs import quality
+from repro.queries.registry import get_spec
+
+
+def test_record_cg_build_sets_fraction():
+    obs.enable()
+    fraction = quality.record_cg_build(
+        algorithm="weighted", query="SSSP",
+        core_edges=107, source_edges=1000, connectivity_edges=3,
+    )
+    assert fraction == 0.107
+    snap = quality.snapshot()
+    key = 'quality.cg_edge_fraction{algorithm="weighted",query="SSSP"}'
+    assert snap[key] == 0.107
+    assert snap[
+        'quality.cg_core_edges{algorithm="weighted",query="SSSP"}'
+    ] == 107
+
+
+def test_phase1_precise_fraction_counts_equal_values():
+    spec = get_spec("SSSP")
+    phase1 = np.array([0.0, 2.0, 9.0, np.inf])
+    final = np.array([0.0, 2.0, 7.0, np.inf])
+    assert quality.phase1_precise_fraction(spec, phase1, final) == 0.75
+
+
+def test_phase1_precise_fraction_empty_graph_is_precise():
+    spec = get_spec("SSSP")
+    empty = np.empty(0)
+    assert quality.phase1_precise_fraction(spec, empty, empty) == 1.0
+
+
+def test_record_two_phase_gauges():
+    quality.record_two_phase(
+        query="SSSP", num_vertices=200, precise_fraction=0.93,
+        certified=50, edges_skipped=400, redundant_relaxations=7,
+    )
+    snap = quality.snapshot()
+    assert snap['quality.phase1_precise_fraction{query="SSSP"}'] == 0.93
+    assert snap['quality.certified_fraction{query="SSSP"}'] == 0.25
+    assert snap['quality.edges_skipped{query="SSSP"}'] == 400
+    assert snap['quality.redundant_relaxations{query="SSSP"}'] == 7
+
+
+def test_snapshot_filters_to_quality_prefix():
+    obs.counter("engine.edges_scanned").inc(5)
+    quality.record_two_phase(query="BFS", num_vertices=10)
+    snap = quality.snapshot()
+    assert all(k.startswith("quality.") for k in snap)
+    assert snap  # quality metrics present
+
+
+def test_summary_line_formats_fractions_and_counts():
+    quality.record_cg_build(
+        algorithm="weighted", query="SSSP",
+        core_edges=107, source_edges=1000,
+    )
+    quality.record_two_phase(
+        query="SSSP", num_vertices=1000, precise_fraction=0.985,
+        certified=120, edges_skipped=3456, redundant_relaxations=78,
+    )
+    line = quality.summary_line()
+    assert line.startswith("quality: ")
+    assert "\n" not in line
+    assert "cg_edges=10.7%" in line
+    assert "phase1_precise=98.5%" in line
+    assert "certified=12.0%" in line
+    assert "skipped_edges=3,456" in line
+    assert "redundant_relax=78" in line
+
+
+def test_summary_line_empty_without_quality_metrics():
+    assert quality.summary_line() == ""
+    obs.counter("engine.edges_scanned").inc(1)  # non-quality metric only
+    assert quality.summary_line() == ""
+
+
+def test_two_phase_records_quality_when_traced(medium_graph):
+    spec = get_spec("SSSP")
+    cg = build_cg(medium_graph, spec, num_hubs=4)
+    with obs.telemetry():
+        result = two_phase(medium_graph, cg, spec, source=0, triangle=True)
+    snap = quality.snapshot()
+    frac = snap['quality.phase1_precise_fraction{query="SSSP"}']
+    assert 0.0 <= frac <= 1.0
+    certified = snap['quality.certified_fraction{query="SSSP"}']
+    assert certified == result.certified_precise / medium_graph.num_vertices
+    if result.certified_precise:
+        assert snap['quality.edges_skipped{query="SSSP"}'] > 0
+        assert result.phase2.edges_skipped == snap[
+            'quality.edges_skipped{query="SSSP"}'
+        ]
+
+
+def test_two_phase_phase1_precision_matches_direct_measurement(medium_graph):
+    """The recorded fraction equals an explicit proxy-vs-truth compare."""
+    from repro.engines.frontier import evaluate_query
+
+    spec = get_spec("SSSP")
+    cg = build_cg(medium_graph, spec, num_hubs=4)
+    with obs.telemetry():
+        two_phase(medium_graph, cg, spec, source=0)
+    recorded = quality.snapshot()[
+        'quality.phase1_precise_fraction{query="SSSP"}'
+    ]
+    truth = evaluate_query(medium_graph, spec, 0)
+    approx = evaluate_query(cg.graph, spec, 0)
+    expected = float(
+        np.count_nonzero(spec.values_equal(approx, truth))
+    ) / medium_graph.num_vertices
+    assert recorded == expected
+
+
+def test_quality_not_recorded_when_disabled(medium_graph):
+    spec = get_spec("SSSP")
+    cg = build_cg(medium_graph, spec, num_hubs=3)
+    obs.disable()
+    two_phase(medium_graph, cg, spec, source=0)
+    assert quality.snapshot() == {}

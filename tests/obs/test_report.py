@@ -1,0 +1,90 @@
+"""Terminal and HTML rendering of run journals."""
+
+from repro.obs import compare, report
+
+EVENTS = [
+    {"type": "manifest", "seed": 7, "git_sha": "a" * 40,
+     "python": "3.11.7", "experiment": "SSSP",
+     "journal_path": "runs/demo.jsonl", "graph": {"num_vertices": 300,
+                                                  "num_edges": 2400},
+     "seq": 0, "t": 0.0},
+    {"type": "event", "name": "graph.loaded", "graph": "PK",
+     "seq": 1, "t": 0.001},
+    {"type": "iteration", "engine": "frontier", "phase": "twophase.core",
+     "iteration": 0, "frontier": 1, "edges_scanned": 10, "updates": 4,
+     "seq": 2, "t": 0.004},
+    {"type": "iteration", "engine": "frontier", "phase": "twophase.core",
+     "iteration": 1, "frontier": 4, "edges_scanned": 30, "updates": 2,
+     "seq": 3, "t": 0.006},
+    {"type": "span", "name": "twophase.core", "duration_s": 0.002,
+     "depth": 0, "seq": 4, "t": 0.01},
+    {"type": "event", "name": "twophase.result", "query": "SSSP",
+     "source": 3, "seq": 5, "t": 0.02},
+    {"type": "metrics", "metrics": {
+        'quality.phase1_precise_fraction{query="SSSP"}': 0.95,
+        'quality.redundant_relaxations{query="SSSP"}': 12,
+        "engine.edges_scanned": 40,
+    }, "seq": 6, "t": 0.03},
+]
+
+
+def test_render_report_sections():
+    text = report.render_report(EVENTS)
+    assert "Run report — PK/SSSP/3" in text
+    assert "Phase timing" in text
+    assert "twophase.core" in text
+    assert "Quality counters" in text
+    assert "95.00%" in text  # phase1_precise_fraction as a percentage
+    assert "higher better" in text and "lower better" in text
+    assert "Convergence" in text
+
+
+def test_render_report_from_file(tmp_path):
+    import json
+
+    path = tmp_path / "run.jsonl"
+    path.write_text("".join(json.dumps(e) + "\n" for e in EVENTS))
+    assert "Run report" in report.render_report(path)
+
+
+def test_render_report_without_optional_sections():
+    text = report.render_report([EVENTS[0]])
+    assert "Run report" in text
+    assert "Quality counters" not in text
+    assert "Convergence" not in text
+
+
+def test_render_diff_marks_regressions():
+    deltas = [
+        compare.Delta(name="phase:twophase.completion", kind="time",
+                      base=0.004, new=0.006, pct=50.0, regressed=True),
+        compare.Delta(name="engine.edges_scanned", kind="counter",
+                      base=40.0, new=40.0, pct=0.0, regressed=False),
+    ]
+    text = report.render_diff(deltas, "base.json", "run.jsonl")
+    assert "base.json -> run.jsonl" in text
+    assert "REGRESS" in text
+    assert "+50.0%" in text
+
+
+def test_render_html_self_contained(tmp_path):
+    out = report.render_html(EVENTS, tmp_path / "sub" / "report.html")
+    html = out.read_text()
+    assert html.startswith("<!doctype html>")
+    assert "<style>" in html
+    assert "<svg" in html  # inline convergence curves
+    assert "PK/SSSP/3" in html
+    assert "quality.phase1_precise_fraction" in html
+    # self-contained: no external assets
+    assert "http://" not in html.replace("http://www.w3.org", "")
+    assert "<script" not in html and "<link" not in html
+
+
+def test_render_html_embeds_delta_table(tmp_path):
+    deltas = [compare.Delta(name="phase:twophase.core", kind="time",
+                            base=0.002, new=0.004, pct=100.0,
+                            regressed=True)]
+    out = report.render_html(EVENTS, tmp_path / "r.html", deltas=deltas)
+    html = out.read_text()
+    assert "Baseline comparison" in html
+    assert 'class="regress"' in html
