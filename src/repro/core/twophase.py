@@ -6,17 +6,29 @@ applying the ``FirstPhase2Visit`` rule so all reachable vertices push their
 full-graph out-edges at least once, which guarantees 100% precise results.
 With ``triangle=True`` the Theorem 1 certificates additionally remove the
 incoming edges of provably precise vertices from the completion phase.
+
+The evaluation is resilient by construction:
+
+* a :class:`~repro.resilience.budget.Budget` bounds wall-clock/iterations/
+  frontier memory across *both* phases; with ``anytime=True`` a budget
+  abort returns the partial result with a per-vertex precision
+  certificate (Theorem-1 exact / CG-approximate / unreached) and
+  ``degraded=True`` instead of raising;
+* ``checkpoint_path``/``checkpoint_every`` write atomic fingerprinted
+  snapshots at iteration boundaries, and ``resume`` restarts a killed run
+  mid-phase, producing values bit-identical to an uninterrupted run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.core.coregraph import CoreGraph
-from repro.core.triangle import certify_precise
+from repro.core.triangle import certify_precise, supports_triangle
 from repro.engines.frontier import run_push, symmetric_view
 from repro.engines.stats import RunStats
 from repro.graph.csr import Graph
@@ -26,16 +38,30 @@ from repro.obs import quality as obs_quality
 from repro.obs import runtime as obs_runtime
 from repro.obs.spans import span
 from repro.queries.base import QuerySpec
+from repro.resilience.anytime import certificate_counts, precision_certificate
+from repro.resilience.budget import Budget, BudgetExceeded
+from repro.resilience.checkpoint import (
+    Checkpoint,
+    Checkpointer,
+    as_checkpoint,
+    run_fingerprint,
+)
+from repro.resilience.faults import fault_point
 
 
 @dataclass
 class TwoPhaseResult:
     """Outcome of one 2Phase evaluation.
 
-    ``values`` is precise for every vertex (the 2Phase guarantee). The two
-    ``RunStats`` expose the per-phase work; ``impacted`` is the size of the
-    completion phase's initial frontier and ``certified_precise`` counts the
-    vertices whose in-edges the triangle optimization removed.
+    For a completed run ``values`` is precise for every vertex (the 2Phase
+    guarantee) and ``degraded`` is False. For a budget-aborted anytime run
+    ``degraded`` is True, ``budget_error`` holds the structured abort, and
+    only the vertices whose ``certificate`` entry is
+    :data:`~repro.resilience.anytime.CERT_EXACT` are guaranteed precise.
+    The two ``RunStats`` expose the per-phase work; ``impacted`` is the
+    size of the completion phase's initial frontier and
+    ``certified_precise`` counts the vertices whose in-edges the triangle
+    optimization removed.
     """
 
     values: np.ndarray
@@ -43,6 +69,9 @@ class TwoPhaseResult:
     phase2: RunStats = field(default_factory=RunStats)
     impacted: int = 0
     certified_precise: int = 0
+    degraded: bool = False
+    budget_error: Optional[BudgetExceeded] = None
+    certificate: Optional[np.ndarray] = None
 
     @property
     def total(self) -> RunStats:
@@ -53,52 +82,15 @@ def _proxy_graph(proxy: Union[CoreGraph, Graph]) -> Graph:
     return proxy.graph if isinstance(proxy, CoreGraph) else proxy
 
 
-def two_phase(
-    g: Graph,
+def _certified_mask(
     proxy: Union[CoreGraph, Graph],
     spec: QuerySpec,
-    source: Optional[int] = None,
-    triangle: bool = False,
-    keep_frontier: bool = False,
-) -> TwoPhaseResult:
-    """Evaluate ``spec`` from ``source`` via the 2Phase algorithm.
-
-    ``proxy`` is normally a :class:`CoreGraph` but any same-vertex-set
-    subgraph (e.g. an Abstraction Graph or Sampled Graph baseline) works —
-    the completion phase repairs whatever imprecision the proxy leaves.
-    ``triangle`` requires a :class:`CoreGraph` with retained hub values.
-    """
-    proxy_g = _proxy_graph(proxy)
-    if proxy_g.num_vertices != g.num_vertices:
-        raise ValueError("proxy graph must share the full graph's vertex set")
-
-    n = g.num_vertices
-    phase1_stats = RunStats()
-    work_cg = symmetric_view(proxy_g) if spec.symmetric else proxy_g
-    vals = spec.initial_values(n, source)
-    frontier = spec.initial_frontier(n, source)
-    with span("twophase.core", query=spec.name):
-        run_push(
-            work_cg, spec, vals, frontier,
-            stats=phase1_stats, keep_frontier=keep_frontier,
-        )
-    # The completion phase's output is the full-graph ground truth, so a
-    # snapshot of the core-phase values is all the precision measurement
-    # needs (one O(n) copy + compare, paid only while tracing).
-    phase1_snapshot = vals.copy() if obs_runtime._enabled else None
-
-    if spec.multi_source:
-        # Initialization impacts every vertex (each starts with its own
-        # label), so the completion phase must start from all of them.
-        impacted = np.arange(n, dtype=np.int64)
-    else:
-        impacted = np.flatnonzero(spec.reached(vals))
-
-    # Reduced(E): remove the incoming edges of provably precise vertices.
-    # Lattice saturation (REACH's val == 1) is always available; Theorem 1's
-    # hub-distance certificates are the optional triangle optimization.
+    source: Optional[int],
+    vals: np.ndarray,
+    triangle: bool,
+) -> Optional[np.ndarray]:
+    """Provably precise vertices: lattice saturation + Theorem 1 (opt-in)."""
     blocked = spec.saturated(vals)
-    certified = 0
     if triangle:
         if not isinstance(proxy, CoreGraph):
             raise ValueError("triangle optimization requires a CoreGraph")
@@ -109,67 +101,252 @@ def two_phase(
             )
         tri = certify_precise(proxy, spec, int(source), vals)
         blocked = tri if blocked is None else (blocked | tri)
-    if blocked is not None:
-        certified = int(blocked.sum())
+    return blocked
 
+
+def two_phase(
+    g: Graph,
+    proxy: Union[CoreGraph, Graph],
+    spec: QuerySpec,
+    source: Optional[int] = None,
+    triangle: bool = False,
+    keep_frontier: bool = False,
+    budget: Optional[Budget] = None,
+    anytime: bool = False,
+    checkpoint_path: Optional[Union[str, Path]] = None,
+    checkpoint_every: int = 1,
+    resume: Optional[Union[Checkpoint, str, Path]] = None,
+) -> TwoPhaseResult:
+    """Evaluate ``spec`` from ``source`` via the 2Phase algorithm.
+
+    ``proxy`` is normally a :class:`CoreGraph` but any same-vertex-set
+    subgraph (e.g. an Abstraction Graph or Sampled Graph baseline) works —
+    the completion phase repairs whatever imprecision the proxy leaves.
+    ``triangle`` requires a :class:`CoreGraph` with retained hub values.
+
+    ``budget`` limits span both phases; with ``anytime=True`` an exceeded
+    budget degrades to a partial result instead of raising. With
+    ``checkpoint_path`` the engine state is snapshotted atomically every
+    ``checkpoint_every`` iterations; ``resume`` (a path or loaded
+    :class:`~repro.resilience.checkpoint.Checkpoint`) restarts from such a
+    snapshot after its fingerprint is verified against this run.
+    """
+    proxy_g = _proxy_graph(proxy)
+    if proxy_g.num_vertices != g.num_vertices:
+        raise ValueError("proxy graph must share the full graph's vertex set")
+
+    n = g.num_vertices
+    phase1_stats = RunStats()
     phase2_stats = RunStats()
-    work_g = symmetric_view(g) if spec.symmetric else g
-    visited = np.zeros(n, dtype=bool)
-    visited[impacted] = True
-    with span("twophase.completion", query=spec.name):
-        run_push(
-            work_g, spec, vals, impacted,
-            stats=phase2_stats,
-            first_visit=True,
-            visited=visited,
-            blocked_dst=blocked,
-            keep_frontier=keep_frontier,
-        )
 
-    if obs_runtime._enabled:
-        obs_metrics.gauge("twophase.impacted", query=spec.name).set(
-            int(impacted.size)
+    fingerprint = run_fingerprint(
+        g, spec, source=source, triangle=bool(triangle), algorithm="two_phase"
+    )
+    checkpointer: Optional[Checkpointer] = None
+    if checkpoint_path is not None:
+        checkpointer = Checkpointer(
+            checkpoint_path, every=checkpoint_every,
+            fingerprint=fingerprint, engine="two_phase",
         )
-        obs_metrics.gauge("twophase.certified_precise", query=spec.name).set(
-            certified
-        )
-        precise_fraction = None
-        if phase1_snapshot is not None:
-            precise_fraction = obs_quality.phase1_precise_fraction(
-                spec, phase1_snapshot, vals
+    ck: Optional[Checkpoint] = None
+    if resume is not None:
+        ck = as_checkpoint(resume)
+        ck.verify(fingerprint)
+        if ck.engine != "two_phase":
+            raise ValueError(
+                f"checkpoint was written by engine {ck.engine!r}, "
+                "not two_phase"
             )
-        redundant = (
-            phase1_stats.redundant_relaxations
-            + phase2_stats.redundant_relaxations
-        )
-        obs_quality.record_two_phase(
-            query=spec.name,
-            num_vertices=n,
-            precise_fraction=precise_fraction,
-            certified=certified,
-            edges_skipped=phase2_stats.edges_skipped,
-            redundant_relaxations=redundant,
-        )
-        obs_journal.emit(
-            {
-                "type": "event",
-                "name": "twophase.result",
-                "query": spec.name,
-                "source": None if source is None else int(source),
-                "impacted": int(impacted.size),
-                "certified_precise": certified,
-                "phase1_precise_fraction": precise_fraction,
-                "edges_skipped": phase2_stats.edges_skipped,
-                "redundant_relaxations": redundant,
-                "phase1": phase1_stats.to_dict(include_iterations=False),
-                "phase2": phase2_stats.to_dict(include_iterations=False),
-            }
-        )
 
-    return TwoPhaseResult(
+    if budget is not None:
+        budget.start()
+
+    degraded = False
+    budget_error: Optional[BudgetExceeded] = None
+    phase1_snapshot: Optional[np.ndarray] = None
+
+    if ck is not None and ck.phase == 2:
+        # Resume mid-Completion-Phase: the checkpoint carries everything
+        # the phase needs; the Core Phase is not re-run (its stats are
+        # part of the lost process and reported as zero).
+        vals = ck.arrays["vals"].copy()
+        frontier2 = ck.arrays["frontier"].copy()
+        visited = ck.arrays["visited"].astype(bool).copy()
+        blocked = (
+            ck.arrays["blocked"].astype(bool)
+            if "blocked" in ck.arrays else None
+        )
+        impacted_size = int(ck.meta.get("impacted", 0))
+        certified = int(ck.meta.get("certified", 0))
+        start2 = ck.iteration
+    else:
+        work_cg = symmetric_view(proxy_g) if spec.symmetric else proxy_g
+        if ck is not None and ck.phase == 1:
+            vals = ck.arrays["vals"].copy()
+            frontier = ck.arrays["frontier"].copy()
+            start1 = ck.iteration
+        else:
+            vals = spec.initial_values(n, source)
+            frontier = spec.initial_frontier(n, source)
+            start1 = 0
+        if checkpointer is not None:
+            checkpointer.extra_meta = {"phase": 1}
+        fault_point("twophase.core.begin")
+        try:
+            with span("twophase.core", query=spec.name):
+                run_push(
+                    work_cg, spec, vals, frontier,
+                    stats=phase1_stats, keep_frontier=keep_frontier,
+                    budget=budget, checkpointer=checkpointer,
+                    start_iteration=start1,
+                )
+        except BudgetExceeded as exc:
+            if not anytime:
+                raise
+            # Degrade from the Core Phase: saturation (and, when the hub
+            # data supports it, Theorem 1) still certifies mid-run values
+            # because every CG value is achieved by a real path in G.
+            blocked = None
+            if spec.saturation_value is not None or (
+                triangle and isinstance(proxy, CoreGraph)
+                and supports_triangle(spec) and not spec.multi_source
+            ):
+                blocked = _certified_mask(proxy, spec, source, vals, triangle)
+            cert = precision_certificate(spec, vals, certified=blocked)
+            certified = 0 if blocked is None else int(blocked.sum())
+            result = TwoPhaseResult(
+                values=vals, phase1=phase1_stats, phase2=phase2_stats,
+                impacted=0, certified_precise=certified,
+                degraded=True, budget_error=exc, certificate=cert,
+            )
+            _emit_result(spec, source, result, n, None)
+            return result
+        # The completion phase's output is the full-graph ground truth, so a
+        # snapshot of the core-phase values is all the precision measurement
+        # needs (one O(n) copy + compare, paid only while tracing).
+        phase1_snapshot = vals.copy() if obs_runtime._enabled else None
+
+        if spec.multi_source:
+            # Initialization impacts every vertex (each starts with its own
+            # label), so the completion phase must start from all of them.
+            impacted = np.arange(n, dtype=np.int64)
+        else:
+            impacted = np.flatnonzero(spec.reached(vals))
+        impacted_size = int(impacted.size)
+
+        # Reduced(E): remove the incoming edges of provably precise
+        # vertices. Lattice saturation (REACH's val == 1) is always
+        # available; Theorem 1's hub-distance certificates are the optional
+        # triangle optimization.
+        blocked = _certified_mask(proxy, spec, source, vals, triangle)
+        certified = 0 if blocked is None else int(blocked.sum())
+
+        visited = np.zeros(n, dtype=bool)
+        visited[impacted] = True
+        frontier2 = impacted
+        start2 = 0
+
+    work_g = symmetric_view(g) if spec.symmetric else g
+    if checkpointer is not None:
+        checkpointer.extra_meta = {
+            "phase": 2, "impacted": impacted_size, "certified": certified,
+        }
+        checkpointer.constants = {} if blocked is None else {
+            "blocked": blocked
+        }
+    fault_point("twophase.completion.begin")
+    try:
+        with span("twophase.completion", query=spec.name):
+            run_push(
+                work_g, spec, vals, frontier2,
+                stats=phase2_stats,
+                first_visit=True,
+                visited=visited,
+                blocked_dst=blocked,
+                keep_frontier=keep_frontier,
+                budget=budget, checkpointer=checkpointer,
+                start_iteration=start2,
+            )
+    except BudgetExceeded as exc:
+        if not anytime:
+            raise
+        degraded = True
+        budget_error = exc
+
+    certificate = precision_certificate(
+        spec, vals, certified=blocked, complete=not degraded
+    )
+    result = TwoPhaseResult(
         values=vals,
         phase1=phase1_stats,
         phase2=phase2_stats,
-        impacted=int(impacted.size),
+        impacted=impacted_size,
         certified_precise=certified,
+        degraded=degraded,
+        budget_error=budget_error,
+        certificate=certificate,
+    )
+    _emit_result(spec, source, result, n, phase1_snapshot)
+    return result
+
+
+def _emit_result(
+    spec: QuerySpec,
+    source: Optional[int],
+    result: TwoPhaseResult,
+    n: int,
+    phase1_snapshot: Optional[np.ndarray],
+) -> None:
+    """Gauges, quality counters, and the ``twophase.result`` journal event."""
+    if not obs_runtime._enabled:
+        return
+    obs_metrics.gauge("twophase.impacted", query=spec.name).set(
+        result.impacted
+    )
+    obs_metrics.gauge("twophase.certified_precise", query=spec.name).set(
+        result.certified_precise
+    )
+    obs_metrics.gauge("twophase.degraded", query=spec.name).set(
+        int(result.degraded)
+    )
+    precise_fraction = None
+    if phase1_snapshot is not None and not result.degraded:
+        precise_fraction = obs_quality.phase1_precise_fraction(
+            spec, phase1_snapshot, result.values
+        )
+    redundant = (
+        result.phase1.redundant_relaxations
+        + result.phase2.redundant_relaxations
+    )
+    obs_quality.record_two_phase(
+        query=spec.name,
+        num_vertices=n,
+        precise_fraction=precise_fraction,
+        certified=result.certified_precise,
+        edges_skipped=result.phase2.edges_skipped,
+        redundant_relaxations=redundant,
+    )
+    obs_journal.emit(
+        {
+            "type": "event",
+            "name": "twophase.result",
+            "query": spec.name,
+            "source": None if source is None else int(source),
+            "impacted": result.impacted,
+            "certified_precise": result.certified_precise,
+            "phase1_precise_fraction": precise_fraction,
+            "edges_skipped": result.phase2.edges_skipped,
+            "redundant_relaxations": redundant,
+            "degraded": result.degraded,
+            "budget": (
+                None if result.budget_error is None
+                else result.budget_error.as_dict()
+            ),
+            "certificate": (
+                None if result.certificate is None
+                else certificate_counts(result.certificate)
+            ),
+            "phase1": result.phase1.to_dict(include_iterations=False),
+            "phase2": result.phase2.to_dict(include_iterations=False),
+        }
     )

@@ -20,6 +20,9 @@ from repro.engines.frontier import ragged_gather, symmetric_view
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
 from repro.queries.base import QuerySpec
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpoint, Checkpointer
+from repro.resilience.faults import fault_point
 
 
 def async_evaluate(
@@ -28,18 +31,34 @@ def async_evaluate(
     source: Optional[int] = None,
     chunk_size: int = 1024,
     stats: Optional[RunStats] = None,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> np.ndarray:
-    """Evaluate ``spec`` with chunked-asynchronous rounds."""
+    """Evaluate ``spec`` with chunked-asynchronous rounds.
+
+    Budget/checkpoint boundaries are whole rounds (between rounds every
+    chunk's writes are visible, so the round boundary is a consistent
+    cut even for the asynchronous schedule).
+    """
     if chunk_size < 1:
         raise ValueError("chunk_size must be >= 1")
     work = symmetric_view(g) if spec.symmetric else g
     weights = spec.weight_transform(work.edge_weights())
     n = g.num_vertices
-    vals = spec.initial_values(n, source)
-    frontier = np.unique(spec.initial_frontier(n, source))
+    if resume is not None:
+        vals = resume.arrays["vals"].copy()
+        frontier = resume.arrays["frontier"].copy()
+        iteration = resume.iteration
+    else:
+        vals = spec.initial_values(n, source)
+        frontier = np.unique(spec.initial_frontier(n, source))
+        iteration = 0
     in_next = np.zeros(n, dtype=bool)
-    iteration = 0
     while frontier.size:
+        fault_point("engine.async.round")
+        if budget is not None:
+            budget.tick("engine.async", frontier_bytes=frontier.nbytes)
         edges_scanned = 0
         updates = 0
         in_next[:] = False
@@ -69,4 +88,6 @@ def async_evaluate(
             ))
         frontier = new_frontier
         iteration += 1
+        if checkpointer is not None:
+            checkpointer.maybe_save(iteration, vals=vals, frontier=frontier)
     return vals

@@ -19,6 +19,9 @@ from repro.engines.frontier import ragged_gather, symmetric_view
 from repro.engines.stats import RunStats, IterationInfo
 from repro.graph.csr import Graph
 from repro.queries.base import QuerySpec, Selection
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpoint, Checkpointer
+from repro.resilience.faults import fault_point
 
 
 def evaluate_batch(
@@ -27,10 +30,15 @@ def evaluate_batch(
     sources: Sequence[int],
     stats: Optional[RunStats] = None,
     max_iterations: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> np.ndarray:
     """Evaluate ``spec`` from every source; returns a ``(k, n)`` matrix.
 
-    Row ``i`` equals ``evaluate_query(g, spec, sources[i])``.
+    Row ``i`` equals ``evaluate_query(g, spec, sources[i])``. Budget and
+    checkpoint boundaries are the shared synchronous rounds; a checkpoint
+    stores the whole ``(k, n)`` value matrix plus the union frontier.
     """
     if spec.multi_source:
         raise ValueError(f"{spec.name} is already multi-source; batch "
@@ -40,15 +48,28 @@ def evaluate_batch(
     n = g.num_vertices
     k = len(sources)
     weights = spec.weight_transform(work.edge_weights())
-    vals = np.full((k, n), spec.init_value, dtype=np.float64)
-    for i, s in enumerate(sources):
-        if not 0 <= s < n:
-            raise ValueError(f"source {s} out of range")
-        vals[i, s] = spec.source_value
-    frontier = np.unique(np.asarray(sources, dtype=np.int64))
+    if resume is not None:
+        vals = resume.arrays["vals"].copy()
+        frontier = resume.arrays["frontier"].copy()
+        iteration = resume.iteration
+        if vals.shape != (k, n):
+            raise ValueError(
+                f"checkpoint value matrix {vals.shape} does not match "
+                f"{(k, n)} for these sources"
+            )
+    else:
+        vals = np.full((k, n), spec.init_value, dtype=np.float64)
+        for i, s in enumerate(sources):
+            if not 0 <= s < n:
+                raise ValueError(f"source {s} out of range")
+            vals[i, s] = spec.source_value
+        frontier = np.unique(np.asarray(sources, dtype=np.int64))
+        iteration = 0
     row_idx = np.arange(k)[:, None]
-    iteration = 0
     while frontier.size:
+        fault_point("engine.batch.round")
+        if budget is not None:
+            budget.tick("engine.batch", frontier_bytes=frontier.nbytes)
         edge_idx, u = ragged_gather(work.offsets, frontier)
         if edge_idx.size == 0:
             break
@@ -73,6 +94,8 @@ def evaluate_batch(
             ))
         frontier = new_frontier
         iteration += 1
+        if checkpointer is not None:
+            checkpointer.maybe_save(iteration, vals=vals, frontier=frontier)
         if max_iterations is not None and iteration >= max_iterations:
             break
     return vals

@@ -25,6 +25,9 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
 from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpoint, Checkpointer
+from repro.resilience.faults import fault_point
 
 _SUPPORTED = {"SSSP", "BFS"}
 
@@ -35,10 +38,16 @@ def delta_stepping(
     source: int,
     delta: Optional[float] = None,
     stats: Optional[RunStats] = None,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> np.ndarray:
     """Evaluate SSSP/BFS from ``source`` with bucket width ``delta``.
 
     ``delta=None`` picks the mean edge weight (a common default).
+    ``budget`` is enforced per relaxation round; checkpoints are written at
+    bucket boundaries (tentative distances + bucket assignment), which is
+    the engine's natural consistent cut.
     """
     if spec.name not in _SUPPORTED:
         raise ValueError(
@@ -55,13 +64,21 @@ def delta_stepping(
         raise ValueError("delta must be positive")
 
     n = g.num_vertices
-    dist = np.full(n, np.inf)
-    dist[int(source)] = 0.0
     light = weights <= delta
-    bucket_of = np.full(n, -1, dtype=np.int64)
-    bucket_of[source] = 0
-    current = 0
-    round_idx = 0
+    if resume is not None:
+        dist = resume.arrays["dist"].copy()
+        bucket_of = resume.arrays["bucket_of"].copy()
+        current = int(resume.meta["current_bucket"])
+        round_idx = int(resume.meta.get("round_idx", 0))
+        buckets_done = resume.iteration
+    else:
+        dist = np.full(n, np.inf)
+        dist[int(source)] = 0.0
+        bucket_of = np.full(n, -1, dtype=np.int64)
+        bucket_of[source] = 0
+        current = 0
+        round_idx = 0
+        buckets_done = 0
     # Re-improving a previously-settled tentative distance means the prior
     # relaxation was redundant; the mask is only kept while telemetry is on.
     ever_improved = np.zeros(n, dtype=bool) if obs_runtime._enabled else None
@@ -90,6 +107,11 @@ def delta_stepping(
         # vertices improved back *into* this bucket re-enter immediately.
         frontier = in_bucket
         while frontier.size:
+            fault_point("engine.delta_stepping.round")
+            if budget is not None:
+                budget.tick(
+                    "engine.delta_stepping", frontier_bytes=frontier.nbytes
+                )
             settled_this_bucket[frontier] = True
             bucket_of[frontier] = -1
             edge_idx, u = _gather(g, frontier)
@@ -113,6 +135,8 @@ def delta_stepping(
             frontier = improved[bucket_of[improved] == current]
         # Phase 2: heavy edges of everything settled in this bucket, once.
         settled = np.flatnonzero(settled_this_bucket)
+        if budget is not None:
+            budget.tick("engine.delta_stepping", frontier_bytes=settled.nbytes)
         edge_idx, u = _gather(g, settled)
         if edge_idx.size:
             sel = ~light[edge_idx]
@@ -130,6 +154,16 @@ def delta_stepping(
                 ))
             round_idx += 1
         current += 1
+        buckets_done += 1
+        if checkpointer is not None:
+            # Bucket close is the engine's consistent cut: the tentative
+            # distances plus bucket assignment fully determine the rest.
+            checkpointer.extra_meta.update(
+                current_bucket=current, round_idx=round_idx
+            )
+            checkpointer.maybe_save(
+                buckets_done, dist=dist, bucket_of=bucket_of
+            )
     if obs_runtime._enabled:
         phase = obs_spans.current_span_name()
         obs_metrics.counter(

@@ -28,6 +28,9 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
 from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpointer
+from repro.resilience.faults import fault_point
 
 try:  # pragma: no cover - import guard exercised implicitly
     from weakref import WeakKeyDictionary
@@ -124,6 +127,9 @@ def push_iterations(
     blocked_dst: Optional[np.ndarray] = None,
     max_iterations: Optional[int] = None,
     keep_frontier: bool = False,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    start_iteration: int = 0,
 ) -> Generator[IterationInfo, None, None]:
     """Drive synchronous push rounds, mutating ``vals`` in place.
 
@@ -144,14 +150,28 @@ def push_iterations(
     keep_frontier:
         Attach the frontier array to each yielded :class:`IterationInfo`
         (system models need it for transfer/IO accounting).
+    budget:
+        Execution limits enforced at each round boundary; exceeding one
+        raises :class:`~repro.resilience.budget.BudgetExceeded` with the
+        values array left at its (valid, monotonically improving) state.
+    checkpointer:
+        Persists ``(vals, next frontier, visited)`` after each completed
+        round on its cadence; resuming passes the restored arrays back in
+        with ``start_iteration`` set to the checkpoint's iteration.
+    start_iteration:
+        Index of the first round (for resumed runs, so iteration-indexed
+        telemetry and ``max_iterations`` accounting line up).
     """
     if weights is None:
         weights = spec.weight_transform(g.edge_weights())
     frontier = np.unique(np.asarray(frontier, dtype=np.int64))
     if first_visit and visited is None:
         raise ValueError("first_visit requires a visited array")
-    iteration = 0
+    iteration = start_iteration
     while frontier.size:
+        fault_point("engine.frontier.iteration")
+        if budget is not None:
+            budget.tick("engine.frontier", frontier_bytes=frontier.nbytes)
         edge_idx, u = ragged_gather(g.offsets, frontier)
         v = g.dst[edge_idx]
         skipped = 0
@@ -189,10 +209,20 @@ def push_iterations(
         )
         if obs_runtime._enabled:
             _emit_iteration(info)
+        if checkpointer is not None:
+            # State to restart round ``iteration + 1``: the values after
+            # this round, the frontier it produced, and the visited mask.
+            checkpointer.maybe_save(
+                iteration + 1, vals=vals, frontier=new_frontier,
+                visited=visited,
+            )
         yield info
         frontier = new_frontier
         iteration += 1
-        if max_iterations is not None and iteration >= max_iterations:
+        if (
+            max_iterations is not None
+            and iteration - start_iteration >= max_iterations
+        ):
             return
 
 

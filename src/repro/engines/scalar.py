@@ -19,23 +19,48 @@ from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
 from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
+from repro.resilience.budget import Budget
+from repro.resilience.checkpoint import Checkpoint, Checkpointer
+from repro.resilience.faults import fault_point
 
 
 def scalar_evaluate(
-    g: Graph, spec: QuerySpec, source: Optional[int] = None
+    g: Graph,
+    spec: QuerySpec,
+    source: Optional[int] = None,
+    budget: Optional[Budget] = None,
+    checkpointer: Optional[Checkpointer] = None,
+    resume: Optional[Checkpoint] = None,
 ) -> np.ndarray:
-    """Worklist evaluation of ``spec`` from ``source``; O(n * m) worst case."""
+    """Worklist evaluation of ``spec`` from ``source``; O(n * m) worst case.
+
+    Iteration boundaries for ``budget``/``checkpointer`` purposes are
+    worklist pops; a checkpoint stores the value array plus the pending
+    queue (FIFO order preserved), so a resumed run replays the identical
+    schedule.
+    """
     work = symmetrize(g) if spec.symmetric else g
     weights = spec.weight_transform(work.edge_weights())
-    vals = spec.initial_values(g.num_vertices, source)
-    queue = deque(int(x) for x in spec.initial_frontier(g.num_vertices, source))
+    if resume is not None:
+        vals = resume.arrays["vals"].copy()
+        queue = deque(int(x) for x in resume.arrays["queue"])
+        pops = resume.iteration
+    else:
+        vals = spec.initial_values(g.num_vertices, source)
+        queue = deque(
+            int(x) for x in spec.initial_frontier(g.num_vertices, source)
+        )
+        pops = 0
     in_queue = np.zeros(g.num_vertices, dtype=bool)
     in_queue[list(queue)] = True
-    pops = edges_scanned = updates = 0
+    edges_scanned = updates = 0
     # Every write to an already-written vertex means the earlier relaxation
     # was wasted work (the Bellman-Ford redundancy delta-stepping targets).
     updated = np.zeros(g.num_vertices, dtype=bool) if obs_runtime._enabled else None
     while queue:
+        fault_point("engine.scalar.pop")
+        if budget is not None:
+            budget.tick("engine.scalar", frontier_bytes=8 * len(queue))
         u = queue.popleft()
         in_queue[u] = False
         pops += 1
@@ -52,6 +77,11 @@ def scalar_evaluate(
                 if not in_queue[v]:
                     in_queue[v] = True
                     queue.append(v)
+        if checkpointer is not None:
+            checkpointer.maybe_save(
+                pops, vals=vals,
+                queue=np.asarray(list(queue), dtype=np.int64),
+            )
     if obs_runtime._enabled:
         phase = obs_spans.current_span_name()
         redundant = updates - int(updated.sum()) if updated is not None else 0

@@ -155,33 +155,80 @@ def _cmd_query(args) -> int:
     from repro.core.twophase import two_phase
     from repro.engines.frontier import evaluate_query
     from repro.queries.registry import get_spec
+    from repro.resilience.anytime import CERT_EXACT, summarize_certificate
+    from repro.resilience.budget import Budget, BudgetExceeded
 
     g = _resolve_graph(args.graph)
     spec = get_spec(args.query)
     source = None if spec.multi_source else args.source
     if source is None and not spec.multi_source:
         raise SystemExit(f"{spec.name} needs a source vertex")
+    if (args.checkpoint or args.resume) and not args.cg:
+        raise SystemExit("--checkpoint/--resume require --cg")
 
-    start = time.perf_counter()
-    truth = evaluate_query(g, spec, source)
-    direct_time = time.perf_counter() - start
-    reached = int(spec.reached(truth).sum()) if not spec.multi_source else g.num_vertices
-    print(f"direct evaluation: {direct_time * 1e3:.1f} ms, "
-          f"{reached} vertices reached")
+    truth = None
+    if not args.no_direct:
+        start = time.perf_counter()
+        truth = evaluate_query(g, spec, source)
+        direct_time = time.perf_counter() - start
+        reached = (int(spec.reached(truth).sum()) if not spec.multi_source
+                   else g.num_vertices)
+        print(f"direct evaluation: {direct_time * 1e3:.1f} ms, "
+              f"{reached} vertices reached")
 
     if args.cg:
         from repro.io.binary import load_core_graph
 
         cg = load_core_graph(args.cg)
+        budget = None
+        if args.deadline is not None or args.max_iters is not None:
+            budget = Budget(deadline_s=args.deadline,
+                            max_iterations=args.max_iters)
         start = time.perf_counter()
-        res = two_phase(g, cg, spec, source, triangle=args.triangle)
+        try:
+            res = two_phase(
+                g, cg, spec, source, triangle=args.triangle,
+                budget=budget, anytime=args.anytime,
+                checkpoint_path=args.checkpoint,
+                checkpoint_every=args.checkpoint_every,
+                resume=args.resume,
+            )
+        except BudgetExceeded as exc:
+            info = exc.as_dict()
+            print(f"budget exceeded: {info['limit']} at {info['site']} "
+                  f"(iteration {info['iteration']}, "
+                  f"{info['elapsed_s']:.3f}s elapsed); "
+                  "re-run with --anytime for a partial result",
+                  file=sys.stderr)
+            return 3
         cg_time = time.perf_counter() - start
-        exact = bool(np.array_equal(res.values, truth))
-        print(f"2phase via CG: {cg_time * 1e3:.1f} ms, exact={exact}, "
-              f"impacted={res.impacted}, "
-              f"certified={res.certified_precise}")
-        if not exact:
-            return 1
+        if res.degraded:
+            info = res.budget_error.as_dict()
+            print(f"2phase via CG: {cg_time * 1e3:.1f} ms, DEGRADED "
+                  f"({info['limit']} at {info['site']}), "
+                  f"impacted={res.impacted}, "
+                  f"certified={res.certified_precise}")
+            print(summarize_certificate(res.certificate))
+            if truth is not None:
+                exact_mask = res.certificate == CERT_EXACT
+                certified_ok = bool(np.array_equal(
+                    res.values[exact_mask], truth[exact_mask]
+                ))
+                print(f"certified-exact vertices match ground truth: "
+                      f"{certified_ok}")
+                if not certified_ok:
+                    return 1
+        elif truth is not None:
+            exact = bool(np.array_equal(res.values, truth))
+            print(f"2phase via CG: {cg_time * 1e3:.1f} ms, exact={exact}, "
+                  f"impacted={res.impacted}, "
+                  f"certified={res.certified_precise}")
+            if not exact:
+                return 1
+        else:
+            print(f"2phase via CG: {cg_time * 1e3:.1f} ms, "
+                  f"impacted={res.impacted}, "
+                  f"certified={res.certified_precise}")
     return 0
 
 
@@ -415,6 +462,26 @@ def build_parser() -> argparse.ArgumentParser:
     query_p.add_argument("--cg", help="core graph .npz from 'build'")
     query_p.add_argument("--triangle", action="store_true",
                          help="enable Theorem 1 certificates")
+    query_p.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS",
+                         help="wall-clock budget across both 2phase phases")
+    query_p.add_argument("--max-iters", type=int, default=None, metavar="N",
+                         help="iteration budget across both 2phase phases")
+    query_p.add_argument("--anytime", action="store_true",
+                         help="on budget abort, return the partial result "
+                              "with a per-vertex precision certificate "
+                              "instead of failing")
+    query_p.add_argument("--checkpoint", metavar="PATH",
+                         help="write atomic engine snapshots here "
+                              "(requires --cg)")
+    query_p.add_argument("--checkpoint-every", type=int, default=1,
+                         metavar="N", help="snapshot every N iterations")
+    query_p.add_argument("--resume", metavar="PATH",
+                         help="resume a killed run from a checkpoint "
+                              "(requires --cg)")
+    query_p.add_argument("--no-direct", action="store_true",
+                         help="skip the direct ground-truth evaluation "
+                              "(only the 2phase run executes)")
     query_p.set_defaults(func=_cmd_query)
 
     cache_p = sub.add_parser("cache", help="inspect or clear an artifact cache",

@@ -7,6 +7,7 @@ from pathlib import Path
 from typing import Optional
 
 from repro.harness.config import default_config
+from repro.resilience.atomic import atomic_open
 
 
 def _jsonable(value):
@@ -35,6 +36,8 @@ def save_result(result, results_dir: Optional[Path] = None) -> Path:
         "notes": result.notes,
         "config": _jsonable(result.config),
     }
-    with path.open("w") as fh:
+    # Atomic so an interrupted `run --save` can't leave a torn JSON that
+    # later poisons `summarize`.
+    with atomic_open(path) as fh:
         json.dump(payload, fh, indent=2)
     return path

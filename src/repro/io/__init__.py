@@ -9,8 +9,10 @@ from repro.io.compressed import (
     decompress_graph,
     CompressionReport,
 )
+from repro.io.errors import CorruptGraphError
 
 __all__ = [
+    "CorruptGraphError",
     "save_graph",
     "load_graph",
     "save_core_graph",

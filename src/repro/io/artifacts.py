@@ -3,6 +3,11 @@
 Core-graph identification is a one-time cost per (graph, query kind); this
 cache persists the products under a directory keyed by a caller-supplied
 name, so repeated benchmark/CLI runs across processes skip rebuilding.
+
+Reads go through :func:`repro.resilience.retry.retry_call` (cache
+directories commonly live on network filesystems where transient ``OSError``
+is routine); writes are atomic via :mod:`repro.io.binary`, so concurrent
+processes warming the same cache see either nothing or a complete artifact.
 """
 
 from __future__ import annotations
@@ -20,6 +25,9 @@ from repro.io.binary import (
     save_core_graph,
     save_graph,
 )
+from repro.resilience.atomic import atomic_write_text
+from repro.resilience.faults import fault_point
+from repro.resilience.retry import retry_call
 
 _KEY_RE = re.compile(r"[^A-Za-z0-9._-]+")
 
@@ -53,7 +61,13 @@ class ArtifactCache:
         """Return the cached graph for ``key``, building it on first use."""
         path = self._path("graph", key)
         if path.exists():
-            return load_graph(path)
+            def _read() -> Graph:
+                # Inside the retried callable so injected transient IO
+                # errors exercise the same recovery as real ones.
+                fault_point("artifacts.read")
+                return load_graph(path)
+
+            return retry_call(_read, label="artifact.graph")
         g = build()
         save_graph(g, path)
         return g
@@ -64,7 +78,11 @@ class ArtifactCache:
         """Return the cached core graph for ``key``."""
         path = self._path("cg", key)
         if path.exists():
-            return load_core_graph(path)
+            def _read() -> CoreGraph:
+                fault_point("artifacts.read")
+                return load_core_graph(path)
+
+            return retry_call(_read, label="artifact.cg")
         cg = build()
         save_core_graph(cg, path)
         return cg
@@ -90,5 +108,5 @@ class ArtifactCache:
 
     def write_manifest(self) -> Path:
         path = self.root / "manifest.json"
-        path.write_text(json.dumps(self.manifest(), indent=2))
+        atomic_write_text(path, json.dumps(self.manifest(), indent=2))
         return path

@@ -5,10 +5,17 @@ graphs additionally persist their identification metadata (edge mask, hubs,
 hub query values) so a CG built once can serve later processes — the
 paper's "identified once ... used to evaluate all future queries" economics
 across process boundaries.
+
+Writes are atomic (temp file + rename) so a killed ``build --out`` never
+leaves a truncated artifact; loads validate format version and required
+keys and raise :class:`~repro.io.errors.CorruptGraphError` (a
+``ValueError``) naming the file instead of surfacing a numpy/zipfile
+traceback.
 """
 
 from __future__ import annotations
 
+import zipfile
 from pathlib import Path
 from typing import Union
 
@@ -17,6 +24,9 @@ import numpy as np
 from repro.core.coregraph import CoreGraph, HubData
 from repro.graph.csr import Graph
 from repro.graph.validate import validate_graph
+from repro.io.errors import CorruptGraphError
+from repro.resilience.atomic import atomic_path
+from repro.resilience.faults import fault_point
 
 _GRAPH_FORMAT = 1
 _CG_FORMAT = 1
@@ -24,9 +34,37 @@ _CG_FORMAT = 1
 PathLike = Union[str, Path]
 
 
-def save_graph(g: Graph, path: PathLike) -> Path:
-    """Write ``g`` to ``path`` (npz). Returns the path written."""
+def _npz_path(path: PathLike) -> Path:
+    """Normalize to the ``.npz`` name ``numpy.savez`` would produce."""
     path = Path(path)
+    return path if path.suffix == ".npz" else path.with_suffix(
+        path.suffix + ".npz"
+    )
+
+
+def _open_npz(path: Path, kind: str):
+    """``np.load`` with decode failures mapped to :class:`CorruptGraphError`."""
+    fault_point("io.load")
+    try:
+        return np.load(path)
+    except FileNotFoundError:
+        raise
+    except (zipfile.BadZipFile, OSError, ValueError, EOFError) as exc:
+        raise CorruptGraphError(
+            f"not a readable {kind} npz archive: {exc}", path=path
+        ) from exc
+
+
+def _require_keys(data, keys, path: Path, kind: str) -> None:
+    missing = [k for k in keys if k not in data.files]
+    if missing:
+        raise CorruptGraphError(
+            f"{kind} archive is missing required keys {missing}", path=path
+        )
+
+
+def save_graph(g: Graph, path: PathLike) -> Path:
+    """Write ``g`` to ``path`` (npz, atomic). Returns the path written."""
     payload = {
         "format": np.int64(_GRAPH_FORMAT),
         "offsets": g.offsets,
@@ -34,31 +72,40 @@ def save_graph(g: Graph, path: PathLike) -> Path:
     }
     if g.weights is not None:
         payload["weights"] = g.weights
-    np.savez_compressed(path, **payload)
-    # numpy appends .npz when missing; normalize the returned path
-    return path if path.suffix == ".npz" else path.with_suffix(
-        path.suffix + ".npz"
-    )
+    final = _npz_path(path)
+    with atomic_path(final, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **payload)
+    return final
 
 
 def load_graph(path: PathLike, validate: bool = True) -> Graph:
     """Read a graph written by :func:`save_graph`."""
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    with _open_npz(path, "graph") as data:
+        _require_keys(data, ("format", "offsets", "dst"), path, "graph")
         fmt = int(data["format"])
         if fmt != _GRAPH_FORMAT:
-            raise ValueError(f"unsupported graph format {fmt}")
+            raise CorruptGraphError(
+                f"unsupported graph format {fmt}", path=path
+            )
         weights = data["weights"] if "weights" in data.files else None
-        g = Graph(data["offsets"], data["dst"], weights)
+        try:
+            g = Graph(data["offsets"], data["dst"], weights)
+        except ValueError as exc:
+            raise CorruptGraphError(
+                f"corrupt graph arrays: {exc}", path=path
+            ) from exc
     if validate:
         report = validate_graph(g)
         if not report.ok:
-            raise ValueError(f"corrupt graph file {path}: {report.errors}")
+            raise CorruptGraphError(
+                f"corrupt graph file: {report.errors}", path=path
+            )
     return g
 
 
 def save_core_graph(cg: CoreGraph, path: PathLike) -> Path:
-    """Write a :class:`CoreGraph` (graph + identification metadata)."""
-    path = Path(path)
+    """Write a :class:`CoreGraph` (graph + identification metadata, atomic)."""
     payload = {
         "format": np.int64(_CG_FORMAT),
         "offsets": cg.graph.offsets,
@@ -80,22 +127,42 @@ def save_core_graph(cg: CoreGraph, path: PathLike) -> Path:
         payload[f"hub_{i}_id"] = np.int64(hd.hub)
         payload[f"hub_{i}_forward"] = hd.forward
         payload[f"hub_{i}_backward"] = hd.backward
-    np.savez_compressed(path, **payload)
-    return path if path.suffix == ".npz" else path.with_suffix(
-        path.suffix + ".npz"
-    )
+    final = _npz_path(path)
+    with atomic_path(final, suffix=".npz") as tmp:
+        np.savez_compressed(tmp, **payload)
+    return final
 
 
 def load_core_graph(path: PathLike) -> CoreGraph:
     """Read a core graph written by :func:`save_core_graph`."""
-    with np.load(Path(path)) as data:
+    path = Path(path)
+    with _open_npz(path, "core-graph") as data:
+        _require_keys(
+            data,
+            ("format", "offsets", "dst", "edge_mask", "hubs", "spec_name",
+             "connectivity_edges", "source_num_edges", "num_hub_data"),
+            path, "core-graph",
+        )
         fmt = int(data["format"])
         if fmt != _CG_FORMAT:
-            raise ValueError(f"unsupported core-graph format {fmt}")
+            raise CorruptGraphError(
+                f"unsupported core-graph format {fmt}", path=path
+            )
         weights = data["weights"] if "weights" in data.files else None
-        graph = Graph(data["offsets"], data["dst"], weights)
+        try:
+            graph = Graph(data["offsets"], data["dst"], weights)
+        except ValueError as exc:
+            raise CorruptGraphError(
+                f"corrupt core-graph arrays: {exc}", path=path
+            ) from exc
+        num_hub_data = int(data["num_hub_data"])
+        hub_keys = [
+            key for i in range(num_hub_data)
+            for key in (f"hub_{i}_id", f"hub_{i}_forward", f"hub_{i}_backward")
+        ]
+        _require_keys(data, hub_keys, path, "core-graph")
         hub_data = []
-        for i in range(int(data["num_hub_data"])):
+        for i in range(num_hub_data):
             hub_data.append(
                 HubData(
                     hub=int(data[f"hub_{i}_id"]),

@@ -21,9 +21,13 @@ import numpy as np
 
 from repro.graph.builder import from_arrays
 from repro.graph.csr import Graph
+from repro.io.errors import CorruptGraphError
+from repro.resilience.atomic import atomic_write_bytes
+from repro.resilience.faults import fault_point
 
 _MAGIC = b"RPRC"
 _VERSION = 1
+_HEADER_LEN = 32  # magic 4 + version 2 + weighted 2 + n 8 + m 8 + payload 8
 
 
 def encode_varints(values: np.ndarray) -> bytes:
@@ -127,25 +131,59 @@ def compress_graph(g: Graph) -> bytes:
     return blob
 
 
-def decompress_graph(blob: bytes) -> Graph:
-    """Inverse of :func:`compress_graph`."""
+def decompress_graph(blob: bytes, path: Union[str, Path, None] = None) -> Graph:
+    """Inverse of :func:`compress_graph`.
+
+    Validates the header (magic, version, section lengths against the blob
+    size) before touching the payload, raising
+    :class:`~repro.io.errors.CorruptGraphError` with the damaged byte
+    offset rather than a numpy traceback; ``path`` (set by
+    :func:`load_compressed`) is carried into the error.
+    """
+    if len(blob) < _HEADER_LEN:
+        raise CorruptGraphError(
+            f"truncated header: {len(blob)} bytes < {_HEADER_LEN}",
+            path=path, offset=len(blob),
+        )
     if blob[:4] != _MAGIC:
-        raise ValueError("not a compressed graph blob")
+        raise CorruptGraphError(
+            f"not a compressed graph blob (magic {blob[:4]!r} != {_MAGIC!r})",
+            path=path, offset=0,
+        )
     version = int.from_bytes(blob[4:6], "little")
     if version != _VERSION:
-        raise ValueError(f"unsupported version {version}")
+        raise CorruptGraphError(
+            f"unsupported format version {version}", path=path, offset=4
+        )
     weighted = bool(int.from_bytes(blob[6:8], "little"))
     n = int.from_bytes(blob[8:16], "little")
     m = int.from_bytes(blob[16:24], "little")
     payload_len = int.from_bytes(blob[24:32], "little")
-    pos = 32
+    expected = _HEADER_LEN + 4 * n + payload_len + (8 * m if weighted else 0)
+    if len(blob) < expected:
+        raise CorruptGraphError(
+            f"truncated blob: header promises {expected} bytes, "
+            f"got {len(blob)}",
+            path=path, offset=len(blob),
+        )
+    pos = _HEADER_LEN
     degs = np.frombuffer(blob[pos:pos + 4 * n], dtype=np.uint32).astype(
         np.int64
     )
+    if int(degs.sum()) != m:
+        raise CorruptGraphError(
+            f"degree table sums to {int(degs.sum())}, header says m={m}",
+            path=path, offset=pos,
+        )
     pos += 4 * n
     payload = blob[pos:pos + payload_len]
+    try:
+        deltas = _zigzag_decode(decode_varints(payload, m))
+    except ValueError as exc:
+        raise CorruptGraphError(
+            f"corrupt adjacency payload: {exc}", path=path, offset=pos
+        ) from exc
     pos += payload_len
-    deltas = _zigzag_decode(decode_varints(payload, m))
 
     dst = np.empty(m, dtype=np.int64)
     src = np.repeat(np.arange(n, dtype=np.int64), degs)
@@ -157,19 +195,25 @@ def decompress_graph(blob: bytes) -> Graph:
         adj = np.cumsum(deltas[cursor:cursor + d]) + u
         dst[cursor:cursor + d] = adj
         cursor += d
+    if m and (dst.min() < 0 or dst.max() >= n):
+        raise CorruptGraphError(
+            f"decoded destination ids outside [0, {n})", path=path
+        )
     weights = None
     if weighted:
         weights = np.frombuffer(blob[pos:pos + 8 * m], dtype=np.float64)
         pos += 8 * m
     if pos != len(blob):
-        raise ValueError("trailing bytes in compressed graph blob")
+        raise CorruptGraphError(
+            "trailing bytes in compressed graph blob", path=path, offset=pos
+        )
     return from_arrays(n, src, dst, weights)
 
 
 def save_compressed(g: Graph, path: Union[str, Path]) -> CompressionReport:
     """Write the compressed form; returns the size accounting."""
     blob = compress_graph(g)
-    Path(path).write_bytes(blob)
+    atomic_write_bytes(path, blob)
     # Raw CSR: 4-byte destination ids, 8-byte float64 weights (when
     # present), 8-byte offsets — what the uncompressed layout stores.
     per_edge = 4 + (8 if g.is_weighted else 0)
@@ -178,4 +222,5 @@ def save_compressed(g: Graph, path: Union[str, Path]) -> CompressionReport:
 
 
 def load_compressed(path: Union[str, Path]) -> Graph:
-    return decompress_graph(Path(path).read_bytes())
+    fault_point("io.load")
+    return decompress_graph(Path(path).read_bytes(), path=path)

@@ -32,6 +32,7 @@ from typing import Any, Dict, List, Optional, Union
 from repro.obs import quality as obs_quality
 from repro.obs.export import EventsOrPath, manifest_of
 from repro.obs.journal import iter_events
+from repro.resilience.atomic import atomic_open
 
 BASELINE_SCHEMA = "repro-obs-baseline/v1"
 
@@ -173,7 +174,7 @@ def to_baseline(summary: RunSummary) -> Dict[str, Any]:
 def write_baseline(summary: RunSummary, path: Union[str, Path]) -> Path:
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    with path.open("w") as fh:
+    with atomic_open(path) as fh:
         json.dump(to_baseline(summary), fh, indent=2, sort_keys=True)
         fh.write("\n")
     return path

@@ -18,6 +18,7 @@ interleave their streams.
 from __future__ import annotations
 
 import json
+import os
 import platform
 import subprocess
 import sys
@@ -97,12 +98,20 @@ def build_manifest(
 
 
 class Journal:
-    """One open JSONL sink; thread-safe appends."""
+    """One open JSONL sink; thread-safe appends.
+
+    The stream is written to ``<path>.partial`` and atomically renamed to
+    ``path`` on :meth:`close`, so a crashed run can never leave a
+    truncated file *at the journal path* — consumers either see a
+    complete journal or the clearly-in-progress ``.partial`` file (which
+    :func:`read_events` falls back to, tolerating a torn final line).
+    """
 
     def __init__(self, path: Union[str, Path], manifest: Optional[Dict] = None):
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        self._fh = self.path.open("w")
+        self._partial = self.path.with_name(self.path.name + ".partial")
+        self._fh = self._partial.open("w")
         self._lock = threading.Lock()
         self._seq = 0
         self._t0 = time.perf_counter()
@@ -126,9 +135,15 @@ class Journal:
         return max(0.0, perf_t - self._t0)
 
     def close(self) -> None:
+        from repro.resilience.faults import fault_point
+
         with self._lock:
             if not self._fh.closed:
+                fault_point("journal.close")
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
                 self._fh.close()
+                os.replace(self._partial, self.path)
 
     def __enter__(self) -> "Journal":
         return self
@@ -165,13 +180,32 @@ def emit(event: Dict[str, Any]) -> None:
 
 
 def read_events(path: Union[str, Path]) -> List[Dict[str, Any]]:
-    """Parse a JSONL journal back into its event dicts."""
+    """Parse a JSONL journal back into its event dicts.
+
+    When ``path`` does not exist but ``<path>.partial`` does (the run was
+    killed before the closing rename), the partial stream is read instead;
+    a torn final line — the one write a crash can truncate — is dropped
+    rather than raised.
+    """
+    target = Path(path)
+    tolerant = False
+    if not target.exists():
+        partial = target.with_name(target.name + ".partial")
+        if partial.exists():
+            target = partial
+            tolerant = True
     events = []
-    with Path(path).open() as fh:
+    with target.open() as fh:
         for line in fh:
             line = line.strip()
-            if line:
+            if not line:
+                continue
+            try:
                 events.append(json.loads(line))
+            except json.JSONDecodeError:
+                if tolerant:
+                    break
+                raise
     return events
 
 

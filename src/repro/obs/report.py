@@ -76,6 +76,48 @@ def _quality_rows(summary: RunSummary) -> List[List[Any]]:
     return rows
 
 
+def _resilience_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
+    """Budget aborts, degraded results, checkpoints, injected faults."""
+    rows: List[List[Any]] = []
+    checkpoints = 0
+    last_ck: Optional[Dict[str, Any]] = None
+    for ev in events:
+        name = ev.get("name")
+        if name == "budget.exceeded":
+            rows.append([
+                "budget abort",
+                f"{ev.get('limit')} at {ev.get('site')}",
+                f"iteration {ev.get('iteration')}, "
+                f"{float(ev.get('elapsed_s', 0.0)):.3f}s",
+            ])
+        elif name == "twophase.result" and ev.get("degraded"):
+            cert = ev.get("certificate") or {}
+            rows.append([
+                "DEGRADED result",
+                f"query {ev.get('query')}",
+                f"certificate: {cert.get('exact', 0)} exact / "
+                f"{cert.get('approx', 0)} approx / "
+                f"{cert.get('unreached', 0)} unreached",
+            ])
+        elif name == "checkpoint.saved":
+            checkpoints += 1
+            last_ck = ev
+        elif name == "fault.injected":
+            rows.append([
+                "fault injected",
+                f"{ev.get('kind')} at {ev.get('site')}",
+                f"hit {ev.get('hit')}",
+            ])
+    if checkpoints:
+        rows.append([
+            "checkpoints",
+            f"{checkpoints} saved",
+            f"last at iteration {last_ck.get('iteration')} "
+            f"(phase {last_ck.get('phase', '-')})",
+        ])
+    return rows
+
+
 def _convergence_rows(
     series: Dict[str, List[Dict[str, Any]]]
 ) -> List[List[Any]]:
@@ -109,6 +151,12 @@ def render_report(events: EventsOrPath, source: str = "") -> str:
         sections.append(_render_table(
             ["quality counter", "value", "direction"], quality_rows,
             title="Quality counters",
+        ))
+    resilience_rows = _resilience_rows(events)
+    if resilience_rows:
+        sections.append(_render_table(
+            ["event", "what", "detail"], resilience_rows,
+            title="Resilience",
         ))
     if series:
         sections.append(_render_table(
@@ -245,6 +293,10 @@ def render_html(
     if quality_rows:
         parts += ["<h2>Quality counters</h2>", _html_table(
             ["quality counter", "value", "direction"], quality_rows)]
+    resilience_rows = _resilience_rows(events)
+    if resilience_rows:
+        parts += ["<h2>Resilience</h2>", _html_table(
+            ["event", "what", "detail"], resilience_rows)]
     if series:
         parts += ["<h2>Convergence</h2>", _html_table(
             ["phase", "iterations", "edges", "updates", "peak frontier"],

@@ -1,0 +1,81 @@
+"""Anytime results: per-vertex precision certificates for partial runs.
+
+The 2Phase algorithm is naturally interruption-friendly: after the Core
+Phase most vertex values are already precise, and Theorem 1 (plus lattice
+saturation) proves exactly which ones. When the Completion Phase hits its
+budget we therefore do not have to discard the run — we return the partial
+value array together with a certificate classifying every vertex:
+
+* :data:`CERT_EXACT` — provably equal to the full-graph ground truth
+  (Theorem 1 triangle certificate or lattice saturation; sound because the
+  proxy is a subgraph, see :mod:`repro.core.triangle`);
+* :data:`CERT_APPROX` — reached, value is a valid CG-side bound but may
+  still improve on the full graph;
+* :data:`CERT_UNREACHED` — still at the query's init value.
+
+A completed (non-degraded) run certifies every reached vertex exact — that
+is the 2Phase 100%-precision guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.queries.base import QuerySpec
+
+CERT_UNREACHED = 0
+CERT_APPROX = 1
+CERT_EXACT = 2
+
+CERT_NAMES = {
+    CERT_UNREACHED: "unreached",
+    CERT_APPROX: "approx",
+    CERT_EXACT: "exact",
+}
+
+
+def precision_certificate(
+    spec: QuerySpec,
+    vals: np.ndarray,
+    certified: Optional[np.ndarray] = None,
+    complete: bool = False,
+) -> np.ndarray:
+    """Per-vertex ``int8`` certificate codes for a (possibly partial) run.
+
+    ``certified`` is the boolean mask of provably precise vertices (the
+    ``blocked`` mask the completion phase already computes: saturation plus
+    optional Theorem 1 certificates). With ``complete=True`` every reached
+    vertex is exact regardless of ``certified`` — the run converged.
+    """
+    if spec.multi_source:
+        # Initialization reaches every vertex; completion decides exactness.
+        reached = np.ones(vals.shape[0], dtype=bool)
+    else:
+        reached = spec.reached(vals)
+    cert = np.where(reached, CERT_APPROX, CERT_UNREACHED).astype(np.int8)
+    if complete:
+        cert[reached] = CERT_EXACT
+    elif certified is not None:
+        cert[np.asarray(certified, dtype=bool)] = CERT_EXACT
+    return cert
+
+
+def certificate_counts(cert: np.ndarray) -> Dict[str, int]:
+    """``{"exact": ..., "approx": ..., "unreached": ...}`` totals."""
+    return {
+        name: int(np.count_nonzero(cert == code))
+        for code, name in CERT_NAMES.items()
+    }
+
+
+def summarize_certificate(cert: np.ndarray) -> str:
+    """One-line human rendering for CLI output."""
+    counts = certificate_counts(cert)
+    n = max(1, int(cert.shape[0]))
+    return (
+        f"certificate: {counts['exact']} exact "
+        f"({100.0 * counts['exact'] / n:.1f}%), "
+        f"{counts['approx']} approx, {counts['unreached']} unreached"
+    )

@@ -1,0 +1,87 @@
+"""Retry with exponential backoff for transient IO.
+
+Artifact reads and dataset materialization can fail transiently (NFS
+hiccups, concurrent writers, injected faults); :func:`retry_call` retries
+them with capped exponential backoff and records every attempt in
+``obs.REGISTRY`` (``resilience.retry.attempts{label=...}`` counts calls,
+``resilience.retry.retries`` counts the extra attempts, and
+``resilience.retry.failures`` the final give-ups), so flaky storage shows
+up in run reports instead of hiding inside silently-slow calls.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Callable, Tuple, Type, TypeVar
+
+T = TypeVar("T")
+
+DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (OSError,)
+
+
+def backoff_delays(
+    attempts: int, base_delay: float = 0.05, max_delay: float = 2.0
+) -> Tuple[float, ...]:
+    """The sleep schedule between attempts: base * 2^k, capped."""
+    return tuple(
+        min(max_delay, base_delay * (2 ** k)) for k in range(max(0, attempts - 1))
+    )
+
+
+def retry_call(
+    fn: Callable[[], T],
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
+    label: str = "",
+    sleep: Callable[[float], None] = time.sleep,
+) -> T:
+    """Call ``fn`` with up to ``attempts`` tries; re-raises the last error."""
+    from repro.obs import metrics as obs_metrics
+
+    if attempts < 1:
+        raise ValueError("attempts must be >= 1")
+    obs_metrics.counter("resilience.retry.attempts", label=label).inc()
+    delays = backoff_delays(attempts, base_delay, max_delay)
+    for attempt in range(1, attempts + 1):
+        try:
+            return fn()
+        except retry_on:
+            if attempt == attempts:
+                obs_metrics.counter(
+                    "resilience.retry.failures", label=label
+                ).inc()
+                raise
+            obs_metrics.counter("resilience.retry.retries", label=label).inc()
+            sleep(delays[attempt - 1])
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+def retrying(
+    *,
+    attempts: int = 3,
+    base_delay: float = 0.05,
+    max_delay: float = 2.0,
+    retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
+    label: str = "",
+) -> Callable[[Callable[..., T]], Callable[..., T]]:
+    """Decorator form of :func:`retry_call`."""
+
+    def decorate(fn: Callable[..., T]) -> Callable[..., T]:
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            return retry_call(
+                lambda: fn(*args, **kwargs),
+                attempts=attempts,
+                base_delay=base_delay,
+                max_delay=max_delay,
+                retry_on=retry_on,
+                label=label or fn.__qualname__,
+            )
+
+        return wrapper
+
+    return decorate

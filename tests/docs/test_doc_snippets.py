@@ -50,5 +50,5 @@ def test_api_doc_mentions_every_subpackage():
     for pkg in ("repro.graph", "repro.generators", "repro.queries",
                 "repro.engines", "repro.core", "repro.systems",
                 "repro.baselines", "repro.io", "repro.analysis",
-                "repro.harness", "repro.obs"):
+                "repro.harness", "repro.obs", "repro.resilience"):
         assert pkg in text, pkg

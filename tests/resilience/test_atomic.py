@@ -1,0 +1,79 @@
+"""Atomic write helpers: all-or-nothing file materialization."""
+
+import pytest
+
+from repro.resilience.atomic import (
+    atomic_open,
+    atomic_path,
+    atomic_write_bytes,
+    atomic_write_text,
+)
+
+
+class TestAtomicPath:
+    def test_success_materializes_target(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with atomic_path(target) as tmp:
+            tmp.write_text("hello")
+            assert not target.exists()  # nothing visible until the rename
+        assert target.read_text() == "hello"
+
+    def test_failure_leaves_previous_content(self, tmp_path):
+        target = tmp_path / "out.txt"
+        target.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as tmp:
+                tmp.write_text("half-writ")
+                raise RuntimeError("crash mid-write")
+        assert target.read_text() == "old"
+
+    def test_failure_leaves_no_temp_files(self, tmp_path):
+        target = tmp_path / "out.txt"
+        with pytest.raises(RuntimeError):
+            with atomic_path(target) as tmp:
+                tmp.write_text("x")
+                raise RuntimeError
+        assert list(tmp_path.iterdir()) == []
+
+    def test_suffix_controls_temp_extension(self, tmp_path):
+        # numpy.savez appends .npz when missing; the temp must carry it.
+        with atomic_path(tmp_path / "a.npz", suffix=".npz") as tmp:
+            assert tmp.suffix == ".npz"
+            tmp.write_bytes(b"x")
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "out.txt"
+        with atomic_path(target) as tmp:
+            tmp.write_text("x")
+        assert target.exists()
+
+
+class TestAtomicOpen:
+    def test_write_and_replace(self, tmp_path):
+        target = tmp_path / "out.json"
+        target.write_text("old")
+        with atomic_open(target) as fh:
+            fh.write("new")
+        assert target.read_text() == "new"
+
+    def test_rejects_read_modes(self, tmp_path):
+        for mode in ("r", "a", "r+", "w+"):
+            with pytest.raises(ValueError, match="write-only"):
+                with atomic_open(tmp_path / "x", mode):
+                    pass
+
+    def test_binary_mode(self, tmp_path):
+        target = tmp_path / "out.bin"
+        with atomic_open(target, "wb") as fh:
+            fh.write(b"\x00\x01")
+        assert target.read_bytes() == b"\x00\x01"
+
+
+class TestConvenienceWriters:
+    def test_write_text(self, tmp_path):
+        p = atomic_write_text(tmp_path / "t.txt", "body")
+        assert p.read_text() == "body"
+
+    def test_write_bytes(self, tmp_path):
+        p = atomic_write_bytes(tmp_path / "t.bin", b"body")
+        assert p.read_bytes() == b"body"

@@ -1,0 +1,125 @@
+"""Budgets fire at iteration boundaries in every engine."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.engines.async_engine import async_evaluate
+from repro.engines.batch import evaluate_batch
+from repro.engines.delta_stepping import delta_stepping
+from repro.engines.frontier import evaluate_query, run_push
+from repro.engines.scalar import scalar_evaluate
+from repro.queries import SSSP
+from repro.resilience import Budget, BudgetExceeded
+
+
+class TestBudgetObject:
+    def test_tick_counts_cumulatively(self):
+        b = Budget(max_iterations=3)
+        b.tick("a")
+        b.tick("b")
+        b.tick("a")
+        with pytest.raises(BudgetExceeded):
+            b.tick("a")
+
+    def test_structured_exception_fields(self):
+        b = Budget(max_iterations=1)
+        b.tick("site.one")
+        with pytest.raises(BudgetExceeded) as exc_info:
+            b.tick("site.two")
+        exc = exc_info.value
+        assert exc.limit == "max_iterations"
+        assert exc.site == "site.two"
+        assert exc.observed == 2
+        assert exc.threshold == 1
+        assert exc.iteration == 2
+        assert exc.elapsed_s >= 0.0
+        d = exc.as_dict()
+        assert set(d) == {
+            "limit", "site", "observed", "threshold", "iteration",
+            "elapsed_s",
+        }
+
+    def test_deadline(self):
+        b = Budget(deadline_s=0.0)
+        b.start()
+        time.sleep(0.005)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            b.tick("x")
+        assert exc_info.value.limit == "deadline_s"
+
+    def test_frontier_bytes(self):
+        b = Budget(max_frontier_bytes=8)
+        b.tick("x", frontier_bytes=8)  # at the limit: fine
+        with pytest.raises(BudgetExceeded) as exc_info:
+            b.tick("x", frontier_bytes=16)
+        assert exc_info.value.limit == "max_frontier_bytes"
+        assert exc_info.value.observed == 16
+
+    def test_remaining_s(self):
+        assert Budget().remaining_s() is None
+        b = Budget(deadline_s=60.0).start()
+        assert 0.0 < b.remaining_s() <= 60.0
+
+    def test_unlimited_budget_never_fires(self, medium_graph):
+        b = Budget()
+        vals = evaluate_query(medium_graph, SSSP, 0, budget=b)
+        assert vals is not None
+        assert b.iterations > 0
+
+
+class TestEnginesEnforceBudget:
+    """Each engine aborts with the structured exception at its boundary."""
+
+    def test_frontier(self, medium_graph):
+        spec = SSSP
+        vals = spec.initial_values(medium_graph.num_vertices, 0)
+        frontier = spec.initial_frontier(medium_graph.num_vertices, 0)
+        with pytest.raises(BudgetExceeded) as exc_info:
+            run_push(medium_graph, spec, vals, frontier,
+                     budget=Budget(max_iterations=2))
+        assert exc_info.value.site == "engine.frontier"
+
+    def test_scalar(self, medium_graph):
+        with pytest.raises(BudgetExceeded) as exc_info:
+            scalar_evaluate(medium_graph, SSSP, 0,
+                            budget=Budget(max_iterations=5))
+        assert exc_info.value.site == "engine.scalar"
+
+    def test_delta_stepping(self, medium_graph):
+        with pytest.raises(BudgetExceeded) as exc_info:
+            delta_stepping(medium_graph, SSSP, 0,
+                           budget=Budget(max_iterations=2))
+        assert exc_info.value.site == "engine.delta_stepping"
+
+    def test_batch(self, medium_graph):
+        with pytest.raises(BudgetExceeded) as exc_info:
+            evaluate_batch(medium_graph, SSSP, [0, 1, 2],
+                           budget=Budget(max_iterations=2))
+        assert exc_info.value.site == "engine.batch"
+
+    def test_async(self, medium_graph):
+        with pytest.raises(BudgetExceeded) as exc_info:
+            async_evaluate(medium_graph, SSSP, 0,
+                           budget=Budget(max_iterations=2))
+        assert exc_info.value.site == "engine.async"
+
+    def test_values_remain_valid_bounds_after_abort(self, medium_graph):
+        """An aborted run's values are still sound upper bounds for SSSP."""
+        spec = SSSP
+        truth = evaluate_query(medium_graph, spec, 0)
+        vals = spec.initial_values(medium_graph.num_vertices, 0)
+        frontier = spec.initial_frontier(medium_graph.num_vertices, 0)
+        with pytest.raises(BudgetExceeded):
+            run_push(medium_graph, spec, vals, frontier,
+                     budget=Budget(max_iterations=3))
+        assert np.all(vals >= truth)  # MIN query: partial values over-estimate
+
+    def test_budget_shared_across_engine_runs(self, tiny_graph):
+        """One budget object spans runs — the 2Phase cross-phase semantics."""
+        b = Budget(max_iterations=10_000)
+        evaluate_query(tiny_graph, SSSP, 0, budget=b)
+        after_first = b.iterations
+        evaluate_query(tiny_graph, SSSP, 0, budget=b)
+        assert b.iterations == 2 * after_first

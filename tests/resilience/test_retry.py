@@ -1,0 +1,127 @@
+"""Retry/backoff behavior and its observability trail."""
+
+import pytest
+
+from repro.obs import metrics as obs_metrics
+from repro.resilience.retry import backoff_delays, retry_call, retrying
+
+
+class TestBackoffSchedule:
+    def test_exponential_and_capped(self):
+        assert backoff_delays(4, base_delay=0.1, max_delay=0.25) == (
+            0.1, 0.2, 0.25
+        )
+
+    def test_single_attempt_no_sleeps(self):
+        assert backoff_delays(1) == ()
+
+
+class TestRetryCall:
+    def test_first_try_success_no_sleep(self):
+        sleeps = []
+        assert retry_call(lambda: 42, sleep=sleeps.append) == 42
+        assert sleeps == []
+
+    def test_transient_failure_recovers(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(flaky, attempts=3, base_delay=0.01,
+                         sleep=sleeps.append)
+        assert out == "ok"
+        assert len(calls) == 3
+        assert sleeps == [0.01, 0.02]
+
+    def test_exhaustion_reraises_last_error(self):
+        def always():
+            raise OSError("permanent")
+
+        with pytest.raises(OSError, match="permanent"):
+            retry_call(always, attempts=2, sleep=lambda _: None)
+
+    def test_non_retryable_error_propagates_immediately(self):
+        calls = []
+
+        def boom():
+            calls.append(1)
+            raise ValueError("logic bug")
+
+        with pytest.raises(ValueError):
+            retry_call(boom, attempts=3, sleep=lambda _: None)
+        assert len(calls) == 1  # no retry on non-OSError
+
+    def test_custom_retry_on(self):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise KeyError("x")
+            return "ok"
+
+        assert retry_call(flaky, retry_on=(KeyError,),
+                          sleep=lambda _: None) == "ok"
+
+    def test_attempts_validation(self):
+        with pytest.raises(ValueError):
+            retry_call(lambda: 1, attempts=0)
+
+    def test_counters_recorded(self):
+        label = "test.retry.counters"
+        attempts_before = obs_metrics.counter(
+            "resilience.retry.attempts", label=label
+        ).value
+        retries_before = obs_metrics.counter(
+            "resilience.retry.retries", label=label
+        ).value
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) == 1:
+                raise OSError("once")
+            return 1
+
+        retry_call(flaky, label=label, sleep=lambda _: None)
+        assert obs_metrics.counter(
+            "resilience.retry.attempts", label=label
+        ).value == attempts_before + 1
+        assert obs_metrics.counter(
+            "resilience.retry.retries", label=label
+        ).value == retries_before + 1
+
+    def test_failure_counter(self):
+        label = "test.retry.failure"
+        before = obs_metrics.counter(
+            "resilience.retry.failures", label=label
+        ).value
+
+        def always():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            retry_call(always, attempts=2, label=label, sleep=lambda _: None)
+        assert obs_metrics.counter(
+            "resilience.retry.failures", label=label
+        ).value == before + 1
+
+
+class TestDecorator:
+    def test_retrying_decorator(self):
+        calls = []
+
+        @retrying(attempts=3, base_delay=0.0)
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("transient")
+            return "done"
+
+        assert flaky() == "done"
+        assert len(calls) == 2
