@@ -16,6 +16,7 @@ from typing import List, Optional, Union
 
 from repro.engines.stats import RunStats
 from repro.obs.export import EventsOrPath, iteration_series
+from repro.resilience.atomic import atomic_open
 
 
 @dataclass
@@ -94,7 +95,7 @@ def write_traces_csv(
 ) -> Path:
     """Long-format CSV: label, iteration, frontier, edges, updates."""
     path = Path(path)
-    with path.open("w", newline="") as fh:
+    with atomic_open(path, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["label", "iteration", "frontier", "edges", "updates"])
         for trace in traces:

@@ -1,0 +1,147 @@
+"""``repro-coregraph check``: run the static analyzer and sanitizer smoke.
+
+Two entry points, usable programmatically or via the harness CLI:
+
+* :func:`run_static` — lint the given paths with the RC rule catalog.
+  Exit code 1 when any violation survives suppression. Optionally also
+  runs ``ruff`` and ``mypy`` when they are installed (``--ruff`` /
+  ``--mypy``; both skip gracefully with a note when the tool is absent,
+  so the subcommand works in the minimal container and is strict in CI).
+* :func:`run_sanitize_smoke` — enable the runtime sanitizer and drive a
+  full two-phase evaluation of every query kind over the example
+  dataset, plus one round trip through each alternative engine. Exit
+  code 1 on the first :class:`SanitizerViolation`.
+"""
+
+from __future__ import annotations
+
+import shutil
+import subprocess
+import sys
+from typing import List, Optional, Sequence
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def run_static(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    with_ruff: bool = False,
+    with_mypy: bool = False,
+) -> int:
+    """Lint ``paths`` (default ``src/repro``); 0 = clean, 1 = violations."""
+    from repro.checks.lint import ALL_RULES, render_report, rule_by_id, run_lint
+
+    selected = (
+        ALL_RULES if not rules else [rule_by_id(r) for r in rules]
+    )
+    violations = run_lint(paths or DEFAULT_PATHS, rules=selected)
+    print(render_report(violations))
+    rc = 1 if violations else 0
+    for tool, wanted, argv in (
+        ("ruff", with_ruff, ["ruff", "check", *(paths or DEFAULT_PATHS)]),
+        ("mypy", with_mypy, ["mypy"]),
+    ):
+        if not wanted:
+            continue
+        if shutil.which(tool) is None:
+            print(f"{tool}: not installed, skipping (CI runs it)")
+            continue
+        proc = subprocess.run(argv)
+        rc = rc or proc.returncode
+    return rc
+
+
+def run_sanitize_smoke(sources: Sequence[int] = (0,)) -> int:
+    """Sanitized end-to-end run over the example dataset; 0 = no violations.
+
+    Covers every query kind through ``two_phase`` (Theorem 1 triangle
+    certificates on for the weighted MIN/MAX kinds) and each alternative
+    engine once, so every probe site executes at least once.
+    """
+    import numpy as np
+
+    from repro.checks.sanitize import SanitizerViolation, enabled
+    from repro.core.identify import build_core_graph
+    from repro.core.twophase import two_phase
+    from repro.core.unweighted import build_unweighted_core_graph
+    from repro.datasets.example import example_graph
+    from repro.engines.async_engine import async_evaluate
+    from repro.engines.batch import evaluate_batch
+    from repro.engines.delta_stepping import delta_stepping
+    from repro.engines.frontier import evaluate_query
+    from repro.engines.pull import direction_optimizing_evaluate
+    from repro.engines.scalar import scalar_evaluate
+    from repro.queries.registry import ALL_SPECS
+
+    g = example_graph()
+    checks = 0
+    try:
+        with enabled():
+            for spec in ALL_SPECS:
+                if spec.identification == "algorithm2":
+                    cg = build_unweighted_core_graph(g, num_hubs=2, spec=spec)
+                else:
+                    cg = build_core_graph(g, spec, num_hubs=2)
+                triangle = (
+                    spec.uses_weights and not spec.multi_source
+                )
+                for source in sources:
+                    src = None if spec.multi_source else int(source)
+                    result = two_phase(
+                        g, cg, spec, source=src, triangle=triangle
+                    )
+                    baseline = evaluate_query(g, spec, source=src)
+                    if not np.allclose(
+                        result.values, baseline, equal_nan=True
+                    ):
+                        print(f"check: {spec.name} two_phase result "
+                              "diverges from direct evaluation")
+                        return 1
+                    checks += 1
+            for source in sources:
+                src = int(source)
+                async_evaluate(g, ALL_SPECS[0], source=src, chunk_size=2)
+                scalar_evaluate(g, ALL_SPECS[0], source=src)
+                direction_optimizing_evaluate(g, ALL_SPECS[0], source=src)
+                evaluate_batch(g, ALL_SPECS[0], [src])
+                delta_stepping(g, ALL_SPECS[0], source=src)
+                checks += 5
+    except SanitizerViolation as exc:
+        print(f"check: sanitizer violation: {exc}")
+        return 1
+    print(f"check: sanitized smoke clean ({checks} sanitized runs)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Standalone entry point mirroring ``repro-coregraph check``."""
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro-checks")
+    parser.add_argument("--static", action="store_true",
+                        help="run the RC static-analysis rules")
+    parser.add_argument("--sanitize-run", action="store_true",
+                        help="run the sanitized end-to-end smoke")
+    parser.add_argument("paths", nargs="*", default=None,
+                        help="files/directories to lint (default src/repro)")
+    parser.add_argument("--rule", action="append", dest="rules",
+                        help="restrict to specific rule ids (repeatable)")
+    parser.add_argument("--ruff", action="store_true",
+                        help="also run ruff when installed")
+    parser.add_argument("--mypy", action="store_true",
+                        help="also run mypy when installed")
+    args = parser.parse_args(argv)
+    if not args.static and not args.sanitize_run:
+        args.static = True
+    rc = 0
+    if args.static:
+        rc = run_static(args.paths or None, rules=args.rules,
+                        with_ruff=args.ruff, with_mypy=args.mypy)
+    if args.sanitize_run:
+        rc = run_sanitize_smoke() or rc
+    return rc
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,663 @@
+"""The RC rule catalog: repo conventions and paper invariants as lint rules.
+
+Each rule documents its rationale inline; the user-facing catalog (with
+suppression guidance) is ``docs/static-analysis.md``. Rules are scoped by
+module prefix so fixture trees mirroring the package layout (see
+``tests/checks/fixtures/``) are linted exactly like the shipped tree.
+
+Rule index
+----------
+RC001  engine iteration loops must poll their Budget
+RC002  persistence writes must go through repro.resilience.atomic
+RC003  no ==/!= on float value arrays in engines
+RC004  no bare/overbroad except that swallows exceptions
+RC005  metric/span/event names must be registered in repro.obs.namespaces
+RC006  no unseeded RNG or wall-clock-in-loop in engine/core kernels
+RC007  no mutable default arguments
+RC008  QuerySpec connectivity_pick must be consistent with its Selection
+RC009  never catch RuntimeError (it swallows BudgetExceeded)
+RC010  engine loops must expose a fault_point site
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Sequence
+
+from repro.checks.lint.framework import FileContext, Rule, Violation
+from repro.obs import namespaces
+
+# ---------------------------------------------------------------------------
+# AST helpers
+# ---------------------------------------------------------------------------
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _root_name(node: ast.AST) -> Optional[str]:
+    """The base identifier of a Name/Attribute/Subscript/Call chain."""
+    while isinstance(node, (ast.Attribute, ast.Subscript, ast.Call)):
+        node = node.func if isinstance(node, ast.Call) else node.value
+    return node.id if isinstance(node, ast.Name) else None
+
+
+def _str_const(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+def _calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def _is_write_mode(mode: str) -> bool:
+    return any(c in mode for c in "wax") or "+" in mode
+
+
+def _call_named(call: ast.Call, *names: str) -> bool:
+    """Whether the call target is a bare name or attribute in ``names``."""
+    if isinstance(call.func, ast.Name):
+        return call.func.id in names
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr in names
+    return False
+
+
+# ---------------------------------------------------------------------------
+# RC001 — engine iteration loops must poll their Budget
+# ---------------------------------------------------------------------------
+
+
+class RC001BudgetPoll(Rule):
+    """An engine loop that never ticks a Budget can run away unbounded.
+
+    The resilience contract (PR 3) is that every evaluator enforces
+    deadline/iteration/frontier limits at iteration boundaries. A loop is
+    recognized as an engine iteration loop when it gathers frontier edges
+    (``ragged_gather``) or declares a fault site (``fault_point``); it must
+    then contain a ``budget.tick(...)`` (or ``check_deadline``) call.
+    """
+
+    id = "RC001"
+    title = "engine iteration loop must poll its Budget"
+    scopes = ("repro.engines.",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.While):
+                continue
+            is_engine_loop = any(
+                _call_named(c, "ragged_gather", "fault_point")
+                for c in _calls(node)
+            )
+            if not is_engine_loop:
+                continue
+            ticks = any(
+                _call_named(c, "tick", "check_deadline") for c in _calls(node)
+            )
+            if not ticks:
+                yield self.violation(
+                    ctx, node,
+                    "engine iteration loop never polls a Budget "
+                    "(budget.tick(...) at the round boundary)",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RC002 — persistence writes must go through repro.resilience.atomic
+# ---------------------------------------------------------------------------
+
+_WRITE_ATTRS = ("save", "savez", "savez_compressed")
+
+
+class RC002AtomicWrites(Rule):
+    """Raw writes in persistence layers can leave torn files after a crash.
+
+    Results, journals, baselines, and checkpoints funnel through
+    ``atomic_path``/``atomic_open`` (temp file + ``os.replace``), so a
+    reader never observes a truncated artifact. Within the persistence
+    modules this rule flags write-mode ``open``, ``Path.write_text/bytes``,
+    and ``np.save*`` calls whose target is not a name bound by an atomic
+    context manager.
+    """
+
+    id = "RC002"
+    title = "persistence writes must use resilience.atomic"
+    scopes = (
+        "repro.obs.",
+        "repro.io.",
+        "repro.resilience.",
+        "repro.harness.",
+        "repro.analysis.traces",
+    )
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        if ctx.module == "repro.resilience.atomic":
+            return False  # the implementation itself
+        return super().applies_to(ctx)
+
+    @staticmethod
+    def _atomic_bound_names(tree: ast.AST) -> set:
+        names = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.With, ast.AsyncWith)):
+                continue
+            for item in node.items:
+                call = item.context_expr
+                if not isinstance(call, ast.Call):
+                    continue
+                target = _dotted(call.func) or ""
+                if target.split(".")[-1] in ("atomic_path", "atomic_open"):
+                    if isinstance(item.optional_vars, ast.Name):
+                        names.add(item.optional_vars.id)
+        return names
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        atomic_names = self._atomic_bound_names(ctx.tree)
+
+        def exempt(target: Optional[ast.AST]) -> bool:
+            return target is not None and _root_name(target) in atomic_names
+
+        for call in _calls(ctx.tree):
+            func = call.func
+            # open(path, "w") builtin
+            if isinstance(func, ast.Name) and func.id == "open":
+                mode = self._mode_of(call, arg_index=1)
+                if mode is not None and _is_write_mode(mode):
+                    if not exempt(call.args[0] if call.args else None):
+                        yield self.violation(
+                            ctx, call,
+                            "write-mode open() outside resilience.atomic",
+                        )
+            elif isinstance(func, ast.Attribute):
+                if func.attr == "open":
+                    mode = self._mode_of(call, arg_index=0)
+                    if mode is not None and _is_write_mode(mode):
+                        if not exempt(func.value):
+                            yield self.violation(
+                                ctx, call,
+                                "write-mode .open() outside "
+                                "resilience.atomic",
+                            )
+                elif func.attr in ("write_text", "write_bytes"):
+                    if not exempt(func.value):
+                        yield self.violation(
+                            ctx, call,
+                            f".{func.attr}() outside resilience.atomic "
+                            "(use atomic_write_text/bytes)",
+                        )
+                elif func.attr in _WRITE_ATTRS and (
+                    _root_name(func.value) in ("np", "numpy")
+                ):
+                    if not exempt(call.args[0] if call.args else None):
+                        yield self.violation(
+                            ctx, call,
+                            f"np.{func.attr}() outside resilience.atomic "
+                            "(wrap in atomic_path)",
+                        )
+
+    @staticmethod
+    def _mode_of(call: ast.Call, arg_index: int) -> Optional[str]:
+        if len(call.args) > arg_index:
+            return _str_const(call.args[arg_index])
+        for kw in call.keywords:
+            if kw.arg == "mode":
+                return _str_const(kw.value)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# RC003 — no ==/!= on float value arrays in engines
+# ---------------------------------------------------------------------------
+
+#: Identifiers conventionally holding per-vertex float value arrays.
+_VALUE_NAMES = frozenset({
+    "vals", "values", "dist", "cand", "old", "old_v", "new_vals",
+    "val_u", "val_v", "cg_vals",
+})
+
+
+class RC003FloatValueEquality(Rule):
+    """``==``/``!=`` on float value arrays breaks under accumulated error.
+
+    Engines must compare values with the query's selection comparator
+    (``spec.better``/``spec.values_equal``), which carries the per-query
+    tolerances (Viterbi's multiplicative chains need ``rtol=1e-6``).
+    """
+
+    id = "RC003"
+    title = "float value arrays compared with ==/!="
+    scopes = ("repro.engines.",)
+
+    @staticmethod
+    def _value_root(node: ast.AST) -> Optional[str]:
+        """Root name of a value-array operand.
+
+        Only bare names and subscript chains (``vals``, ``vals[v]``) count;
+        attribute access (``vals.shape``, ``vals.dtype``) compares metadata,
+        not float values.
+        """
+        while isinstance(node, ast.Subscript):
+            node = node.value
+        return node.id if isinstance(node, ast.Name) else None
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not any(isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            for operand in operands:
+                root = self._value_root(operand)
+                if root in _VALUE_NAMES:
+                    yield self.violation(
+                        ctx, node,
+                        f"exact ==/!= on value array {root!r}; use the "
+                        "query's selection comparator "
+                        "(spec.better / spec.values_equal)",
+                    )
+                    break
+
+
+# ---------------------------------------------------------------------------
+# RC004 — no bare/overbroad except that swallows exceptions
+# ---------------------------------------------------------------------------
+
+
+def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+    return any(
+        isinstance(n, ast.Raise) and n.exc is None for n in ast.walk(handler)
+    )
+
+
+def _exception_names(handler: ast.ExceptHandler) -> List[str]:
+    if handler.type is None:
+        return []
+    types = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names = []
+    for t in types:
+        dotted = _dotted(t)
+        if dotted is not None:
+            names.append(dotted.split(".")[-1])
+    return names
+
+
+class RC004OverbroadExcept(Rule):
+    """Bare/overbroad handlers swallow BudgetExceeded and injected faults.
+
+    ``except:`` and ``except Exception`` (or ``BaseException``) absorb the
+    structured control-flow exceptions the resilience layer depends on —
+    a budget abort caught by a cleanup handler silently becomes a hang.
+    A handler that re-raises (bare ``raise``) is fine: it observes, it
+    does not swallow.
+    """
+
+    id = "RC004"
+    title = "bare or overbroad exception handler"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                if not _handler_reraises(node):
+                    yield self.violation(
+                        ctx, node, "bare except: swallows every exception "
+                        "(including BudgetExceeded and injected faults)",
+                    )
+                continue
+            broad = {"Exception", "BaseException"} & set(
+                _exception_names(node)
+            )
+            if broad and not _handler_reraises(node):
+                yield self.violation(
+                    ctx, node,
+                    f"except {sorted(broad)[0]} without re-raise swallows "
+                    "BudgetExceeded/injected faults; catch the specific "
+                    "exception instead",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RC005 — telemetry names must be registered in repro.obs.namespaces
+# ---------------------------------------------------------------------------
+
+
+class RC005RegisteredNames(Rule):
+    """A typo'd metric/span/event name silently forks a time series.
+
+    Baselines in ``repro-obs-baseline/v1`` key on exact names; an
+    unregistered name would pass every test and quietly stop feeding the
+    regression gate. Every string-literal name handed to
+    ``counter/gauge/histogram``, ``span``, or an ``emit({"type": "event",
+    "name": ...})`` journal line must appear in
+    :mod:`repro.obs.namespaces`.
+    """
+
+    id = "RC005"
+    title = "unregistered metric/span/event name"
+    scopes = ("repro.",)
+
+    def applies_to(self, ctx: FileContext) -> bool:
+        # The catalog itself and the registry internals are exempt.
+        return super().applies_to(ctx) and ctx.module not in (
+            "repro.obs.namespaces", "repro.obs.metrics",
+        )
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for call in _calls(ctx.tree):
+            if _call_named(call, "counter", "gauge", "histogram"):
+                # Only metric-registry receivers; `time.perf_counter()`
+                # has no string first argument so it falls through.
+                name = _str_const(call.args[0]) if call.args else None
+                if name is not None and not namespaces.known_metric(name):
+                    yield self.violation(
+                        ctx, call,
+                        f"metric name {name!r} is not registered in "
+                        "repro.obs.namespaces.METRIC_NAMES",
+                    )
+            elif _call_named(call, "span"):
+                name = _str_const(call.args[0]) if call.args else None
+                if name is not None and not namespaces.known_span(name):
+                    yield self.violation(
+                        ctx, call,
+                        f"span name {name!r} is not registered in "
+                        "repro.obs.namespaces.SPAN_NAMES",
+                    )
+            elif _call_named(call, "emit") and call.args:
+                event = self._event_name(call.args[0])
+                if event is not None and not namespaces.known_event(event):
+                    yield self.violation(
+                        ctx, call,
+                        f"journal event name {event!r} is not registered "
+                        "in repro.obs.namespaces.EVENT_NAMES",
+                    )
+
+    @staticmethod
+    def _event_name(node: ast.AST) -> Optional[str]:
+        if not isinstance(node, ast.Dict):
+            return None
+        entries: Dict[str, Optional[str]] = {}
+        for key, value in zip(node.keys, node.values):
+            k = _str_const(key) if key is not None else None
+            if k in ("type", "name"):
+                entries[k] = _str_const(value)
+        if entries.get("type") != "event":
+            return None
+        return entries.get("name")
+
+
+# ---------------------------------------------------------------------------
+# RC006 — determinism: no unseeded RNG / wall-clock-in-loop in kernels
+# ---------------------------------------------------------------------------
+
+_CLOCK_CALLS = frozenset({
+    "time.time", "time.perf_counter", "time.monotonic",
+    "time.process_time", "datetime.now", "datetime.utcnow",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+})
+
+
+class RC006KernelDeterminism(Rule):
+    """Checkpoint/resume replays engine schedules; kernels must be pure.
+
+    A resumed run must be bit-identical to an uninterrupted one (the PR 3
+    guarantee), which unseeded randomness or per-iteration wall-clock
+    reads inside the kernel loop break. Seeded generators
+    (``default_rng(seed)``) are allowed; timing *around* a loop (stats
+    wall time) is allowed; the Budget's internal clock lives in
+    ``repro.resilience`` and is exempt by scope.
+    """
+
+    id = "RC006"
+    title = "nondeterminism in engine/core kernel"
+    scopes = ("repro.engines.", "repro.core.")
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for call in _calls(ctx.tree):
+            dotted = _dotted(call.func) or ""
+            if dotted.startswith(("np.random.", "numpy.random.")):
+                tail = dotted.split(".")[-1]
+                if tail == "default_rng" and (call.args or call.keywords):
+                    continue  # seeded: deterministic by construction
+                yield self.violation(
+                    ctx, call,
+                    f"{dotted}() in a kernel module; use a seeded "
+                    "default_rng(seed) threaded from the caller",
+                )
+            elif dotted.startswith("random.") or dotted == "default_rng":
+                if dotted == "default_rng" and (call.args or call.keywords):
+                    continue
+                yield self.violation(
+                    ctx, call,
+                    f"{dotted}() in a kernel module is unseeded "
+                    "nondeterminism",
+                )
+        for loop in ast.walk(ctx.tree):
+            if not isinstance(loop, (ast.While, ast.For)):
+                continue
+            for call in _calls(loop):
+                dotted = _dotted(call.func) or ""
+                if dotted in _CLOCK_CALLS:
+                    yield self.violation(
+                        ctx, call,
+                        f"{dotted}() inside an iteration loop: wall-clock "
+                        "reads in the kernel break checkpoint/resume "
+                        "determinism (time around the loop instead)",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RC007 — no mutable default arguments
+# ---------------------------------------------------------------------------
+
+_MUTABLE_CTORS = frozenset({"list", "dict", "set", "bytearray"})
+
+
+class RC007MutableDefaults(Rule):
+    """A mutable default is shared across calls — state leaks between runs."""
+
+    id = "RC007"
+    title = "mutable default argument"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                mutable = isinstance(
+                    default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                              ast.DictComp, ast.SetComp)
+                ) or (
+                    isinstance(default, ast.Call)
+                    and isinstance(default.func, ast.Name)
+                    and default.func.id in _MUTABLE_CTORS
+                )
+                if mutable:
+                    yield self.violation(
+                        ctx, default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and create inside the body",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RC008 — QuerySpec connectivity_pick consistency
+# ---------------------------------------------------------------------------
+
+
+class RC008ConnectivityPick(Rule):
+    """Algorithm 1's connectivity pass must pick edges the query can use.
+
+    The added out-edge for an otherwise-disconnected vertex must be the
+    one the selection direction prefers: MIN-select weighted queries keep
+    the lightest edge, plain MAX-select (SSWP) the heaviest, unweighted
+    queries any edge. A MAX-select spec with a ``weight_transform`` is
+    exempt from the direction check — Viterbi legitimately picks the
+    *minimum* raw weight because its transform maps ``w >= 1`` to ``1/w``
+    (small weight = high transition probability). Every spec must declare
+    its pick explicitly so the choice is reviewed, not defaulted.
+    """
+
+    id = "RC008"
+    title = "QuerySpec connectivity_pick inconsistent with Selection"
+    scopes = ("repro.",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for call in _calls(ctx.tree):
+            if not (
+                isinstance(call.func, ast.Name)
+                and call.func.id == "QuerySpec"
+            ):
+                continue
+            kwargs = {kw.arg: kw.value for kw in call.keywords if kw.arg}
+            pick = _str_const(kwargs.get("connectivity_pick", ast.Pass()))
+            selection = _dotted(kwargs.get("selection", ast.Pass())) or ""
+            uses_weights = kwargs.get("uses_weights")
+            unweighted = (
+                isinstance(uses_weights, ast.Constant)
+                and uses_weights.value is False
+            )
+            has_transform = "weight_transform" in kwargs
+            if "connectivity_pick" not in kwargs:
+                yield self.violation(
+                    ctx, call,
+                    "QuerySpec must declare connectivity_pick explicitly "
+                    "(the Algorithm 1 connectivity pass depends on it)",
+                )
+                continue
+            if unweighted:
+                if pick != "any":
+                    yield self.violation(
+                        ctx, call,
+                        f"unweighted QuerySpec must use "
+                        f"connectivity_pick='any', not {pick!r}",
+                    )
+            elif selection.endswith("Selection.MIN") and pick != "min":
+                yield self.violation(
+                    ctx, call,
+                    f"MIN-selection weighted QuerySpec must use "
+                    f"connectivity_pick='min', not {pick!r}",
+                )
+            elif (
+                selection.endswith("Selection.MAX")
+                and not has_transform
+                and pick != "max"
+            ):
+                yield self.violation(
+                    ctx, call,
+                    f"MAX-selection weighted QuerySpec without a "
+                    f"weight_transform must use connectivity_pick='max', "
+                    f"not {pick!r}",
+                )
+
+
+# ---------------------------------------------------------------------------
+# RC009 — never catch RuntimeError (it swallows BudgetExceeded)
+# ---------------------------------------------------------------------------
+
+
+class RC009RuntimeErrorCatch(Rule):
+    """``BudgetExceeded`` subclasses RuntimeError; catching the base hides it.
+
+    Code that wants to survive a budget abort must catch
+    ``BudgetExceeded`` by name (and decide about ``anytime`` semantics);
+    code that wants cleanup must re-raise.
+    """
+
+    id = "RC009"
+    title = "except RuntimeError swallows BudgetExceeded"
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if "RuntimeError" in _exception_names(node):
+                if not _handler_reraises(node):
+                    yield self.violation(
+                        ctx, node,
+                        "except RuntimeError also catches BudgetExceeded "
+                        "(and InjectedFault); catch the specific type",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# RC010 — engine loops must expose a fault_point site
+# ---------------------------------------------------------------------------
+
+
+class RC010FaultSite(Rule):
+    """Engines without fault sites cannot be crash-tested.
+
+    The failure-mode suite and CI's crash/resume smoke kill engines at
+    named ``fault_point`` sites; an evaluator without one is untestable
+    under injected faults and silently escapes that coverage.
+    """
+
+    id = "RC010"
+    title = "engine function has no fault_point site"
+    scopes = ("repro.engines.",)
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            has_engine_loop = any(
+                isinstance(inner, ast.While)
+                and any(
+                    _call_named(c, "ragged_gather", "tick")
+                    for c in _calls(inner)
+                )
+                for inner in ast.walk(node)
+            )
+            if not has_engine_loop:
+                continue
+            if not any(_call_named(c, "fault_point") for c in _calls(node)):
+                yield self.violation(
+                    ctx, node,
+                    f"{node.name}() drives an engine loop but declares no "
+                    "fault_point site; crash/resume tests cannot reach it",
+                )
+
+
+#: The shipped rule set, in id order.
+ALL_RULES: Sequence[Rule] = (
+    RC001BudgetPoll(),
+    RC002AtomicWrites(),
+    RC003FloatValueEquality(),
+    RC004OverbroadExcept(),
+    RC005RegisteredNames(),
+    RC006KernelDeterminism(),
+    RC007MutableDefaults(),
+    RC008ConnectivityPick(),
+    RC009RuntimeErrorCatch(),
+    RC010FaultSite(),
+)
+
+
+def rule_by_id(rule_id: str) -> Rule:
+    for rule in ALL_RULES:
+        if rule.id == rule_id:
+            return rule
+    raise KeyError(f"unknown rule {rule_id!r}")

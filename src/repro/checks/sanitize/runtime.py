@@ -1,0 +1,87 @@
+"""Sanitizer switch and violation reporting.
+
+Mirrors :mod:`repro.obs.runtime`: probes throughout the engines guard on
+the module attribute ``_enabled``, so the disabled path costs one
+attribute read per check site. Enabled via ``REPRO_SANITIZE=1`` in the
+environment (read once at import), :func:`enable`, or the
+:func:`enabled` context manager.
+
+A failed probe calls :func:`report`, which increments the
+``checks.sanitize.violations`` counter, journals a
+``sanitizer.violation`` event (both only while telemetry is on), and
+raises :class:`SanitizerViolation` — loud by design: a violated paper
+invariant means the run's output cannot be trusted, so there is no
+collect-and-continue mode.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from typing import Iterator
+
+_enabled: bool = os.environ.get("REPRO_SANITIZE", "") == "1"
+
+
+class SanitizerViolation(AssertionError):
+    """A runtime invariant probe failed.
+
+    Attributes
+    ----------
+    probe:
+        Which probe fired (``"monotone_watchdog"``, ``"csr"``, ...).
+    site:
+        Where it was checking (``"engine.frontier"``, ``"twophase"``, ...).
+    detail:
+        Probe-specific evidence (counts, example vertices/values).
+    """
+
+    def __init__(self, probe: str, site: str, message: str, **detail):
+        super().__init__(f"[{probe} @ {site}] {message}")
+        self.probe = probe
+        self.site = site
+        self.detail = detail
+
+
+def is_enabled() -> bool:
+    """Whether the runtime sanitizer is active."""
+    return _enabled
+
+
+def enable() -> None:
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    global _enabled
+    _enabled = False
+
+
+@contextmanager
+def enabled(state: bool = True) -> Iterator[None]:
+    """Temporarily force the sanitizer on (or off), restoring on exit."""
+    global _enabled
+    prior = _enabled
+    _enabled = state
+    try:
+        yield
+    finally:
+        _enabled = prior
+
+
+def report(probe: str, site: str, message: str, **detail) -> None:
+    """Record and raise a sanitizer violation."""
+    from repro.obs import journal as obs_journal
+    from repro.obs import metrics as obs_metrics
+    from repro.obs import runtime as obs_runtime
+
+    if obs_runtime._enabled:
+        obs_metrics.counter(
+            "checks.sanitize.violations", probe=probe, site=site
+        ).inc()
+        obs_journal.emit({
+            "type": "event", "name": "sanitizer.violation",
+            "probe": probe, "site": site, "message": message,
+        })
+    raise SanitizerViolation(probe, site, message, **detail)

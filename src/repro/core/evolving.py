@@ -37,6 +37,39 @@ from repro.graph.mutate import add_edges, remove_edges
 from repro.queries.base import QuerySpec
 
 
+def _membership_mask(g: Graph, sub: Graph) -> np.ndarray:
+    """Mask over ``g``'s edge array marking the edges present in ``sub``.
+
+    Multiset-aware: if churn left ``g`` with parallel duplicates of a
+    ``sub`` edge, only as many copies are marked as ``sub`` holds, so
+    ``mask.sum() == sub.num_edges`` stays true.
+    """
+
+    def rows(x: Graph) -> np.ndarray:
+        src = np.repeat(
+            np.arange(x.num_vertices, dtype=np.int64), np.diff(x.offsets)
+        )
+        w = x.weights if x.weights is not None else np.zeros(x.num_edges)
+        out = np.empty(
+            x.num_edges, dtype=[("u", "i8"), ("v", "i8"), ("w", "f8")]
+        )
+        out["u"], out["v"], out["w"] = src, x.dst, w
+        return out
+
+    g_rows = rows(g)
+    order = np.argsort(g_rows, kind="stable")
+    gs = g_rows[order]
+    occurrence = np.arange(len(gs)) - np.searchsorted(gs, gs, side="left")
+    sub_sorted = np.sort(rows(sub))
+    copies_in_sub = (
+        np.searchsorted(sub_sorted, gs, side="right")
+        - np.searchsorted(sub_sorted, gs, side="left")
+    )
+    mask = np.empty(len(gs), dtype=bool)
+    mask[order] = occurrence < copies_in_sub
+    return mask
+
+
 @dataclass
 class MaintenanceStats:
     """Churn bookkeeping since the last (re)build."""
@@ -73,7 +106,7 @@ class EvolvingCoreGraph:
     # Churn
     # ------------------------------------------------------------------
     def insert_edges(self, edges: Iterable) -> None:
-        """Grow the full graph; the CG is untouched (still a subgraph).
+        """Grow the full graph; the CG keeps its edges (still a subgraph).
 
         Exactness of 2Phase answers is unaffected, but Theorem 1
         certificates become unsound: a new edge can improve true values
@@ -85,6 +118,7 @@ class EvolvingCoreGraph:
         self.graph = add_edges(self.graph, edges)
         self.stats.inserted_edges += len(edges)
         if edges:
+            self._realign_mask(self.cg.graph)
             self._triangle_safe = False
 
     def delete_edges(self, pairs: Iterable[Tuple[int, int]]) -> None:
@@ -96,19 +130,28 @@ class EvolvingCoreGraph:
         pairs = list(pairs)
         self.graph, removed_full = remove_edges(self.graph, pairs)
         cg_graph, removed_cg = remove_edges(self.cg.graph, pairs)
-        if removed_cg.any():
-            self.cg = CoreGraph(
-                graph=cg_graph,
-                edge_mask=self.cg.edge_mask,  # provenance of the old build
-                spec_name=self.cg.spec_name,
-                hubs=self.cg.hubs,
-                hub_data=self.cg.hub_data,
-                connectivity_edges=self.cg.connectivity_edges,
-                source_num_edges=self.graph.num_edges,
-            )
+        if removed_full.any() or removed_cg.any():
+            self._realign_mask(cg_graph)
         self.stats.deleted_edges += int(removed_full.sum())
         if pairs:
             self._triangle_safe = False
+
+    def _realign_mask(self, cg_graph: Graph) -> None:
+        """Rebind the CG to the current graph with a freshly computed mask.
+
+        ``add_edges``/``remove_edges`` re-index the CSR edge arrays, so
+        the build-time ``edge_mask`` no longer addresses this graph's
+        edges; recompute it as membership of the surviving CG edges.
+        """
+        self.cg = CoreGraph(
+            graph=cg_graph,
+            edge_mask=_membership_mask(self.graph, cg_graph),
+            spec_name=self.cg.spec_name,
+            hubs=self.cg.hubs,
+            hub_data=self.cg.hub_data,
+            connectivity_edges=self.cg.connectivity_edges,
+            source_num_edges=self.graph.num_edges,
+        )
 
     # ------------------------------------------------------------------
     # Queries

@@ -14,6 +14,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.core.connectivity import add_connectivity_edges
 from repro.core.coregraph import CoreGraph, HubData
 from repro.engines.frontier import evaluate_query
@@ -160,7 +162,7 @@ def build_core_graph(
             }
         )
 
-    return CoreGraph(
+    cg = CoreGraph(
         graph=edge_subgraph(g, mask),
         edge_mask=mask,
         spec_name=spec.name,
@@ -171,3 +173,6 @@ def build_core_graph(
         connectivity_edges=connectivity_added,
         source_num_edges=g.num_edges,
     )
+    if san_runtime._enabled:
+        san_probes.check_cg_containment(g, cg, "cg.build")
+    return cg

@@ -12,7 +12,6 @@ from __future__ import annotations
 from pathlib import Path
 from typing import Dict, Optional, Union
 
-import numpy as np
 
 from repro.core.coregraph import CoreGraph
 from repro.core.dispatch import build_cg

@@ -27,6 +27,8 @@ from typing import Optional, Union
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.core.coregraph import CoreGraph
 from repro.core.triangle import certify_precise, supports_triangle
 from repro.engines.frontier import run_push, symmetric_view
@@ -134,6 +136,8 @@ def two_phase(
     proxy_g = _proxy_graph(proxy)
     if proxy_g.num_vertices != g.num_vertices:
         raise ValueError("proxy graph must share the full graph's vertex set")
+    if san_runtime._enabled and isinstance(proxy, CoreGraph):
+        san_probes.check_cg_containment(g, proxy, "twophase")
 
     n = g.num_vertices
     phase1_stats = RunStats()
@@ -224,7 +228,11 @@ def two_phase(
         # The completion phase's output is the full-graph ground truth, so a
         # snapshot of the core-phase values is all the precision measurement
         # needs (one O(n) copy + compare, paid only while tracing).
-        phase1_snapshot = vals.copy() if obs_runtime._enabled else None
+        phase1_snapshot = (
+            vals.copy()
+            if obs_runtime._enabled or san_runtime._enabled
+            else None
+        )
 
         if spec.multi_source:
             # Initialization impacts every vertex (each starts with its own
@@ -273,6 +281,15 @@ def two_phase(
         degraded = True
         budget_error = exc
 
+    if san_runtime._enabled:
+        # The certified vertices' in-edges were dropped from the completion
+        # scan, so only this audit can catch a wrong certificate: sampled
+        # vertices must already sit at their full-graph fixed point.
+        san_probes.audit_certified_fixed_point(
+            work_g, spec, vals, blocked, "twophase"
+        )
+        if obs_runtime._enabled:
+            san_probes.audit_metric_names("twophase")
     certificate = precision_certificate(
         spec, vals, certified=blocked, complete=not degraded
     )

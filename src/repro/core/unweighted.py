@@ -15,6 +15,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.core.connectivity import add_connectivity_edges
 from repro.core.coregraph import CoreGraph
 from repro.core.identify import DEFAULT_NUM_HUBS
@@ -134,7 +136,7 @@ def build_unweighted_core_graph(
             }
         )
 
-    return CoreGraph(
+    cg = CoreGraph(
         graph=edge_subgraph(g, mask),
         edge_mask=mask,
         spec_name=spec.name,
@@ -145,3 +147,6 @@ def build_unweighted_core_graph(
         connectivity_edges=connectivity_added,
         source_num_edges=g.num_edges,
     )
+    if san_runtime._enabled:
+        san_probes.check_cg_containment(g, cg, "cg.build")
+    return cg

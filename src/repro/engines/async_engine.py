@@ -16,6 +16,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.engines.frontier import ragged_gather, symmetric_view
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
@@ -55,10 +57,14 @@ def async_evaluate(
         frontier = np.unique(spec.initial_frontier(n, source))
         iteration = 0
     in_next = np.zeros(n, dtype=bool)
+    if san_runtime._enabled:
+        san_probes.check_csr(work, "engine.async")
     while frontier.size:
         fault_point("engine.async.round")
         if budget is not None:
             budget.tick("engine.async", frontier_bytes=frontier.nbytes)
+        # Round-entry snapshot for the lost-update shadow replay.
+        round_start = vals.copy() if san_runtime._enabled else None
         edges_scanned = 0
         updates = 0
         in_next[:] = False
@@ -78,6 +84,15 @@ def async_evaluate(
             in_next[changed] = True
             edges_scanned += int(edge_idx.size)
         new_frontier = np.flatnonzero(in_next)
+        if san_runtime._enabled:
+            san_probes.monotone_watchdog(
+                spec, round_start, vals, "engine.async"
+            )
+            san_probes.check_async_no_lost_updates(
+                work, spec, weights, frontier, round_start, vals,
+                "engine.async",
+            )
+            san_probes.check_frontier(new_frontier, n, "engine.async")
         if stats is not None:
             stats.record(IterationInfo(
                 index=iteration,

@@ -15,6 +15,8 @@ from typing import Optional, Sequence
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.engines.frontier import ragged_gather, symmetric_view
 from repro.engines.stats import RunStats, IterationInfo
 from repro.graph.csr import Graph
@@ -82,6 +84,10 @@ def evaluate_batch(
             np.minimum.at(vals, (row_idx, v[None, :]), cand)
         else:
             np.maximum.at(vals, (row_idx, v[None, :]), cand)
+        if san_runtime._enabled:
+            san_probes.monotone_watchdog(
+                spec, old, vals[:, v], "engine.batch"
+            )
         changed_any = spec.better(vals[:, v], old).any(axis=0)
         new_frontier = np.unique(v[changed_any])
         if stats is not None:

@@ -22,6 +22,8 @@ from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
 from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.obs import runtime as obs_runtime
 from repro.obs import spans as obs_spans
 from repro.queries.base import QuerySpec
@@ -94,6 +96,8 @@ def delta_stepping(
         redundant += again
         return again
 
+    if san_runtime._enabled:
+        san_probes.check_csr(g, "engine.delta_stepping")
     while True:
         in_bucket = np.flatnonzero(bucket_of == current)
         if in_bucket.size == 0:
@@ -199,6 +203,11 @@ def _relax(dist: np.ndarray, v: np.ndarray, cand: np.ndarray) -> np.ndarray:
         return np.empty(0, dtype=np.int64)
     old = dist[v]
     np.minimum.at(dist, v, cand)
+    if san_runtime._enabled and bool(np.any(dist[v] > old)):
+        san_runtime.report(
+            "monotone_watchdog", "engine.delta_stepping",
+            "a tentative distance increased during relaxation",
+        )
     return np.unique(v[dist[v] < old])
 
 

@@ -20,6 +20,8 @@ from typing import Generator, Optional, Tuple
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
 from repro.graph.transform import symmetrize
@@ -46,6 +48,8 @@ def symmetric_view(g: Graph) -> Graph:
         return _SYMMETRIC_CACHE[g]
     except (KeyError, TypeError):
         sym = symmetrize(g)
+        if san_runtime._enabled:
+            san_probes.check_symmetrized(g, sym, "engine.symmetric_view")
         try:
             _SYMMETRIC_CACHE[g] = sym
         except TypeError:
@@ -167,6 +171,11 @@ def push_iterations(
     frontier = np.unique(np.asarray(frontier, dtype=np.int64))
     if first_visit and visited is None:
         raise ValueError("first_visit requires a visited array")
+    if san_runtime._enabled:
+        san_probes.check_csr(g, "engine.frontier")
+        san_probes.check_frontier(
+            frontier, g.num_vertices, "engine.frontier"
+        )
     iteration = start_iteration
     while frontier.size:
         fault_point("engine.frontier.iteration")
@@ -189,6 +198,10 @@ def push_iterations(
         if obs_runtime._enabled and updates:
             redundant = updates - int(np.unique(v[improving]).size)
         spec.reduce_at(vals, v, cand)
+        if san_runtime._enabled:
+            san_probes.monotone_watchdog(
+                spec, old_v, vals[v], "engine.frontier"
+            )
         changed = spec.better(vals[v], old_v)
         if first_visit:
             fresh = ~visited[v]
@@ -197,6 +210,10 @@ def push_iterations(
         else:
             activate = changed
         new_frontier = np.unique(v[activate])
+        if san_runtime._enabled:
+            san_probes.check_frontier(
+                new_frontier, g.num_vertices, "engine.frontier"
+            )
         info = IterationInfo(
             index=iteration,
             frontier_size=int(frontier.size),

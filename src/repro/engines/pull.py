@@ -15,10 +15,14 @@ from typing import Optional
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.engines.frontier import ragged_gather, symmetric_view
 from repro.engines.stats import IterationInfo, RunStats
 from repro.graph.csr import Graph
 from repro.queries.base import QuerySpec
+from repro.resilience.budget import Budget
+from repro.resilience.faults import fault_point
 
 #: Ligra's default density threshold: pull when the frontier's out-degree
 #: sum exceeds |E| / DENSE_DIVISOR.
@@ -55,6 +59,8 @@ def _pull_round(
     improving = spec.better(cand, old)
     updates = int(np.count_nonzero(improving))
     spec.reduce_at(vals, v, cand)
+    if san_runtime._enabled:
+        san_probes.monotone_watchdog(spec, old, vals[v], "engine.pull")
     changed = np.unique(v[spec.better(vals[v], old)])
     return changed, int(edge_idx.size), updates
 
@@ -65,8 +71,14 @@ def direction_optimizing_evaluate(
     source: Optional[int] = None,
     dense_divisor: int = DENSE_DIVISOR,
     stats: Optional[RunStats] = None,
+    budget: Optional[Budget] = None,
 ) -> np.ndarray:
-    """Evaluate ``spec`` switching between push and pull per iteration."""
+    """Evaluate ``spec`` switching between push and pull per iteration.
+
+    ``budget`` is polled once per round (site ``"engine.pull"``), matching
+    the other evaluators' contract; ``fault_point("engine.pull.round")``
+    exposes the round boundary to the failure-injection harness.
+    """
     work = symmetric_view(g) if spec.symmetric else g
     rev = work.reverse()
     from repro.graph.transform import reverse_edge_permutation
@@ -81,6 +93,9 @@ def direction_optimizing_evaluate(
     in_frontier = np.zeros(n, dtype=bool)
     iteration = 0
     while frontier.size:
+        fault_point("engine.pull.round")
+        if budget is not None:
+            budget.tick("engine.pull", frontier_bytes=frontier.nbytes)
         frontier_edges = int(out_deg[frontier].sum())
         dense = frontier_edges > m // dense_divisor
         if dense:
@@ -97,6 +112,10 @@ def direction_optimizing_evaluate(
             improving = spec.better(cand, old)
             updates = int(np.count_nonzero(improving))
             spec.reduce_at(vals, v, cand)
+            if san_runtime._enabled:
+                san_probes.monotone_watchdog(
+                    spec, old, vals[v], "engine.pull"
+                )
             new_frontier = np.unique(v[spec.better(vals[v], old)])
             edges_scanned = int(edge_idx.size)
         if stats is not None:

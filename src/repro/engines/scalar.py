@@ -12,6 +12,8 @@ from typing import Optional
 
 import numpy as np
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.graph.csr import Graph
 from repro.graph.transform import symmetrize
 from repro.obs import journal as obs_journal
@@ -53,6 +55,8 @@ def scalar_evaluate(
         pops = 0
     in_queue = np.zeros(g.num_vertices, dtype=bool)
     in_queue[list(queue)] = True
+    if san_runtime._enabled:
+        san_probes.check_csr(work, "engine.scalar")
     edges_scanned = updates = 0
     # Every write to an already-written vertex means the earlier relaxation
     # was wasted work (the Bellman-Ford redundancy delta-stepping targets).
@@ -70,6 +74,13 @@ def scalar_evaluate(
             v = int(work.dst[i])
             cand = float(spec.propagate(vals[u], weights[i]))
             if spec.better(cand, vals[v]):
+                if san_runtime._enabled:
+                    san_probes.monotone_watchdog(
+                        spec,
+                        np.asarray([vals[v]]),
+                        np.asarray([cand]),
+                        "engine.scalar",
+                    )
                 vals[v] = cand
                 updates += 1
                 if updated is not None:

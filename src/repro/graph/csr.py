@@ -10,7 +10,7 @@ The structure is immutable after construction; transforms produce new graphs.
 
 from __future__ import annotations
 
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, Optional, Tuple, Union
 
 import numpy as np
 
@@ -75,13 +75,13 @@ class Graph:
     def is_weighted(self) -> bool:
         return self.weights is not None
 
-    def out_degree(self, u: Optional[int] = None):
+    def out_degree(self, u: Optional[int] = None) -> Union[int, np.ndarray]:
         """Out-degree of ``u``, or the full out-degree array if ``u is None``."""
         if u is None:
             return np.diff(self.offsets)
         return int(self.offsets[u + 1] - self.offsets[u])
 
-    def in_degree(self, u: Optional[int] = None):
+    def in_degree(self, u: Optional[int] = None) -> Union[int, np.ndarray]:
         """In-degree of ``u`` (computes the reverse graph on first use)."""
         return self.reverse().out_degree(u)
 

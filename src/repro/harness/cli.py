@@ -35,6 +35,7 @@ import time
 from typing import List, Optional
 
 from repro.harness.config import default_config
+from repro.resilience.atomic import atomic_write_text
 from repro.harness.experiments import EXPERIMENTS, run_experiment
 from repro.harness.results import save_result
 
@@ -308,9 +309,23 @@ def _cmd_summarize(args) -> int:
             lines.append(f"Note: {payload['notes']}")
         lines.append("")
     out = Path(args.out) if args.out else results_dir / "SUMMARY.md"
-    out.write_text("\n".join(lines) + "\n")
+    atomic_write_text(out, "\n".join(lines) + "\n")
     print(f"summarized {len(paths)} results -> {out}")
     return 0
+
+
+def _cmd_check(args) -> int:
+    """Static analysis and/or the sanitized end-to-end smoke."""
+    from repro.checks.cli import run_sanitize_smoke, run_static
+
+    static = args.static or not args.sanitize_run
+    rc = 0
+    if static:
+        rc = run_static(args.paths or None, rules=args.rules,
+                        with_ruff=args.ruff, with_mypy=args.mypy)
+    if args.sanitize_run:
+        rc = run_sanitize_smoke() or rc
+    return rc
 
 
 def _cmd_obs_report(args) -> int:
@@ -511,6 +526,27 @@ def build_parser() -> argparse.ArgumentParser:
     sum_p.add_argument("dir", nargs="?", default="results")
     sum_p.add_argument("--out", help="output path (default <dir>/SUMMARY.md)")
     sum_p.set_defaults(func=_cmd_summarize)
+
+    chk_p = sub.add_parser(
+        "check",
+        help="static analysis (RC rules) and/or a sanitized smoke run",
+        parents=[tele],
+    )
+    chk_p.add_argument("--static", action="store_true",
+                       help="run the RC lint rules (default when no mode "
+                            "flag is given)")
+    chk_p.add_argument("--sanitize-run", action="store_true",
+                       help="REPRO_SANITIZE smoke: sanitized two_phase of "
+                            "every query kind on the example dataset")
+    chk_p.add_argument("paths", nargs="*",
+                       help="files/directories to lint (default src/repro)")
+    chk_p.add_argument("--rule", action="append", dest="rules", metavar="RC",
+                       help="restrict lint to specific rule ids (repeatable)")
+    chk_p.add_argument("--ruff", action="store_true",
+                       help="also run ruff when installed")
+    chk_p.add_argument("--mypy", action="store_true",
+                       help="also run mypy when installed")
+    chk_p.set_defaults(func=_cmd_check)
 
     # Regression thresholds shared by `obs diff` and `obs check`.
     thresh = argparse.ArgumentParser(add_help=False)

@@ -18,6 +18,7 @@ from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple, Union
 
 from repro.obs.journal import iter_events
+from repro.resilience.atomic import atomic_open
 
 EventsOrPath = Union[str, Path, List[Dict[str, Any]]]
 
@@ -155,8 +156,7 @@ def export_bench_json(
     }
     if out is not None:
         out = Path(out)
-        out.parent.mkdir(parents=True, exist_ok=True)
-        with out.open("w") as fh:
+        with atomic_open(out) as fh:
             json.dump(payload, fh, indent=2)
     return payload
 
@@ -170,8 +170,7 @@ def export_csv(
     label, iteration, frontier, edges, updates.
     """
     out = Path(out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    with out.open("w", newline="") as fh:
+    with atomic_open(out, "w", newline="") as fh:
         writer = csv.writer(fh)
         writer.writerow(["label", "iteration", "frontier", "edges", "updates"])
         for label, its in iteration_series(events).items():

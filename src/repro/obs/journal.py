@@ -111,7 +111,10 @@ class Journal:
         self.path = Path(path)
         self.path.parent.mkdir(parents=True, exist_ok=True)
         self._partial = self.path.with_name(self.path.name + ".partial")
-        self._fh = self._partial.open("w")
+        # Streaming journal: events append to the visible .partial file,
+        # which close() renames into place — the atomic protocol itself,
+        # open-coded because the stream outlives any `with` block.
+        self._fh = self._partial.open("w")  # repro: noqa RC002
         self._lock = threading.Lock()
         self._seq = 0
         self._t0 = time.perf_counter()

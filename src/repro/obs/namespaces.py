@@ -1,0 +1,120 @@
+"""The registered telemetry vocabulary: metric, span, and event names.
+
+Every name written into the shared metrics registry or a run journal is
+declared here, once. The catalog serves three consumers:
+
+* the static-analysis rule RC005 (:mod:`repro.checks.lint.rules`), which
+  rejects any string-literal metric/span/event name not registered below —
+  so a typo'd counter can never silently fork a time series;
+* the runtime sanitizer's post-run audit
+  (:func:`repro.checks.sanitize.probes.audit_metric_names`), which catches
+  names constructed dynamically and therefore invisible to the linter;
+* the regression tooling (:mod:`repro.obs.compare`), whose baselines key on
+  these names and would misalign silently if a producer drifted.
+
+Adding an instrumentation point means adding its name here (and to the
+rule catalog table in ``docs/static-analysis.md``). That friction is the
+point: the name space is an interface, reviewed like one.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet
+
+#: Top-level prefixes a metric name may use. A name must both carry one of
+#: these prefixes and be listed in :data:`METRIC_NAMES` — the prefix check
+#: alone would let ``engine.itertions`` through.
+NAMESPACES: FrozenSet[str] = frozenset({
+    "engine",
+    "twophase",
+    "cg",
+    "quality",
+    "resilience",
+    "graph",
+    "checks",
+})
+
+#: Every counter/gauge/histogram name the codebase may record.
+METRIC_NAMES: FrozenSet[str] = frozenset({
+    # Frontier (and system-model) push rounds.
+    "engine.iterations",
+    "engine.edges_scanned",
+    "engine.updates",
+    "engine.vertices_activated",
+    "engine.edges_skipped",
+    "engine.redundant_relaxations",
+    # Scalar worklist engine.
+    "engine.scalar.pops",
+    "engine.scalar.edges_scanned",
+    "engine.scalar.updates",
+    "engine.scalar.redundant_relaxations",
+    # Delta-stepping.
+    "engine.delta_stepping.relaxations",
+    "engine.delta_stepping.redundant_relaxations",
+    # 2Phase (Algorithm 3) outcomes.
+    "twophase.impacted",
+    "twophase.certified_precise",
+    "twophase.degraded",
+    # Paper-grounded quality counters (see repro.obs.quality).
+    "quality.cg_edge_fraction",
+    "quality.cg_core_edges",
+    "quality.cg_connectivity_edges",
+    "quality.phase1_precise_fraction",
+    "quality.certified_fraction",
+    "quality.edges_skipped",
+    "quality.redundant_relaxations",
+    # Resilience layer.
+    "resilience.budget.exceeded",
+    "resilience.checkpoint.saves",
+    "resilience.faults.injected",
+    "resilience.retry.attempts",
+    "resilience.retry.retries",
+    "resilience.retry.failures",
+    # Static-analysis / sanitizer layer.
+    "checks.sanitize.violations",
+})
+
+#: Every span name (see repro.obs.spans) a ``with span(...)`` may open.
+SPAN_NAMES: FrozenSet[str] = frozenset({
+    "twophase.core",
+    "twophase.completion",
+    "cg.build",
+    "cg.hub_query",
+    "cg.hub_traverse",
+    "cg.connectivity",
+})
+
+#: Every ``name`` a ``{"type": "event", ...}`` journal line may carry.
+EVENT_NAMES: FrozenSet[str] = frozenset({
+    "graph.loaded",
+    "cg.built",
+    "twophase.result",
+    "scalar.run",
+    "delta_stepping.run",
+    "checkpoint.saved",
+    "budget.exceeded",
+    "fault.injected",
+    "sanitizer.violation",
+})
+
+
+def known_metric(name: str) -> bool:
+    """Whether ``name`` (labels stripped) is a registered metric name."""
+    return name.split("{", 1)[0] in METRIC_NAMES
+
+
+def known_span(name: str) -> bool:
+    return name in SPAN_NAMES
+
+
+def known_event(name: str) -> bool:
+    return name in EVENT_NAMES
+
+
+def unknown_metric_names(rendered_keys) -> "set[str]":
+    """The unregistered bare names among rendered registry snapshot keys."""
+    return {
+        key.split("{", 1)[0]
+        for key in rendered_keys
+        if not known_metric(key)
+    }

@@ -21,6 +21,7 @@ from repro.obs import quality as obs_quality
 from repro.obs.compare import Delta, RunSummary, summarize_run
 from repro.obs.export import EventsOrPath, iteration_series, manifest_of
 from repro.obs.journal import iter_events
+from repro.resilience.atomic import atomic_write_text
 
 
 def _render_table(headers: Sequence[str], rows: Sequence[Sequence[Any]],
@@ -328,6 +329,5 @@ def render_html(
     parts.append("</body></html>")
 
     out = Path(out)
-    out.parent.mkdir(parents=True, exist_ok=True)
-    out.write_text("".join(parts))
+    atomic_write_text(out, "".join(parts))
     return out

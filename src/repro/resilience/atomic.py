@@ -13,7 +13,7 @@ import os
 import tempfile
 from contextlib import contextmanager
 from pathlib import Path
-from typing import IO, Iterator, Union
+from typing import IO, Iterator, Optional, Union
 
 PathLike = Union[str, Path]
 
@@ -47,12 +47,18 @@ def atomic_path(path: PathLike, suffix: str = "") -> Iterator[Path]:
 
 
 @contextmanager
-def atomic_open(path: PathLike, mode: str = "w") -> Iterator[IO]:
-    """Open-for-write that only materializes ``path`` on a clean close."""
+def atomic_open(
+    path: PathLike, mode: str = "w", newline: Optional[str] = None
+) -> Iterator[IO]:
+    """Open-for-write that only materializes ``path`` on a clean close.
+
+    ``newline`` is forwarded to :meth:`Path.open` (text modes only) so csv
+    writers can request ``newline=""`` per the :mod:`csv` docs.
+    """
     if "r" in mode or "a" in mode or "+" in mode:
         raise ValueError(f"atomic_open is write-only, got mode {mode!r}")
     with atomic_path(path) as tmp:
-        fh = tmp.open(mode)
+        fh = tmp.open(mode) if "b" in mode else tmp.open(mode, newline=newline)
         try:
             yield fh
         finally:

@@ -20,12 +20,16 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Optional, Union
 
 import numpy as np
 
 from repro.resilience.atomic import atomic_path
 from repro.resilience.faults import fault_point
+
+if TYPE_CHECKING:
+    from repro.graph.csr import Graph
+    from repro.queries.base import QuerySpec
 
 CHECKPOINT_FORMAT = 1
 
@@ -40,7 +44,9 @@ class CheckpointMismatch(CheckpointError):
     """A checkpoint's fingerprint does not match the resuming run."""
 
 
-def run_fingerprint(g, spec, source: Optional[int] = None, **extra: Any) -> Dict[str, Any]:
+def run_fingerprint(
+    g: Graph, spec: QuerySpec, source: Optional[int] = None, **extra: Any
+) -> Dict[str, Any]:
     """Identity of a run for resume safety: query, graph shape + checksum.
 
     The checksum is a cheap structural digest (sum of the CSR arrays), not
@@ -171,7 +177,9 @@ class Checkpointer:
         if self.every < 1:
             raise ValueError("checkpoint interval must be >= 1")
 
-    def maybe_save(self, iteration: int, **arrays: Optional[np.ndarray]) -> Optional[Path]:
+    def maybe_save(
+        self, iteration: int, **arrays: Optional[np.ndarray]
+    ) -> Optional[Path]:
         """Persist when ``iteration`` falls on the cadence; else no-op."""
         if iteration % self.every != 0:
             return None

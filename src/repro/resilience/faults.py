@@ -21,7 +21,7 @@ Faults come from two places:
 Known sites (grep for ``fault_point`` for ground truth):
 ``engine.frontier.iteration``, ``engine.scalar.pop``,
 ``engine.delta_stepping.round``, ``engine.batch.round``,
-``engine.async.round``, ``twophase.core.begin``,
+``engine.async.round``, ``engine.pull.round``, ``twophase.core.begin``,
 ``twophase.completion.begin``, ``checkpoint.save``, ``io.load``,
 ``artifacts.read``, ``journal.close``.
 """

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import functools
 import time
-from typing import Callable, Tuple, Type, TypeVar
+from typing import Any, Callable, Tuple, Type, TypeVar
 
 T = TypeVar("T")
 
@@ -72,7 +72,7 @@ def retrying(
 
     def decorate(fn: Callable[..., T]) -> Callable[..., T]:
         @functools.wraps(fn)
-        def wrapper(*args, **kwargs):
+        def wrapper(*args: Any, **kwargs: Any) -> T:
             return retry_call(
                 lambda: fn(*args, **kwargs),
                 attempts=attempts,

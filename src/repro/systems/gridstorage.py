@@ -128,5 +128,5 @@ class DiskBlockStore:
     def __del__(self) -> None:  # pragma: no cover - GC timing dependent
         try:
             self.close()
-        except Exception:
+        except OSError:
             pass

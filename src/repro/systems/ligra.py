@@ -52,7 +52,9 @@ class LigraSimulator:
         report.breakdown = {"comp": 0.0, "frontier": 0.0}
         return report
 
-    def _account(self, report: SystemReport, info, edge_cost_scale: float = 1.0) -> None:
+    def _account(
+        self, report: SystemReport, info, edge_cost_scale: float = 1.0
+    ) -> None:
         p = self.params
         report.counters["comp_edges"] += info.edges_scanned
         report.counters["edges_processed"] += info.edges_scanned

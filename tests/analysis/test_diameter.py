@@ -1,6 +1,5 @@
 """Tests for effective-diameter estimation."""
 
-import numpy as np
 import pytest
 
 from repro.analysis.diameter import estimate_effective_diameter

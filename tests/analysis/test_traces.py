@@ -2,8 +2,6 @@
 
 import csv
 
-import numpy as np
-
 from repro.analysis.traces import (
     Trace,
     compare_convergence,

@@ -1,6 +1,5 @@
 """Tests for the Abstraction Graph baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.abstraction import build_abstraction_graph

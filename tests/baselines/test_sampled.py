@@ -1,6 +1,5 @@
 """Tests for the random-walk Sampled Graph baseline."""
 
-import numpy as np
 import pytest
 
 from repro.baselines.sampled import build_sampled_graph

@@ -1,0 +1,9 @@
+"""Seeded RC001 violation: an engine loop that never polls its Budget."""
+
+
+def runaway_engine(g, spec, vals, frontier):
+    while frontier.size:
+        fault_point("engine.fixture.round")  # noqa: F821
+        edge_idx, u = ragged_gather(g.offsets, frontier)  # noqa: F821
+        frontier = edge_idx
+    return vals

@@ -1,0 +1,5 @@
+"""Seeded RC003 violation: exact equality on a float value array."""
+
+
+def converged(vals, old):
+    return (vals == old).all()

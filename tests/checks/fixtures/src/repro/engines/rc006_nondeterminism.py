@@ -1,0 +1,14 @@
+"""Seeded RC006 violations: unseeded RNG and wall-clock inside the loop."""
+
+import time
+
+import numpy as np
+
+
+def jittered_engine(vals, frontier):
+    rng = np.random.default_rng()
+    while frontier.size:
+        started = time.perf_counter()
+        vals += rng.random(vals.size)
+        frontier = frontier[:-1]
+    return vals, started

@@ -1,0 +1,9 @@
+"""Seeded RC010 violation: an engine loop with no fault_point site."""
+
+
+def untestable_engine(g, vals, frontier, budget):
+    while frontier.size:
+        budget.tick("engine.fixture")
+        edge_idx, u = ragged_gather(g.offsets, frontier)  # noqa: F821
+        frontier = edge_idx
+    return vals

@@ -1,0 +1,11 @@
+"""Seeded RC002 violations: raw persistence writes, no atomic rename."""
+
+import json
+from pathlib import Path
+
+
+def save_results(payload, out):
+    out = Path(out)
+    with out.open("w") as fh:
+        json.dump(payload, fh)
+    out.with_suffix(".txt").write_text("done")

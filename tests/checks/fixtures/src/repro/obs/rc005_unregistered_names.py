@@ -1,0 +1,11 @@
+"""Seeded RC005 violations: telemetry names missing from the catalog."""
+
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs.spans import span
+
+
+def instrumented():
+    obs_metrics.counter("engine.itertions").inc()  # typo'd name
+    with span("twophase.corr"):
+        obs_journal.emit({"type": "event", "name": "graph.laoded"})

@@ -1,0 +1,27 @@
+"""Seeded RC008 violations: connectivity picks fighting the selection."""
+
+from repro.queries.base import QuerySpec, Selection
+
+BAD_MIN = QuerySpec(
+    name="BadMin",
+    selection=Selection.MIN,
+    connectivity_pick="max",
+)
+
+BAD_MAX = QuerySpec(
+    name="BadMax",
+    selection=Selection.MAX,
+    connectivity_pick="min",
+)
+
+BAD_UNWEIGHTED = QuerySpec(
+    name="BadUnweighted",
+    selection=Selection.MAX,
+    uses_weights=False,
+    connectivity_pick="max",
+)
+
+MISSING_PICK = QuerySpec(
+    name="NoPick",
+    selection=Selection.MIN,
+)

@@ -1,0 +1,10 @@
+"""Seeded RC007 violations: mutable default arguments."""
+
+
+def accumulate(x, seen=[]):
+    seen.append(x)
+    return seen
+
+
+def configure(overrides=dict()):
+    return overrides

@@ -1,0 +1,8 @@
+"""Seeded RC009 violation: catching RuntimeError hides BudgetExceeded."""
+
+
+def run_quietly(engine):
+    try:
+        return engine()
+    except RuntimeError:
+        return None

@@ -1,0 +1,60 @@
+"""Exit-code contract of the ``repro-coregraph check`` subcommand."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.checks.cli import main, run_sanitize_smoke, run_static
+
+FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
+REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
+
+
+def test_static_nonzero_on_seeded_violations(capsys):
+    assert run_static([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "violation(s)" in out
+
+
+@pytest.mark.parametrize(
+    "rel,rule_id",
+    [
+        ("engines/rc001_no_budget_poll.py", "RC001"),
+        ("obs/rc002_raw_write.py", "RC002"),
+        ("queries/rc008_bad_pick.py", "RC008"),
+    ],
+)
+def test_static_nonzero_per_fixture(rel, rule_id, capsys):
+    assert run_static([str(FIXTURES / rel)], rules=[rule_id]) == 1
+    assert rule_id in capsys.readouterr().out
+
+
+def test_static_zero_on_shipped_tree(capsys):
+    assert run_static([str(REPO_SRC)]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_static_rule_filter_excludes_other_rules(capsys):
+    # RC007 never fires in the engines fixtures, so filtering to it
+    # turns a dirty tree into a clean run.
+    assert run_static([str(FIXTURES / "engines")], rules=["RC007"]) == 0
+
+
+def test_static_unknown_rule_raises():
+    with pytest.raises(KeyError):
+        run_static([str(FIXTURES)], rules=["RC999"])
+
+
+def test_main_defaults_to_static(capsys):
+    assert main([str(FIXTURES)]) == 1
+    assert "violation(s)" in capsys.readouterr().out
+
+
+def test_main_static_clean_tree(capsys):
+    assert main(["--static", str(REPO_SRC)]) == 0
+
+
+def test_sanitize_smoke_clean(capsys):
+    assert run_sanitize_smoke() == 0
+    out = capsys.readouterr().out
+    assert "sanitized smoke clean" in out

@@ -8,7 +8,6 @@ from repro.core.identify import build_core_graph
 from repro.core.twophase import two_phase
 from repro.core.unweighted import build_unweighted_core_graph
 from repro.engines.frontier import evaluate_query
-from repro.engines.stats import RunStats
 from repro.queries.specs import REACH, SSNP, SSSP, SSWP, VITERBI, WCC
 
 SPECS = (SSSP, SSNP, SSWP, VITERBI)

@@ -5,7 +5,6 @@ import pytest
 
 from repro.core.identify import build_core_graph, solution_edge_mask
 from repro.engines.frontier import evaluate_query
-from repro.generators.random_graphs import random_weighted_graph
 from repro.graph.builder import from_edges
 from repro.queries.specs import SSNP, SSSP, SSWP, VITERBI, WCC
 

@@ -1,6 +1,5 @@
 """Tests for the PageRank warm-start study (the paper's open problem)."""
 
-import numpy as np
 import pytest
 
 from repro.core.identify import build_core_graph

@@ -1,11 +1,10 @@
 """Tests for Algorithm 2 (general core graph via Qid-sharing BFS)."""
 
 import numpy as np
-import pytest
 
 from repro.core.unweighted import _qid_traverse, build_unweighted_core_graph
 from repro.engines.frontier import evaluate_query
-from repro.generators.random_graphs import erdos_renyi, path_graph, star_graph
+from repro.generators.random_graphs import erdos_renyi, path_graph
 from repro.graph.builder import from_edges
 from repro.queries.specs import REACH
 

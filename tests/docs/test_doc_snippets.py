@@ -8,7 +8,6 @@ reference user-local files are skipped by marker.
 import re
 from pathlib import Path
 
-import pytest
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
 

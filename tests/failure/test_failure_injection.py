@@ -11,8 +11,7 @@ from repro.core.dispatch import build_cg
 from repro.core.twophase import two_phase
 from repro.engines.frontier import evaluate_query
 from repro.graph.builder import from_edges
-from repro.graph.csr import Graph
-from repro.queries.specs import REACH, SSSP, SSWP, VITERBI, WCC
+from repro.queries.specs import SSSP, SSWP, VITERBI, WCC
 
 
 class TestDegenerateGraphs:

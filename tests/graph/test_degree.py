@@ -1,6 +1,5 @@
 """Tests for degree utilities (hub selection, histograms)."""
 
-import numpy as np
 import pytest
 
 from repro.generators.random_graphs import star_graph

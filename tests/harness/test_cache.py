@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.harness import cache as cache_mod
 from repro.harness.cache import (
     clear_caches,
     get_cg,

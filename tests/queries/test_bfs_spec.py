@@ -1,7 +1,6 @@
 """Tests for the BFS extension spec (unit-weight SSSP)."""
 
 import numpy as np
-import pytest
 
 from repro.core.dispatch import build_cg
 from repro.core.twophase import two_phase

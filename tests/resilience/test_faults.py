@@ -9,7 +9,6 @@ from repro.resilience.faults import (
     Fault,
     InjectedCrash,
     InjectedFault,
-    InjectedIOError,
     clear,
     configure_from_env,
     fault_point,

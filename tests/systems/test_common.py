@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.identify import build_core_graph
 from repro.engines.frontier import evaluate_query, symmetric_view
-from repro.queries.specs import REACH, SSSP, SSWP, WCC
+from repro.queries.specs import REACH, SSSP, WCC
 from repro.systems.common import (
     completion_blocked,
     phase2_frontier,

@@ -215,13 +215,11 @@ class TestIOAccounting:
         first_iter_blocks = rep.counters["io_blocks"]
         # run a 1-iteration probe manually
         from repro.engines.stats import RunStats
-        from repro.systems.report import SystemReport
 
         probe = sim._init_report(SSSP, "probe", 7)
         store = sim._store_for(g)
         vals = SSSP.initial_values(g.num_vertices, 7)
         # one source vertex -> one active partition row
-        import repro.systems.gridgraph as gg
 
         stats = RunStats()
         # limit to 1 iteration by monkeypatching? simpler: count by hand
