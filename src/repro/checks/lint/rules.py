@@ -608,25 +608,30 @@ class RC009RuntimeErrorCatch(Rule):
 
 
 class RC010FaultSite(Rule):
-    """Engines without fault sites cannot be crash-tested.
+    """Engines (and serve workers) without fault sites cannot be crash-tested.
 
     The failure-mode suite and CI's crash/resume smoke kill engines at
     named ``fault_point`` sites; an evaluator without one is untestable
-    under injected faults and silently escapes that coverage.
+    under injected faults and silently escapes that coverage. The same
+    holds for ``repro.serve`` worker loops: the chaos-service CI step can
+    only prove worker supervision (restart + requeue) if every loop that
+    pops and executes requests declares a kill site.
     """
 
     id = "RC010"
     title = "engine function has no fault_point site"
-    scopes = ("repro.engines.",)
+    scopes = ("repro.engines.", "repro.serve.")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
+            # An engine loop gathers edges or ticks a budget; a serve
+            # worker loop pops requests or runs two_phase directly.
             has_engine_loop = any(
                 isinstance(inner, ast.While)
                 and any(
-                    _call_named(c, "ragged_gather", "tick")
+                    _call_named(c, "ragged_gather", "tick", "pop", "two_phase")
                     for c in _calls(inner)
                 )
                 for inner in ast.walk(node)
@@ -636,8 +641,9 @@ class RC010FaultSite(Rule):
             if not any(_call_named(c, "fault_point") for c in _calls(node)):
                 yield self.violation(
                     ctx, node,
-                    f"{node.name}() drives an engine loop but declares no "
-                    "fault_point site; crash/resume tests cannot reach it",
+                    f"{node.name}() drives an engine or worker loop but "
+                    "declares no fault_point site; crash/kill tests cannot "
+                    "reach it",
                 )
 
 

@@ -16,7 +16,22 @@ The evaluation is resilient by construction:
   ``degraded=True`` instead of raising;
 * ``checkpoint_path``/``checkpoint_every`` write atomic fingerprinted
   snapshots at iteration boundaries, and ``resume`` restarts a killed run
-  mid-phase, producing values bit-identical to an uninterrupted run.
+  mid-phase, producing values bit-identical to an uninterrupted run;
+* ``completion=False`` deliberately sheds the Completion Phase and returns
+  the Core-Phase answer as a certificate-carrying degraded result — the
+  graceful-degradation lever :mod:`repro.serve` pulls when its circuit
+  breaker is open.
+
+Re-entrancy: :func:`two_phase` is safe to call concurrently from many
+threads over one shared ``(g, proxy)`` pair. All mutable run state
+(``vals``, frontiers, stats, the checkpointer) is per-call; the inputs are
+only read. The shared caches it touches are individually synchronized —
+:func:`~repro.engines.frontier.symmetric_view` builds under a lock, the
+metrics registry and journal serialize internally, and span stacks are
+thread-local. A ``budget`` must be a fresh (or :meth:`~repro.resilience.
+budget.Budget.reset`) object per call: the entry claim via
+``Budget.begin_run`` raises :class:`~repro.resilience.budget.
+BudgetReuseError` instead of silently inheriting another run's clock.
 """
 
 from __future__ import annotations
@@ -60,6 +75,9 @@ class TwoPhaseResult:
     ``degraded`` is True, ``budget_error`` holds the structured abort, and
     only the vertices whose ``certificate`` entry is
     :data:`~repro.resilience.anytime.CERT_EXACT` are guaranteed precise.
+    ``degraded_phase`` says where the degradation happened: 1 (Core Phase
+    abort), 2 (Completion Phase abort, or the phase was shed with
+    ``completion=False`` — then ``budget_error`` is None), else None.
     The two ``RunStats`` expose the per-phase work; ``impacted`` is the
     size of the completion phase's initial frontier and
     ``certified_precise`` counts the vertices whose in-edges the triangle
@@ -74,6 +92,7 @@ class TwoPhaseResult:
     degraded: bool = False
     budget_error: Optional[BudgetExceeded] = None
     certificate: Optional[np.ndarray] = None
+    degraded_phase: Optional[int] = None
 
     @property
     def total(self) -> RunStats:
@@ -118,6 +137,7 @@ def two_phase(
     checkpoint_path: Optional[Union[str, Path]] = None,
     checkpoint_every: int = 1,
     resume: Optional[Union[Checkpoint, str, Path]] = None,
+    completion: bool = True,
 ) -> TwoPhaseResult:
     """Evaluate ``spec`` from ``source`` via the 2Phase algorithm.
 
@@ -132,6 +152,12 @@ def two_phase(
     ``checkpoint_every`` iterations; ``resume`` (a path or loaded
     :class:`~repro.resilience.checkpoint.Checkpoint`) restarts from such a
     snapshot after its fingerprint is verified against this run.
+
+    ``completion=False`` runs the Core Phase to convergence and *sheds*
+    the Completion Phase: the result is ``degraded=True`` with a precision
+    certificate (and no ``budget_error``) — mostly-precise answers at a
+    fraction of the cost, which is how an overloaded service keeps
+    responding instead of failing.
     """
     proxy_g = _proxy_graph(proxy)
     if proxy_g.num_vertices != g.num_vertices:
@@ -161,12 +187,17 @@ def two_phase(
                 f"checkpoint was written by engine {ck.engine!r}, "
                 "not two_phase"
             )
+        if not completion and ck.phase == 2:
+            raise ValueError(
+                "completion=False cannot resume a phase-2 checkpoint"
+            )
 
     if budget is not None:
-        budget.start()
+        budget.begin_run("twophase")
 
     degraded = False
     budget_error: Optional[BudgetExceeded] = None
+    degraded_phase: Optional[int] = None
     phase1_snapshot: Optional[np.ndarray] = None
 
     if ck is not None and ck.phase == 2:
@@ -222,6 +253,7 @@ def two_phase(
                 values=vals, phase1=phase1_stats, phase2=phase2_stats,
                 impacted=0, certified_precise=certified,
                 degraded=True, budget_error=exc, certificate=cert,
+                degraded_phase=1,
             )
             _emit_result(spec, source, result, n, None)
             return result
@@ -248,6 +280,20 @@ def two_phase(
         # triangle optimization.
         blocked = _certified_mask(proxy, spec, source, vals, triangle)
         certified = 0 if blocked is None else int(blocked.sum())
+
+        if not completion:
+            # Shed the Completion Phase: the converged Core-Phase values
+            # are returned as-is, flagged degraded, with the certificate
+            # marking which vertices are nevertheless provably exact.
+            cert = precision_certificate(spec, vals, certified=blocked)
+            result = TwoPhaseResult(
+                values=vals, phase1=phase1_stats, phase2=phase2_stats,
+                impacted=impacted_size, certified_precise=certified,
+                degraded=True, budget_error=None, certificate=cert,
+                degraded_phase=2,
+            )
+            _emit_result(spec, source, result, n, None)
+            return result
 
         visited = np.zeros(n, dtype=bool)
         visited[impacted] = True
@@ -280,6 +326,7 @@ def two_phase(
             raise
         degraded = True
         budget_error = exc
+        degraded_phase = 2
 
     if san_runtime._enabled:
         # The certified vertices' in-edges were dropped from the completion
@@ -302,6 +349,7 @@ def two_phase(
         degraded=degraded,
         budget_error=budget_error,
         certificate=certificate,
+        degraded_phase=degraded_phase,
     )
     _emit_result(spec, source, result, n, phase1_snapshot)
     return result
@@ -355,6 +403,7 @@ def _emit_result(
             "edges_skipped": result.phase2.edges_skipped,
             "redundant_relaxations": redundant,
             "degraded": result.degraded,
+            "degraded_phase": result.degraded_phase,
             "budget": (
                 None if result.budget_error is None
                 else result.budget_error.as_dict()

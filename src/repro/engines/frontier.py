@@ -15,6 +15,7 @@ is the paper's ``FirstPhase2Visit`` guarantee for the completion phase.
 
 from __future__ import annotations
 
+import threading
 import time
 from typing import Generator, Optional, Tuple
 
@@ -40,13 +41,18 @@ except ImportError:  # pragma: no cover
     WeakKeyDictionary = dict  # type: ignore[assignment,misc]
 
 _SYMMETRIC_CACHE: "WeakKeyDictionary" = WeakKeyDictionary()
+# Single-flight guard: concurrent serve workers asking for the same
+# graph's symmetric view must not each pay (and race) the symmetrize.
+_SYMMETRIC_LOCK = threading.Lock()
 
 
 def symmetric_view(g: Graph) -> Graph:
-    """Cached symmetrized view of ``g`` (used by WCC)."""
-    try:
-        return _SYMMETRIC_CACHE[g]
-    except (KeyError, TypeError):
+    """Cached symmetrized view of ``g`` (used by WCC); thread-safe."""
+    with _SYMMETRIC_LOCK:
+        try:
+            return _SYMMETRIC_CACHE[g]
+        except (KeyError, TypeError):
+            pass
         sym = symmetrize(g)
         if san_runtime._enabled:
             san_probes.check_symmetrized(g, sym, "engine.symmetric_view")

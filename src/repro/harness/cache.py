@@ -4,11 +4,19 @@ Core-graph identification is a once-per-(graph, query-kind) cost in the
 paper ("identified once and then ... used to evaluate all future queries"),
 so the harness mirrors that: every experiment and benchmark in one process
 shares the same built artifacts.
+
+The caches are thread-safe and single-flight: concurrent service workers
+(see :mod:`repro.serve`) asking for the same artifact serialize on one
+lock, so an entry is built exactly once and a reader can never observe a
+half-built entry or race an eviction. Builds happen inside the lock —
+deliberate, because two threads racing a CG build would each pay the full
+identification cost only for one result to be discarded.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 from typing import Dict, Optional, Tuple
 
 import numpy as np
@@ -27,21 +35,27 @@ _CGS: Dict[Tuple[str, str, int], CoreGraph] = {}
 _SOURCES: Dict[Tuple[str, int, int], np.ndarray] = {}
 _TRUTH: Dict[Tuple[str, str, Optional[int]], np.ndarray] = {}
 
+#: One reentrant lock guards every cache dict (get_cg's build recurses
+#: into get_graph, hence reentrant).
+_LOCK = threading.RLock()
+
 
 def clear_caches() -> None:
     """Drop everything (tests use this to stay independent)."""
-    _GRAPHS.clear()
-    _CGS.clear()
-    _SOURCES.clear()
-    _TRUTH.clear()
+    with _LOCK:
+        _GRAPHS.clear()
+        _CGS.clear()
+        _SOURCES.clear()
+        _TRUTH.clear()
 
 
 def get_graph(name: str) -> Graph:
     """The named zoo graph, generated once per process."""
     key = name.upper()
-    if key not in _GRAPHS:
-        _GRAPHS[key] = load_zoo_graph(key)
-    return _GRAPHS[key]
+    with _LOCK:
+        if key not in _GRAPHS:
+            _GRAPHS[key] = load_zoo_graph(key)
+        return _GRAPHS[key]
 
 
 def get_cg(
@@ -59,21 +73,22 @@ def get_cg(
     if kwargs:
         return build_cg(g, target, num_hubs=num_hubs, **kwargs)
     key = (graph_name.upper(), target.name, num_hubs)
-    if key not in _CGS:
-        cache_dir = os.environ.get("REPRO_CACHE_DIR")
-        if cache_dir:
-            # Disk layer under the in-memory one: atomic writes + retried
-            # reads via ArtifactCache, keyed by graph shape so a
-            # REPRO_SCALE_DELTA change never serves a stale CG.
-            from repro.io.artifacts import ArtifactCache
+    with _LOCK:
+        if key not in _CGS:
+            cache_dir = os.environ.get("REPRO_CACHE_DIR")
+            if cache_dir:
+                # Disk layer under the in-memory one: atomic writes + retried
+                # reads via ArtifactCache, keyed by graph shape so a
+                # REPRO_SCALE_DELTA change never serves a stale CG.
+                from repro.io.artifacts import ArtifactCache
 
-            _CGS[key] = ArtifactCache(cache_dir).core_graph(
-                f"{key[0]}-{target.name}-h{num_hubs}-n{g.num_vertices}",
-                lambda: build_cg(g, target, num_hubs=num_hubs),
-            )
-        else:
-            _CGS[key] = build_cg(g, target, num_hubs=num_hubs)
-    return _CGS[key]
+                _CGS[key] = ArtifactCache(cache_dir).core_graph(
+                    f"{key[0]}-{target.name}-h{num_hubs}-n{g.num_vertices}",
+                    lambda: build_cg(g, target, num_hubs=num_hubs),
+                )
+            else:
+                _CGS[key] = build_cg(g, target, num_hubs=num_hubs)
+        return _CGS[key]
 
 
 def get_sources(
@@ -86,20 +101,24 @@ def get_sources(
     if seed is None:
         seed = cfg.source_seed
     key = (graph_name.upper(), k, seed)
-    if key not in _SOURCES:
-        g = get_graph(graph_name)
-        candidates = np.flatnonzero(g.out_degree() > 0)
-        rng = np.random.default_rng(seed)
-        k_eff = min(k, candidates.size)
-        _SOURCES[key] = np.sort(rng.choice(candidates, k_eff, replace=False))
-    return _SOURCES[key]
+    with _LOCK:
+        if key not in _SOURCES:
+            g = get_graph(graph_name)
+            candidates = np.flatnonzero(g.out_degree() > 0)
+            rng = np.random.default_rng(seed)
+            k_eff = min(k, candidates.size)
+            _SOURCES[key] = np.sort(
+                rng.choice(candidates, k_eff, replace=False)
+            )
+        return _SOURCES[key]
 
 
 def get_truth(graph_name: str, spec_name: str, source: Optional[int]) -> np.ndarray:
     """Converged full-graph values for one query (cached ground truth)."""
     key = (graph_name.upper(), spec_name, source)
-    if key not in _TRUTH:
-        spec = get_spec(spec_name)
-        g = get_graph(graph_name)
-        _TRUTH[key] = evaluate_query(g, spec, source)
-    return _TRUTH[key]
+    with _LOCK:
+        if key not in _TRUTH:
+            spec = get_spec(spec_name)
+            g = get_graph(graph_name)
+            _TRUTH[key] = evaluate_query(g, spec, source)
+        return _TRUTH[key]

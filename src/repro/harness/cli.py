@@ -328,6 +328,73 @@ def _cmd_check(args) -> int:
     return rc
 
 
+def _cmd_serve(args) -> int:
+    """Self-checking smoke of the concurrent query service.
+
+    Bursts ``--requests`` queries at a :class:`repro.serve.QueryService`
+    over one shared (graph, CG) pair, drains, and verifies the chaos
+    invariant: every submitted request resolved (``lost == 0``). Exit 1
+    when any request was lost or never resolved — the CI chaos step runs
+    this under ``REPRO_FAULTS`` worker kills and ``REPRO_SANITIZE=1``.
+    """
+    import time
+
+    from repro.harness.cache import get_cg, get_graph, get_sources
+    from repro.queries.registry import get_spec
+    from repro.serve import QueryService, ServiceConfig
+
+    if not args.smoke:
+        print(
+            "the query service is in-process (a library, not a daemon); "
+            "run `repro-coregraph serve --smoke` for the self-checking "
+            "demo, or use repro.serve.QueryService directly",
+            file=sys.stderr,
+        )
+        return 2
+    spec = get_spec(args.query)
+    g = get_graph(args.graph)
+    _emit_graph_loaded(args.graph.upper(), g)
+    cg = get_cg(args.graph, spec)
+    sources = get_sources(args.graph, k=min(args.requests, 16))
+    cfg = ServiceConfig(
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        default_deadline_s=args.deadline,
+        default_max_iterations=args.max_iters,
+        breaker_failure_threshold=args.breaker_failures,
+        breaker_cooldown_s=args.cooldown,
+    )
+    svc = QueryService(g, cg, cfg)
+    start = time.perf_counter()
+    with svc:
+        tickets = [
+            svc.submit(
+                spec.name,
+                source=(
+                    None if spec.multi_source
+                    else int(sources[i % len(sources)])
+                ),
+                priority=i % 3,
+            )
+            for i in range(args.requests)
+        ]
+        drained = svc.drain(timeout=args.timeout)
+    elapsed = time.perf_counter() - start
+    stats = svc.stats()
+    print(stats.render())
+    unresolved = sum(1 for t in tickets if not t.done())
+    print(
+        f"serve smoke: {args.requests} requests in {elapsed:.2f}s "
+        f"({args.requests / elapsed:.1f}/s), lost={stats.lost}, "
+        f"unresolved={unresolved}"
+    )
+    if stats.lost != 0 or unresolved or not drained:
+        print("serve smoke FAILED: requests were lost or never resolved",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_obs_report(args) -> int:
     """Render one journal as a terminal (and optionally HTML) report."""
     from repro.obs.journal import read_events
@@ -547,6 +614,35 @@ def build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--mypy", action="store_true",
                        help="also run mypy when installed")
     chk_p.set_defaults(func=_cmd_check)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="concurrent query service smoke: burst, drain, verify lost=0",
+        parents=[tele],
+    )
+    serve_p.add_argument("--smoke", action="store_true",
+                         help="run the self-checking burst demo")
+    serve_p.add_argument("--graph", default="PK", help="zoo graph name")
+    serve_p.add_argument("--query", default="SSSP")
+    serve_p.add_argument("--requests", type=int, default=48,
+                         help="burst size submitted before draining")
+    serve_p.add_argument("--workers", type=int, default=4)
+    serve_p.add_argument("--queue-capacity", type=int, default=32,
+                         help="admission queue bound (excess is shed as "
+                              "typed queue_full rejections)")
+    serve_p.add_argument("--deadline", type=float, default=None,
+                         metavar="SECONDS", help="per-request deadline")
+    serve_p.add_argument("--max-iters", type=int, default=None, metavar="N",
+                         help="per-request iteration budget")
+    serve_p.add_argument("--breaker-failures", type=int, default=3,
+                         help="consecutive completion blowups that trip "
+                              "the breaker")
+    serve_p.add_argument("--cooldown", type=float, default=0.25,
+                         metavar="SECONDS", help="breaker cooldown before "
+                         "a half-open probe")
+    serve_p.add_argument("--timeout", type=float, default=120.0,
+                         help="drain timeout before declaring failure")
+    serve_p.set_defaults(func=_cmd_serve)
 
     # Regression thresholds shared by `obs diff` and `obs check`.
     thresh = argparse.ArgumentParser(add_help=False)

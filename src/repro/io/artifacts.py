@@ -8,12 +8,18 @@ Reads go through :func:`repro.resilience.retry.retry_call` (cache
 directories commonly live on network filesystems where transient ``OSError``
 is routine); writes are atomic via :mod:`repro.io.binary`, so concurrent
 processes warming the same cache see either nothing or a complete artifact.
+
+Within one process the cache is also thread-safe: a per-instance lock
+serializes the exists-check/build/write/evict sequence, so concurrent
+service workers can share one :class:`ArtifactCache` without interleaving
+a read against an eviction or double-building the same key.
 """
 
 from __future__ import annotations
 
 import json
 import re
+import threading
 from pathlib import Path
 from typing import Callable, Optional, Union
 
@@ -52,6 +58,8 @@ class ArtifactCache:
     def __init__(self, root: Union[str, Path]) -> None:
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        # Serializes check/build/write/evict against concurrent workers.
+        self._lock = threading.RLock()
 
     def _path(self, kind: str, key: str) -> Path:
         return self.root / f"{kind}-{_sanitize(key)}.npz"
@@ -60,51 +68,57 @@ class ArtifactCache:
     def graph(self, key: str, build: Callable[[], Graph]) -> Graph:
         """Return the cached graph for ``key``, building it on first use."""
         path = self._path("graph", key)
-        if path.exists():
-            def _read() -> Graph:
-                # Inside the retried callable so injected transient IO
-                # errors exercise the same recovery as real ones.
-                fault_point("artifacts.read")
-                return load_graph(path)
+        with self._lock:
+            if path.exists():
+                def _read() -> Graph:
+                    # Inside the retried callable so injected transient IO
+                    # errors exercise the same recovery as real ones.
+                    fault_point("artifacts.read")
+                    return load_graph(path)
 
-            return retry_call(_read, label="artifact.graph")
-        g = build()
-        save_graph(g, path)
-        return g
+                return retry_call(_read, label="artifact.graph")
+            g = build()
+            save_graph(g, path)
+            return g
 
     def core_graph(
         self, key: str, build: Callable[[], CoreGraph]
     ) -> CoreGraph:
         """Return the cached core graph for ``key``."""
         path = self._path("cg", key)
-        if path.exists():
-            def _read() -> CoreGraph:
-                fault_point("artifacts.read")
-                return load_core_graph(path)
+        with self._lock:
+            if path.exists():
+                def _read() -> CoreGraph:
+                    fault_point("artifacts.read")
+                    return load_core_graph(path)
 
-            return retry_call(_read, label="artifact.cg")
-        cg = build()
-        save_core_graph(cg, path)
-        return cg
+                return retry_call(_read, label="artifact.cg")
+            cg = build()
+            save_core_graph(cg, path)
+            return cg
 
     # ------------------------------------------------------------------
     def contains(self, kind: str, key: str) -> bool:
-        return self._path(kind, key).exists()
+        with self._lock:
+            return self._path(kind, key).exists()
 
     def invalidate(self, kind: Optional[str] = None, key: Optional[str] = None) -> int:
         """Delete matching artifacts; returns how many were removed."""
         pattern = f"{kind or '*'}-{_sanitize(key) if key else '*'}.npz"
         removed = 0
-        for path in self.root.glob(pattern):
-            path.unlink()
-            removed += 1
+        with self._lock:
+            for path in self.root.glob(pattern):
+                path.unlink()
+                removed += 1
         return removed
 
     def manifest(self) -> dict:
         """Names and sizes of everything cached (for diagnostics)."""
-        return {
-            p.name: p.stat().st_size for p in sorted(self.root.glob("*.npz"))
-        }
+        with self._lock:
+            return {
+                p.name: p.stat().st_size
+                for p in sorted(self.root.glob("*.npz"))
+            }
 
     def write_manifest(self) -> Path:
         path = self.root / "manifest.json"

@@ -32,6 +32,7 @@ NAMESPACES: FrozenSet[str] = frozenset({
     "resilience",
     "graph",
     "checks",
+    "serve",
 })
 
 #: Every counter/gauge/histogram name the codebase may record.
@@ -70,8 +71,22 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "resilience.retry.attempts",
     "resilience.retry.retries",
     "resilience.retry.failures",
+    "resilience.retry.deadline_skips",
     # Static-analysis / sanitizer layer.
     "checks.sanitize.violations",
+    # Query service (repro.serve): admission, shedding, breaker, workers.
+    "serve.admitted",
+    "serve.rejected",
+    "serve.completed",
+    "serve.degraded",
+    "serve.shed",
+    "serve.requeued",
+    "serve.poisoned",
+    "serve.breaker.trips",
+    "serve.breaker.state",
+    "serve.worker.restarts",
+    "serve.queue.depth",
+    "serve.latency_ms",
 })
 
 #: Every span name (see repro.obs.spans) a ``with span(...)`` may open.
@@ -82,6 +97,7 @@ SPAN_NAMES: FrozenSet[str] = frozenset({
     "cg.hub_query",
     "cg.hub_traverse",
     "cg.connectivity",
+    "serve.request",
 })
 
 #: Every ``name`` a ``{"type": "event", ...}`` journal line may carry.
@@ -95,6 +111,10 @@ EVENT_NAMES: FrozenSet[str] = frozenset({
     "budget.exceeded",
     "fault.injected",
     "sanitizer.violation",
+    "serve.request",
+    "serve.breaker",
+    "serve.worker.restart",
+    "serve.stats",
 })
 
 

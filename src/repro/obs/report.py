@@ -109,6 +109,29 @@ def _resilience_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
                 f"{ev.get('kind')} at {ev.get('site')}",
                 f"hit {ev.get('hit')}",
             ])
+        elif name == "serve.breaker":
+            rows.append([
+                "breaker",
+                ev.get("transition", "?"),
+                f"reason: {ev.get('reason', '-')}",
+            ])
+        elif name == "serve.worker.restart":
+            rows.append([
+                "worker restart",
+                f"worker {ev.get('worker')}",
+                str(ev.get("error", "-")),
+            ])
+        elif name == "serve.stats":
+            rows.append([
+                "service",
+                f"{ev.get('submitted', 0)} submitted / "
+                f"{ev.get('completed', 0)} full / "
+                f"{ev.get('degraded', 0)} degraded",
+                f"rejected {ev.get('rejected_queue_full', 0)} queue-full + "
+                f"{ev.get('rejected_deadline', 0)} deadline, "
+                f"shed {ev.get('shed_completions', 0)}, "
+                f"poisoned {ev.get('poisoned', 0)}",
+            ])
     if checkpoints:
         rows.append([
             "checkpoints",

@@ -35,7 +35,7 @@ from repro.resilience.atomic import (
     atomic_write_bytes,
     atomic_write_text,
 )
-from repro.resilience.budget import Budget, BudgetExceeded
+from repro.resilience.budget import Budget, BudgetExceeded, BudgetReuseError
 from repro.resilience.checkpoint import (
     Checkpoint,
     CheckpointError,
@@ -57,6 +57,7 @@ from repro.resilience.retry import backoff_delays, retry_call, retrying
 __all__ = [
     "Budget",
     "BudgetExceeded",
+    "BudgetReuseError",
     "Checkpoint",
     "CheckpointError",
     "CheckpointMismatch",

@@ -12,6 +12,14 @@ object: the deadline clock starts at the first ``tick`` (or an explicit
 :meth:`Budget.start`), and ``max_iterations`` counts all ticks, so a
 two-phase evaluation budgeted at 100 iterations spends them across both
 phases.
+
+Sharing across phases of *one* run is the feature; sharing across *two*
+runs is a bug — the second run would inherit the first run's elapsed
+clock and iteration count silently. Top-level entry points
+(:func:`repro.core.twophase.two_phase`, the serve worker) therefore
+claim the budget with :meth:`Budget.begin_run`, which raises
+:class:`BudgetReuseError` on a second claim; call :meth:`Budget.reset`
+to deliberately recycle the object for a fresh run.
 """
 
 from __future__ import annotations
@@ -19,6 +27,15 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
+
+
+class BudgetReuseError(ValueError):
+    """A started :class:`Budget` was claimed for a second run.
+
+    Deliberately *not* a :class:`RuntimeError` subclass: reuse is a
+    caller bug, and handlers watching for :class:`BudgetExceeded` must
+    never absorb it.
+    """
 
 
 class BudgetExceeded(RuntimeError):
@@ -94,11 +111,38 @@ class Budget:
     max_frontier_bytes: Optional[int] = None
     _t0: Optional[float] = field(default=None, init=False, repr=False)
     iterations: int = field(default=0, init=False, repr=False)
+    _claimed: bool = field(default=False, init=False, repr=False)
 
     def start(self) -> "Budget":
         """Start the deadline clock (idempotent); returns self."""
         if self._t0 is None:
             self._t0 = time.perf_counter()
+        return self
+
+    def begin_run(self, site: str = "") -> "Budget":
+        """Claim this budget for one top-level run and start its clock.
+
+        A budget that has already been claimed (or merely started — its
+        clock is running, so a second run would inherit the elapsed time)
+        raises :class:`BudgetReuseError`. Engines themselves only
+        ``tick``; the claim lives at run entry points so one budget still
+        spans both 2Phase phases.
+        """
+        if self._claimed or self._t0 is not None:
+            raise BudgetReuseError(
+                f"budget already used ({self.iterations} iterations, "
+                f"{self.elapsed_s:.3f}s elapsed)"
+                + (f" at {site}" if site else "")
+                + "; call reset() to recycle it for a fresh run"
+            )
+        self._claimed = True
+        return self.start()
+
+    def reset(self) -> "Budget":
+        """Clear the clock, iteration count, and run claim; returns self."""
+        self._t0 = None
+        self.iterations = 0
+        self._claimed = False
         return self
 
     @property

@@ -16,19 +16,22 @@ Faults come from two places:
   mid-flight. Syntax: semicolon-separated ``site:kind:hit[:param]``
   entries, e.g. ``engine.frontier.iteration:crash:40`` (crash at the 40th
   hit) or ``checkpoint.save:delay:1:0.25`` (sleep 250 ms at the first
-  save).
+  save). A hit spec with a ``+`` suffix (``serve.worker.request:crash:2+``)
+  makes the fault *repeat*: it fires on every hit from that number on —
+  what poisoned-request tests use to fail the same request twice.
 
 Known sites (grep for ``fault_point`` for ground truth):
 ``engine.frontier.iteration``, ``engine.scalar.pop``,
 ``engine.delta_stepping.round``, ``engine.batch.round``,
 ``engine.async.round``, ``engine.pull.round``, ``twophase.core.begin``,
 ``twophase.completion.begin``, ``checkpoint.save``, ``io.load``,
-``artifacts.read``, ``journal.close``.
+``artifacts.read``, ``journal.close``, ``serve.worker.request``.
 """
 
 from __future__ import annotations
 
 import os
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional
@@ -37,6 +40,10 @@ from contextlib import contextmanager
 
 ENV_VAR = "REPRO_FAULTS"
 KINDS = ("crash", "ioerror", "delay")
+
+#: Serializes hit counting so concurrent serve workers sharing a site see
+#: an exact hit sequence (held only while a fault is armed).
+_HITS_LOCK = threading.Lock()
 
 
 class InjectedFault(RuntimeError):
@@ -53,12 +60,17 @@ class InjectedIOError(InjectedFault, OSError):
 
 @dataclass
 class Fault:
-    """One installed fault: fire ``kind`` on hit number ``at_hit``."""
+    """One installed fault: fire ``kind`` on hit number ``at_hit``.
+
+    With ``repeat=True`` the fault fires on *every* hit from ``at_hit``
+    on, instead of exactly once.
+    """
 
     site: str
     kind: str
     at_hit: int = 1
     param: Optional[float] = None
+    repeat: bool = False
     hits: int = field(default=0, init=False)
 
     def __post_init__(self) -> None:
@@ -72,10 +84,11 @@ _FAULTS: Dict[str, Fault] = {}
 
 
 def install(
-    site: str, kind: str, at_hit: int = 1, param: Optional[float] = None
+    site: str, kind: str, at_hit: int = 1, param: Optional[float] = None,
+    repeat: bool = False,
 ) -> Fault:
     """Arm ``site``; replaces any fault already installed there."""
-    fault = Fault(site, kind, at_hit, param)
+    fault = Fault(site, kind, at_hit, param, repeat)
     _FAULTS[site] = fault
     return fault
 
@@ -92,11 +105,12 @@ def installed() -> Dict[str, Fault]:
 
 @contextmanager
 def injected(
-    site: str, kind: str, at_hit: int = 1, param: Optional[float] = None
+    site: str, kind: str, at_hit: int = 1, param: Optional[float] = None,
+    repeat: bool = False,
 ) -> Iterator[Fault]:
     """Scoped :func:`install`; restores the previous arming on exit."""
     prior = _FAULTS.get(site)
-    fault = install(site, kind, at_hit, param)
+    fault = install(site, kind, at_hit, param, repeat)
     try:
         yield fault
     finally:
@@ -120,9 +134,11 @@ def parse_spec(spec: str) -> Dict[str, Fault]:
                 f"bad fault entry {entry!r}; expected site:kind[:hit[:param]]"
             )
         site, kind = parts[0], parts[1]
-        at_hit = int(parts[2]) if len(parts) > 2 and parts[2] else 1
+        hit_spec = parts[2] if len(parts) > 2 and parts[2] else "1"
+        repeat = hit_spec.endswith("+")
+        at_hit = int(hit_spec.rstrip("+") or "1")
         param = float(parts[3]) if len(parts) > 3 and parts[3] else None
-        faults[site] = Fault(site, kind, at_hit, param)
+        faults[site] = Fault(site, kind, at_hit, param, repeat)
     return faults
 
 
@@ -159,8 +175,13 @@ def fault_point(site: str) -> None:
     fault = _FAULTS.get(site)
     if fault is None:
         return
-    fault.hits += 1
-    if fault.hits != fault.at_hit:
+    with _HITS_LOCK:
+        fault.hits += 1
+        fire = (
+            fault.hits >= fault.at_hit if fault.repeat
+            else fault.hits == fault.at_hit
+        )
+    if not fire:
         return
     _record(fault)
     if fault.kind == "crash":

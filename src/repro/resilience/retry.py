@@ -7,13 +7,23 @@ them with capped exponential backoff and records every attempt in
 ``resilience.retry.retries`` counts the extra attempts, and
 ``resilience.retry.failures`` the final give-ups), so flaky storage shows
 up in run reports instead of hiding inside silently-slow calls.
+
+Retries are deadline-aware: pass ``budget=`` (a started
+:class:`~repro.resilience.budget.Budget`) or ``deadline_s=`` (seconds
+from the first attempt) and the backoff sleep is capped to the remaining
+time — and skipped entirely (the last error re-raises immediately,
+counted under ``resilience.retry.deadline_skips``) when no time remains.
+A retried call can therefore never overshoot its request's deadline by
+more than one attempt's duration.
 """
 
 from __future__ import annotations
 
 import functools
 import time
-from typing import Any, Callable, Tuple, Type, TypeVar
+from typing import Any, Callable, Optional, Tuple, Type, TypeVar
+
+from repro.resilience.budget import Budget
 
 T = TypeVar("T")
 
@@ -38,14 +48,33 @@ def retry_call(
     retry_on: Tuple[Type[BaseException], ...] = DEFAULT_RETRY_ON,
     label: str = "",
     sleep: Callable[[float], None] = time.sleep,
+    budget: Optional[Budget] = None,
+    deadline_s: Optional[float] = None,
 ) -> T:
-    """Call ``fn`` with up to ``attempts`` tries; re-raises the last error."""
+    """Call ``fn`` with up to ``attempts`` tries; re-raises the last error.
+
+    ``budget`` (its :meth:`~repro.resilience.budget.Budget.remaining_s`)
+    and/or ``deadline_s`` (relative to the first attempt) bound the total
+    backoff: a sleep is capped to the remaining time, and when nothing
+    remains the retry is abandoned and the last error re-raised.
+    """
     from repro.obs import metrics as obs_metrics
 
     if attempts < 1:
         raise ValueError("attempts must be >= 1")
     obs_metrics.counter("resilience.retry.attempts", label=label).inc()
     delays = backoff_delays(attempts, base_delay, max_delay)
+    t0 = time.perf_counter()
+
+    def _remaining() -> Optional[float]:
+        rem: Optional[float] = None
+        if budget is not None:
+            rem = budget.remaining_s()
+        if deadline_s is not None:
+            local = deadline_s - (time.perf_counter() - t0)
+            rem = local if rem is None else min(rem, local)
+        return rem
+
     for attempt in range(1, attempts + 1):
         try:
             return fn()
@@ -55,8 +84,19 @@ def retry_call(
                     "resilience.retry.failures", label=label
                 ).inc()
                 raise
+            delay = delays[attempt - 1]
+            remaining = _remaining()
+            if remaining is not None:
+                if remaining <= 0.0:
+                    # The deadline cannot absorb another attempt at all:
+                    # abandoning beats a retry the caller can't use.
+                    obs_metrics.counter(
+                        "resilience.retry.deadline_skips", label=label
+                    ).inc()
+                    raise
+                delay = min(delay, remaining)
             obs_metrics.counter("resilience.retry.retries", label=label).inc()
-            sleep(delays[attempt - 1])
+            sleep(delay)
     raise AssertionError("unreachable")  # pragma: no cover
 
 

@@ -1,0 +1,160 @@
+"""Circuit breaker around the 2Phase Completion Phase.
+
+The Completion Phase is the expensive half of Algorithm 3 — it touches
+the full graph while the Core Phase touches only the ~10%-edge core
+graph. Under overload it is also the *sheddable* half: skipping it still
+yields a certified, mostly-precise answer (the paper's Theorem 1 edges
+are exact; the rest carry CERT_APPROX). The breaker decides when to shed.
+
+States follow the classic pattern:
+
+* CLOSED — completions run; consecutive ``BudgetExceeded`` failures or a
+  p95 completion latency above threshold trips the breaker;
+* OPEN — completions are shed wholesale until ``cooldown_s`` elapses;
+* HALF_OPEN — one probe request is allowed through; success closes the
+  breaker, failure re-opens it and restarts the cooldown.
+
+The clock is injectable so trip/cooldown/probe transitions are testable
+without sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Gauge encoding for serve.breaker.state.
+_STATE_CODE = {CLOSED: 0, HALF_OPEN: 1, OPEN: 2}
+
+
+def _p95(samples: List[float]) -> float:
+    ordered = sorted(samples)
+    idx = min(len(ordered) - 1, int(0.95 * len(ordered)))
+    return ordered[idx]
+
+
+class CircuitBreaker:
+    """Trip on consecutive failures or high p95 completion latency."""
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        latency_threshold_s: Optional[float] = None,
+        min_samples: int = 8,
+        window: int = 64,
+        cooldown_s: float = 1.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.failure_threshold = failure_threshold
+        self.latency_threshold_s = latency_threshold_s
+        self.min_samples = min_samples
+        self.window = window
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._latencies: List[float] = []
+        self._opened_at: Optional[float] = None
+        self.trips = 0
+        self.probes = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state
+
+    def allow_completion(self) -> bool:
+        """Whether the next request may run its Completion Phase.
+
+        While OPEN, flips to HALF_OPEN once the cooldown has elapsed and
+        admits that caller as the probe.
+        """
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                assert self._opened_at is not None
+                if self._clock() - self._opened_at >= self.cooldown_s:
+                    self._transition(HALF_OPEN, "cooldown_elapsed")
+                    self.probes += 1
+                    return True
+                return False
+            # HALF_OPEN: exactly one probe is in flight; shed the rest
+            # until it reports back.
+            return False
+
+    def record_success(self, completion_latency_s: float) -> None:
+        """A Completion Phase finished inside its budget."""
+        with self._lock:
+            self._consecutive_failures = 0
+            if self._state == HALF_OPEN:
+                self._latencies.clear()
+                self._transition(CLOSED, "probe_succeeded")
+                return
+            self._latencies.append(completion_latency_s)
+            if len(self._latencies) > self.window:
+                del self._latencies[: -self.window]
+            if (
+                self._state == CLOSED
+                and self.latency_threshold_s is not None
+                and len(self._latencies) >= self.min_samples
+                and _p95(self._latencies) > self.latency_threshold_s
+            ):
+                self._trip("p95_latency")
+
+    def record_failure(self) -> None:
+        """A Completion Phase blew its budget (``BudgetExceeded``)."""
+        with self._lock:
+            if self._state == HALF_OPEN:
+                self._trip("probe_failed")
+                return
+            self._consecutive_failures += 1
+            if (
+                self._state == CLOSED
+                and self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip("consecutive_failures")
+
+    # ------------------------------------------------------------------
+    def _trip(self, reason: str) -> None:
+        # Caller holds the lock.
+        self.trips += 1
+        self._consecutive_failures = 0
+        self._latencies.clear()
+        self._transition(OPEN, reason)
+        if obs_runtime._enabled:
+            obs_metrics.counter("serve.breaker.trips").inc()
+
+    def _transition(self, new_state: str, reason: str) -> None:
+        # Caller holds the lock.
+        old = self._state
+        self._state = new_state
+        if new_state == OPEN:
+            self._opened_at = self._clock()
+        if obs_runtime._enabled:
+            obs_metrics.gauge("serve.breaker.state").set(_STATE_CODE[new_state])
+            obs_journal.emit({
+                "type": "event", "name": "serve.breaker",
+                "transition": f"{old}->{new_state}", "reason": reason,
+            })
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "state": self._state,
+                "trips": self.trips,
+                "probes": self.probes,
+                "consecutive_failures": self._consecutive_failures,
+                "latency_samples": len(self._latencies),
+            }

@@ -1,0 +1,127 @@
+"""Request, rejection, and outcome types for the query service.
+
+The contract every consumer of :mod:`repro.serve` leans on: a submitted
+request resolves to exactly one :class:`Outcome`, whose ``status`` is one
+of
+
+* :data:`STATUS_OK` — the full 2Phase result (100% precise values);
+* :data:`STATUS_DEGRADED` — a partial answer with a per-vertex precision
+  certificate, because the request's deadline expired mid-run or the
+  service shed the Completion Phase under overload;
+* :data:`STATUS_REJECTED` — a typed admission refusal
+  (:class:`Rejection` with ``queue_full``, ``deadline_unmeetable``, or
+  ``shutdown``), decided before any work was done;
+* :data:`STATUS_FAILED` — the request failed twice inside workers (it is
+  *poisoned*) and is returned as a structured error instead of being
+  retried forever.
+
+There is no fifth state: no hang, no silent drop. That invariant is what
+the chaos-service CI step asserts under injected worker kills.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.core.twophase import TwoPhaseResult
+
+STATUS_OK = "ok"
+STATUS_DEGRADED = "degraded"
+STATUS_REJECTED = "rejected"
+STATUS_FAILED = "failed"
+
+REASON_QUEUE_FULL = "queue_full"
+REASON_DEADLINE = "deadline_unmeetable"
+REASON_SHUTDOWN = "shutdown"
+
+
+@dataclass
+class QueryRequest:
+    """One admitted (or to-be-admitted) query.
+
+    ``deadline_s`` is relative to submission; the worker derives a
+    :class:`~repro.resilience.budget.Budget` from whatever remains when
+    the request leaves the queue. ``priority`` orders the admission queue
+    (higher pops first; FIFO within a priority class).
+    """
+
+    query: str
+    source: Optional[int] = None
+    priority: int = 0
+    deadline_s: Optional[float] = None
+    max_iterations: Optional[int] = None
+    triangle: bool = False
+    id: int = 0
+    submitted_at: float = 0.0
+    attempts: int = 0
+    failures: List[str] = field(default_factory=list)
+
+    def remaining_s(self, now: float) -> Optional[float]:
+        """Seconds of deadline left at time ``now``, or None (unbounded)."""
+        if self.deadline_s is None:
+            return None
+        return self.deadline_s - (now - self.submitted_at)
+
+
+@dataclass
+class Rejection:
+    """Typed admission refusal."""
+
+    reason: str
+    detail: str = ""
+
+
+@dataclass
+class Outcome:
+    """Terminal resolution of one request (see module docstring)."""
+
+    request: QueryRequest
+    status: str
+    result: Optional[TwoPhaseResult] = None
+    rejection: Optional[Rejection] = None
+    error: Optional[str] = None
+    shed: bool = False
+    wait_s: float = 0.0
+    service_s: float = 0.0
+
+    @property
+    def values(self):
+        """The value array, for ok/degraded outcomes (else None)."""
+        return None if self.result is None else self.result.values
+
+    @property
+    def certificate(self):
+        """Per-vertex precision certificate (degraded and ok outcomes)."""
+        return None if self.result is None else self.result.certificate
+
+
+class Ticket:
+    """Caller-facing handle: resolves exactly once to an :class:`Outcome`."""
+
+    def __init__(self, request: QueryRequest) -> None:
+        self.request = request
+        self._done = threading.Event()
+        self._outcome: Optional[Outcome] = None
+
+    def resolve(self, outcome: Outcome) -> bool:
+        """Deliver the outcome; returns False if already resolved."""
+        if self._done.is_set():
+            return False
+        self._outcome = outcome
+        self._done.set()
+        return True
+
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Outcome:
+        """Block until resolved; raises TimeoutError on timeout."""
+        if not self._done.wait(timeout):
+            raise TimeoutError(
+                f"request {self.request.id} ({self.request.query}) "
+                f"unresolved after {timeout}s"
+            )
+        assert self._outcome is not None
+        return self._outcome

@@ -1,0 +1,432 @@
+"""The query service: many concurrent 2Phase queries over one shared pair.
+
+:class:`QueryService` owns a shared ``(Graph, CoreGraph)`` pair plus a
+bounded admission queue, a supervised worker pool, and a circuit breaker
+around the Completion Phase. The degradation ladder under load:
+
+1. healthy — every request runs both phases and returns a full result;
+2. breaker OPEN — the Completion Phase is shed; requests get Core-Phase
+   answers flagged ``degraded=True`` with per-vertex certificates;
+3. queue full / deadline unmeetable — requests are rejected at the door
+   with a typed :class:`~repro.serve.request.Rejection`.
+
+Every path resolves the caller's :class:`~repro.serve.request.Ticket`
+exactly once — including worker deaths (requeue once, then poison) and
+shutdown (leftover queue entries become ``shutdown`` rejections). The
+``ServiceStats.lost == 0`` identity over that contract is what the chaos
+CI step asserts under injected worker kills.
+
+Thread-safety notes: 2Phase itself keeps all mutable state per-call (see
+:mod:`repro.core.twophase`); the shared caches the workers touch
+(``symmetric_view``, :mod:`repro.harness.cache`,
+:class:`~repro.io.artifacts.ArtifactCache`) are individually locked.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional, Union
+
+from repro.core.coregraph import CoreGraph
+from repro.core.twophase import two_phase
+from repro.graph.csr import Graph
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import span
+from repro.queries.registry import get_spec
+from repro.resilience.budget import Budget
+
+from repro.serve.breaker import CircuitBreaker
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import (
+    REASON_DEADLINE,
+    REASON_QUEUE_FULL,
+    REASON_SHUTDOWN,
+    STATUS_DEGRADED,
+    STATUS_FAILED,
+    STATUS_OK,
+    STATUS_REJECTED,
+    Outcome,
+    QueryRequest,
+    Rejection,
+    Ticket,
+)
+from repro.serve.stats import ServiceStats, Tally
+from repro.serve.workers import WorkerPool
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables for one :class:`QueryService`."""
+
+    workers: int = 4
+    queue_capacity: int = 64
+    default_deadline_s: Optional[float] = None
+    default_max_iterations: Optional[int] = None
+    triangle: bool = False
+    max_attempts: int = 2
+    breaker_failure_threshold: int = 3
+    breaker_latency_threshold_s: Optional[float] = None
+    breaker_min_samples: int = 8
+    breaker_window: int = 64
+    breaker_cooldown_s: float = 1.0
+    #: EWMA smoothing for the admission-time service estimate.
+    ewma_alpha: float = 0.2
+
+
+class QueryService:
+    """Concurrent 2Phase query service over one shared graph/proxy pair."""
+
+    def __init__(
+        self,
+        g: Graph,
+        proxy: Union[CoreGraph, Graph],
+        config: Optional[ServiceConfig] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.g = g
+        self.proxy = proxy
+        self.config = config or ServiceConfig()
+        self._clock = clock
+        self._queue = AdmissionQueue(self.config.queue_capacity)
+        self.breaker = CircuitBreaker(
+            failure_threshold=self.config.breaker_failure_threshold,
+            latency_threshold_s=self.config.breaker_latency_threshold_s,
+            min_samples=self.config.breaker_min_samples,
+            window=self.config.breaker_window,
+            cooldown_s=self.config.breaker_cooldown_s,
+        )
+        self._pool = WorkerPool(self, self.config.workers)
+        self._tally = Tally()
+        self._cond = threading.Condition()
+        self._tickets: Dict[int, Ticket] = {}
+        self._next_id = 0
+        self._outstanding = 0
+        self._ewma_service_s: Optional[float] = None
+        self._started = False
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> "QueryService":
+        if not self._started:
+            self._started = True
+            self._pool.start()
+        return self
+
+    def __enter__(self) -> "QueryService":
+        return self.start()
+
+    def __exit__(self, *exc: object) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        query: str,
+        source: Optional[int] = None,
+        priority: int = 0,
+        deadline_s: Optional[float] = None,
+        max_iterations: Optional[int] = None,
+        triangle: Optional[bool] = None,
+    ) -> Ticket:
+        """Admit (or reject) one query; always returns a resolving Ticket.
+
+        Unknown query names raise ``KeyError`` immediately — a malformed
+        call is a caller bug, not service load. Everything else resolves
+        through the ticket.
+        """
+        get_spec(query)  # validate before accounting
+        cfg = self.config
+        with self._cond:
+            self._next_id += 1
+            req = QueryRequest(
+                query=query,
+                source=source,
+                priority=priority,
+                deadline_s=(
+                    cfg.default_deadline_s if deadline_s is None else deadline_s
+                ),
+                max_iterations=(
+                    cfg.default_max_iterations
+                    if max_iterations is None else max_iterations
+                ),
+                triangle=cfg.triangle if triangle is None else triangle,
+                id=self._next_id,
+                submitted_at=self._clock(),
+            )
+            ticket = Ticket(req)
+            self._tickets[req.id] = ticket
+            self._outstanding += 1
+            closed = self._closed
+        self._tally.inc("submitted")
+
+        rejection = self._admission_check(req, closed)
+        if rejection is not None:
+            self._resolve(
+                req,
+                Outcome(request=req, status=STATUS_REJECTED,
+                        rejection=rejection),
+            )
+            return ticket
+        self._tally.inc("admitted")
+        if obs_runtime._enabled:
+            obs_metrics.counter("serve.admitted").inc()
+        return ticket
+
+    def _admission_check(
+        self, req: QueryRequest, closed: bool
+    ) -> Optional[Rejection]:
+        """Decide req's fate at the door; None means admitted."""
+        if closed:
+            return Rejection(REASON_SHUTDOWN, "service is shutting down")
+        if req.deadline_s is not None:
+            if req.deadline_s <= 0:
+                return Rejection(REASON_DEADLINE, "non-positive deadline")
+            est = self._estimate_wait_s()
+            if est is not None and est > req.deadline_s:
+                return Rejection(
+                    REASON_DEADLINE,
+                    f"estimated queue wait {est:.3f}s exceeds "
+                    f"deadline {req.deadline_s:.3f}s",
+                )
+        if not self._queue.offer(req):
+            return Rejection(
+                REASON_QUEUE_FULL,
+                f"admission queue at capacity {self._queue.capacity}",
+            )
+        return None
+
+    def _estimate_wait_s(self) -> Optional[float]:
+        """Expected queue wait from depth and the EWMA service time."""
+        ewma = self._ewma_service_s
+        if ewma is None:
+            return None
+        return (self._queue.depth() / self.config.workers) * ewma
+
+    # ------------------------------------------------------------------
+    def _execute(self, req: QueryRequest) -> Outcome:
+        """Run one admitted request (worker thread context)."""
+        now = self._clock()
+        wait_s = now - req.submitted_at
+        remaining = req.remaining_s(now)
+        if remaining is not None and remaining <= 0:
+            # Expired while queued: abort before any engine work.
+            return Outcome(
+                request=req, status=STATUS_REJECTED,
+                rejection=Rejection(
+                    REASON_DEADLINE, "deadline expired while queued"
+                ),
+                wait_s=wait_s,
+            )
+        budget: Optional[Budget] = None
+        if remaining is not None or req.max_iterations is not None:
+            # two_phase() claims the budget (begin_run); the service only
+            # constructs it, so the single-claim invariant holds.
+            budget = Budget(
+                deadline_s=remaining, max_iterations=req.max_iterations
+            )
+        shed = not self.breaker.allow_completion()
+        if shed:
+            self._tally.inc("shed_completions")
+            if obs_runtime._enabled:
+                obs_metrics.counter("serve.shed").inc()
+        spec = get_spec(req.query)
+        t0 = self._clock()
+        with span("serve.request", query=req.query):
+            res = two_phase(
+                self.g, self.proxy, spec, req.source,
+                triangle=req.triangle, budget=budget,
+                anytime=True, completion=not shed,
+            )
+        service_s = self._clock() - t0
+
+        alpha = self.config.ewma_alpha
+        with self._cond:
+            prior = self._ewma_service_s
+            self._ewma_service_s = (
+                service_s if prior is None
+                else alpha * service_s + (1.0 - alpha) * prior
+            )
+
+        if shed:
+            status = STATUS_DEGRADED
+        elif res.degraded:
+            status = STATUS_DEGRADED
+            if res.degraded_phase == 2:
+                # Only Completion-Phase blowups feed the breaker: a
+                # Core-Phase abort says the request's budget was tiny,
+                # not that the expensive phase is drowning.
+                self.breaker.record_failure()
+        else:
+            status = STATUS_OK
+            self.breaker.record_success(res.phase2.wall_time)
+        return Outcome(
+            request=req, status=status, result=res, shed=shed,
+            wait_s=wait_s, service_s=service_s,
+        )
+
+    # ------------------------------------------------------------------
+    def _resolve(self, req: QueryRequest, outcome: Outcome) -> None:
+        """Deliver a terminal outcome exactly once; all accounting lives here."""
+        with self._cond:
+            ticket = self._tickets.pop(req.id, None)
+        if ticket is None:
+            return  # already resolved (e.g. crash after a late resolve)
+        if outcome.status == STATUS_OK:
+            self._tally.inc("completed")
+        elif outcome.status == STATUS_DEGRADED:
+            self._tally.inc("degraded")
+        elif outcome.status == STATUS_FAILED:
+            self._tally.inc("failed")
+        else:
+            assert outcome.rejection is not None
+            self._tally.inc(f"rejected_{outcome.rejection.reason}")
+        if outcome.status in (STATUS_OK, STATUS_DEGRADED):
+            self._tally.observe_latency(outcome.service_s)
+        if obs_runtime._enabled:
+            if outcome.status == STATUS_OK:
+                obs_metrics.counter("serve.completed").inc()
+                obs_metrics.histogram("serve.latency_ms").observe(
+                    outcome.service_s * 1000.0
+                )
+            elif outcome.status == STATUS_DEGRADED:
+                obs_metrics.counter("serve.degraded").inc()
+                obs_metrics.histogram("serve.latency_ms").observe(
+                    outcome.service_s * 1000.0
+                )
+            elif outcome.status == STATUS_REJECTED:
+                assert outcome.rejection is not None
+                obs_metrics.counter(
+                    "serve.rejected", reason=outcome.rejection.reason
+                ).inc()
+            obs_journal.emit({
+                "type": "event", "name": "serve.request",
+                "request": req.id, "query": req.query,
+                "status": outcome.status,
+                "reason": (
+                    outcome.rejection.reason if outcome.rejection else None
+                ),
+                "shed": outcome.shed,
+                "attempts": req.attempts,
+                "wait_ms": round(outcome.wait_s * 1000.0, 3),
+                "service_ms": round(outcome.service_s * 1000.0, 3),
+            })
+        ticket.resolve(outcome)
+        with self._cond:
+            self._outstanding -= 1
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    def _on_worker_death(
+        self, wid: int, req: QueryRequest, exc: BaseException
+    ) -> None:
+        """The in-flight request's worker died: requeue once, then poison."""
+        req.attempts += 1
+        req.failures.append(f"{type(exc).__name__}: {exc}")
+        with self._cond:
+            still_open = req.id in self._tickets
+        if not still_open:
+            return  # the crash landed after resolution; nothing to redo
+        if req.attempts >= self.config.max_attempts:
+            self._tally.inc("poisoned")
+            if obs_runtime._enabled:
+                obs_metrics.counter("serve.poisoned").inc()
+            self._resolve(
+                req,
+                Outcome(
+                    request=req, status=STATUS_FAILED,
+                    error="; ".join(req.failures),
+                ),
+            )
+            return
+        self._tally.inc("requeued")
+        if obs_runtime._enabled:
+            obs_metrics.counter("serve.requeued").inc()
+        if not self._queue.requeue(req):
+            self._resolve(
+                req,
+                Outcome(
+                    request=req, status=STATUS_REJECTED,
+                    rejection=Rejection(
+                        REASON_SHUTDOWN,
+                        "service shut down while the request was retried",
+                    ),
+                ),
+            )
+
+    def _on_worker_restart(
+        self, wid: int, exc: Exception, restarts: int
+    ) -> None:
+        self._tally.inc("worker_restarts")
+        if obs_runtime._enabled:
+            obs_metrics.counter("serve.worker.restarts").inc()
+            obs_journal.emit({
+                "type": "event", "name": "serve.worker.restart",
+                "worker": wid, "restarts": restarts,
+                "error": f"{type(exc).__name__}: {exc}",
+            })
+
+    # ------------------------------------------------------------------
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Block until every submitted request has resolved."""
+        deadline = None if timeout is None else self._clock() + timeout
+        with self._cond:
+            while self._outstanding > 0:
+                wait = None
+                if deadline is not None:
+                    wait = deadline - self._clock()
+                    if wait <= 0:
+                        return False
+                self._cond.wait(wait)
+        return True
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop admitting, resolve the backlog as shutdown, stop workers."""
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+        for req in self._queue.close():
+            self._resolve(
+                req,
+                Outcome(
+                    request=req, status=STATUS_REJECTED,
+                    rejection=Rejection(
+                        REASON_SHUTDOWN, "service closed before execution"
+                    ),
+                ),
+            )
+        self._pool.stop(timeout)
+        if obs_runtime._enabled:
+            obs_journal.emit({
+                "type": "event", "name": "serve.stats",
+                **self.stats().to_dict(),
+            })
+
+    # ------------------------------------------------------------------
+    def stats(self) -> ServiceStats:
+        c = self._tally.counts()
+        snap = self.breaker.snapshot()
+        return ServiceStats(
+            submitted=c.get("submitted", 0),
+            admitted=c.get("admitted", 0),
+            rejected_queue_full=c.get("rejected_queue_full", 0),
+            rejected_deadline=c.get("rejected_deadline_unmeetable", 0),
+            rejected_shutdown=c.get("rejected_shutdown", 0),
+            completed=c.get("completed", 0),
+            degraded=c.get("degraded", 0),
+            shed_completions=c.get("shed_completions", 0),
+            failed=c.get("failed", 0),
+            poisoned=c.get("poisoned", 0),
+            requeued=c.get("requeued", 0),
+            worker_restarts=c.get("worker_restarts", 0),
+            breaker_trips=int(snap["trips"]),
+            breaker_state=str(snap["state"]),
+            queue_depth=self._queue.depth(),
+            latency_p50_ms=self._tally.percentile_ms(0.50),
+            latency_p95_ms=self._tally.percentile_ms(0.95),
+        )

@@ -1,0 +1,129 @@
+"""Service-level accounting, independent of the telemetry switch.
+
+The service keeps its own thread-safe tallies (plain ints under a lock)
+so :class:`ServiceStats` is always available — even when telemetry is off
+and nothing feeds the metrics registry. With telemetry on, the same
+increments are mirrored into :mod:`repro.obs.metrics` under the
+``serve.*`` names and summarized as a ``serve.stats`` journal event that
+``repro-coregraph obs report`` renders in its Resilience table.
+
+The load-bearing identity is :meth:`ServiceStats.lost`::
+
+    lost = submitted - (ok + degraded + failed + rejected)
+
+Zero lost requests is the chaos invariant: every admitted request
+resolves, even across worker kills, breaker trips, and shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+
+@dataclass
+class ServiceStats:
+    """Point-in-time snapshot of a :class:`~repro.serve.service.QueryService`."""
+
+    submitted: int = 0
+    admitted: int = 0
+    rejected_queue_full: int = 0
+    rejected_deadline: int = 0
+    rejected_shutdown: int = 0
+    completed: int = 0
+    degraded: int = 0
+    shed_completions: int = 0
+    failed: int = 0
+    poisoned: int = 0
+    requeued: int = 0
+    worker_restarts: int = 0
+    breaker_trips: int = 0
+    breaker_state: str = "closed"
+    queue_depth: int = 0
+    latency_p50_ms: Optional[float] = None
+    latency_p95_ms: Optional[float] = None
+
+    @property
+    def rejected(self) -> int:
+        return (
+            self.rejected_queue_full
+            + self.rejected_deadline
+            + self.rejected_shutdown
+        )
+
+    @property
+    def resolved(self) -> int:
+        """Requests that reached a terminal outcome."""
+        return self.completed + self.degraded + self.failed + self.rejected
+
+    @property
+    def lost(self) -> int:
+        """Submitted requests with no terminal outcome (must be 0 at rest)."""
+        return self.submitted - self.resolved
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "submitted": self.submitted,
+            "admitted": self.admitted,
+            "completed": self.completed,
+            "degraded": self.degraded,
+            "shed_completions": self.shed_completions,
+            "failed": self.failed,
+            "poisoned": self.poisoned,
+            "rejected_queue_full": self.rejected_queue_full,
+            "rejected_deadline": self.rejected_deadline,
+            "rejected_shutdown": self.rejected_shutdown,
+            "requeued": self.requeued,
+            "worker_restarts": self.worker_restarts,
+            "breaker_trips": self.breaker_trips,
+            "breaker_state": self.breaker_state,
+            "queue_depth": self.queue_depth,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p95_ms": self.latency_p95_ms,
+            "lost": self.lost,
+        }
+
+    def render(self) -> str:
+        """Aligned text table (the ``serve --smoke`` report)."""
+        rows = self.to_dict()
+        width = max(len(k) for k in rows)
+        return "\n".join(
+            f"{k:{width}s}  {'-' if v is None else v}" for k, v in rows.items()
+        )
+
+
+class Tally:
+    """Thread-safe counters + a bounded latency reservoir for percentiles."""
+
+    def __init__(self, latency_window: int = 512) -> None:
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self._latencies_ms: List[float] = []
+        self._latency_window = latency_window
+
+    def inc(self, key: str, amount: int = 1) -> None:
+        with self._lock:
+            self._counts[key] = self._counts.get(key, 0) + amount
+
+    def get(self, key: str) -> int:
+        with self._lock:
+            return self._counts.get(key, 0)
+
+    def observe_latency(self, service_s: float) -> None:
+        with self._lock:
+            self._latencies_ms.append(service_s * 1000.0)
+            if len(self._latencies_ms) > self._latency_window:
+                del self._latencies_ms[: -self._latency_window]
+
+    def percentile_ms(self, q: float) -> Optional[float]:
+        with self._lock:
+            if not self._latencies_ms:
+                return None
+            ordered = sorted(self._latencies_ms)
+            idx = min(len(ordered) - 1, int(q * len(ordered)))
+            return ordered[idx]
+
+    def counts(self) -> Dict[str, int]:
+        with self._lock:
+            return dict(self._counts)

@@ -62,3 +62,72 @@ def test_truth_cached_and_correct():
 
     assert np.array_equal(t, evaluate_query(g, SSSP, 0))
     assert get_truth("PK", "SSSP", 0) is t
+
+
+class TestConcurrentAccess:
+    """Single-flight under concurrency: one build, no torn reads.
+
+    Regression test for the serve worker pool sharing these caches — a
+    pre-lock race double-built CGs and could surface half-registered
+    entries.
+    """
+
+    def test_concurrent_get_graph_builds_once(self, monkeypatch):
+        import threading
+        import time
+
+        from repro.generators.random_graphs import random_weighted_graph
+        import repro.harness.cache as cache_mod
+
+        builds = []
+
+        def slow_load(name):
+            builds.append(name)
+            time.sleep(0.02)  # widen the race window
+            return random_weighted_graph(50, 200, seed=1)
+
+        monkeypatch.setattr(cache_mod, "load_zoo_graph", slow_load)
+        results = []
+        threads = [
+            threading.Thread(target=lambda: results.append(get_graph("PK")))
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert len(results) == 8
+        assert all(r is results[0] for r in results)
+
+    def test_concurrent_get_cg_builds_once(self, monkeypatch):
+        import threading
+        import time
+
+        from repro.generators.random_graphs import random_weighted_graph
+        import repro.harness.cache as cache_mod
+
+        g = random_weighted_graph(50, 200, seed=1)
+        monkeypatch.setattr(cache_mod, "load_zoo_graph", lambda name: g)
+        real_build = cache_mod.build_cg
+        builds = []
+
+        def slow_build(*args, **kwargs):
+            builds.append(1)
+            time.sleep(0.02)
+            return real_build(*args, **kwargs)
+
+        monkeypatch.setattr(cache_mod, "build_cg", slow_build)
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(get_cg("PK", SSSP, num_hubs=3))
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r is results[0] for r in results)

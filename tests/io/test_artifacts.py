@@ -64,3 +64,64 @@ def test_manifest(tmp_path, medium_graph):
     assert len(manifest) == 1
     path = cache.write_manifest()
     assert path.exists()
+
+
+class TestConcurrentAccess:
+    """One ArtifactCache shared by many threads builds each key once."""
+
+    def test_concurrent_graph_builds_once(self, tmp_path, medium_graph):
+        import threading
+        import time
+
+        cache = ArtifactCache(tmp_path)
+        builds = []
+
+        def slow_build():
+            builds.append(1)
+            time.sleep(0.02)
+            return medium_graph
+
+        results = []
+        threads = [
+            threading.Thread(
+                target=lambda: results.append(cache.graph("m", slow_build))
+            )
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(builds) == 1
+        assert all(r == medium_graph for r in results)
+
+    def test_concurrent_invalidate_vs_read_is_safe(
+        self, tmp_path, medium_graph
+    ):
+        import threading
+
+        cache = ArtifactCache(tmp_path)
+        cache.graph("m", lambda: medium_graph)
+        errors = []
+
+        def reader():
+            try:
+                for _ in range(10):
+                    cache.graph("m", lambda: medium_graph)
+            except Exception as exc:  # noqa: BLE001 - recording, then failing
+                errors.append(exc)
+
+        def evictor():
+            try:
+                for _ in range(10):
+                    cache.invalidate("graph", "m")
+            except Exception as exc:  # noqa: BLE001 - recording, then failing
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        threads.append(threading.Thread(target=evictor))
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert errors == []

@@ -5,13 +5,15 @@ import time
 import numpy as np
 import pytest
 
+from repro.core.dispatch import build_cg
+from repro.core.twophase import two_phase
 from repro.engines.async_engine import async_evaluate
 from repro.engines.batch import evaluate_batch
 from repro.engines.delta_stepping import delta_stepping
 from repro.engines.frontier import evaluate_query, run_push
 from repro.engines.scalar import scalar_evaluate
 from repro.queries import SSSP
-from repro.resilience import Budget, BudgetExceeded
+from repro.resilience import Budget, BudgetExceeded, BudgetReuseError
 
 
 class TestBudgetObject:
@@ -123,3 +125,50 @@ class TestEnginesEnforceBudget:
         after_first = b.iterations
         evaluate_query(tiny_graph, SSSP, 0, budget=b)
         assert b.iterations == 2 * after_first
+
+
+class TestBudgetReuse:
+    """A started budget cannot silently back a second top-level run."""
+
+    def test_begin_run_claims_once(self):
+        b = Budget(max_iterations=10)
+        b.begin_run("first")
+        with pytest.raises(BudgetReuseError, match="reset"):
+            b.begin_run("second")
+
+    def test_started_budget_cannot_be_claimed(self):
+        # Even without a prior claim: a running clock means the new run
+        # would inherit elapsed time.
+        b = Budget(deadline_s=60.0).start()
+        with pytest.raises(BudgetReuseError):
+            b.begin_run()
+
+    def test_reset_recycles(self):
+        b = Budget(max_iterations=5)
+        b.begin_run()
+        b.tick("x")
+        b.reset()
+        assert b.iterations == 0
+        b.begin_run()  # no raise after an explicit reset
+        b.tick("x")
+        assert b.iterations == 1
+
+    def test_reuse_error_is_not_a_budget_exceeded(self):
+        # Handlers catching BudgetExceeded (a RuntimeError) must never
+        # absorb the caller bug.
+        assert not issubclass(BudgetReuseError, RuntimeError)
+        assert issubclass(BudgetReuseError, ValueError)
+
+    def test_two_phase_rejects_shared_budget(self, tiny_graph):
+        cg = build_cg(tiny_graph, SSSP, num_hubs=2)
+        b = Budget(max_iterations=10_000)
+        two_phase(tiny_graph, cg, SSSP, 0, budget=b)
+        with pytest.raises(BudgetReuseError):
+            two_phase(tiny_graph, cg, SSSP, 0, budget=b)
+
+    def test_two_phase_accepts_reset_budget(self, tiny_graph):
+        cg = build_cg(tiny_graph, SSSP, num_hubs=2)
+        b = Budget(max_iterations=10_000)
+        first = two_phase(tiny_graph, cg, SSSP, 0, budget=b)
+        second = two_phase(tiny_graph, cg, SSSP, 0, budget=b.reset())
+        assert np.array_equal(first.values, second.values)

@@ -125,3 +125,86 @@ class TestDecorator:
 
         assert flaky() == "done"
         assert len(calls) == 2
+
+
+class TestDeadlineAwareRetry:
+    """Backoff must respect the caller's deadline or budget."""
+
+    def test_sleep_capped_to_deadline(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(flaky, attempts=3, base_delay=10.0,
+                         deadline_s=0.5, sleep=sleeps.append)
+        assert out == "ok"
+        assert len(sleeps) == 1
+        assert sleeps[0] <= 0.5  # capped, not the 10s schedule entry
+
+    def test_expired_deadline_skips_retry_and_reraises(self):
+        label = "test.retry.deadline"
+        before = obs_metrics.counter(
+            "resilience.retry.deadline_skips", label=label
+        ).value
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise OSError("transient")
+
+        with pytest.raises(OSError):
+            retry_call(always, attempts=5, deadline_s=0.0, label=label,
+                       sleep=lambda _: None)
+        assert len(calls) == 1  # no time left: no second attempt
+        assert obs_metrics.counter(
+            "resilience.retry.deadline_skips", label=label
+        ).value == before + 1
+
+    def test_budget_remaining_caps_sleep(self):
+        from repro.resilience.budget import Budget
+
+        budget = Budget(deadline_s=0.25).start()
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 2:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(flaky, attempts=3, base_delay=5.0,
+                         budget=budget, sleep=sleeps.append)
+        assert out == "ok"
+        assert sleeps and sleeps[0] <= 0.25
+
+    def test_exhausted_budget_abandons(self):
+        from repro.resilience.budget import Budget
+
+        budget = Budget(deadline_s=0.0).start()
+        calls = []
+
+        def always():
+            calls.append(1)
+            raise OSError("transient")
+
+        with pytest.raises(OSError):
+            retry_call(always, attempts=4, budget=budget,
+                       sleep=lambda _: None)
+        assert len(calls) == 1
+
+    def test_no_deadline_keeps_full_schedule(self):
+        sleeps = []
+
+        def always():
+            raise OSError("x")
+
+        with pytest.raises(OSError):
+            retry_call(always, attempts=3, base_delay=0.1,
+                       sleep=sleeps.append)
+        assert sleeps == [0.1, 0.2]

@@ -1,0 +1,28 @@
+"""Shared graph/CG pair for the service tests (built once per module)."""
+
+import pytest
+
+from repro.core.dispatch import build_cg
+from repro.generators.random_graphs import random_weighted_graph
+from repro.queries import SSSP
+
+
+@pytest.fixture(scope="package")
+def serve_graph():
+    return random_weighted_graph(300, 2400, seed=7)
+
+
+@pytest.fixture(scope="package")
+def serve_cg(serve_graph):
+    return build_cg(serve_graph, SSSP, num_hubs=8)
+
+
+@pytest.fixture(scope="package")
+def phase1_iterations(serve_graph, serve_cg):
+    """Core-Phase iteration count for source 0 — the knob the breaker
+    tests use to make the Completion Phase (and only it) blow its budget."""
+    from repro.core.twophase import two_phase
+
+    res = two_phase(serve_graph, serve_cg, SSSP, 0)
+    assert not res.degraded
+    return res.phase1.iterations

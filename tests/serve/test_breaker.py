@@ -1,0 +1,119 @@
+"""CircuitBreaker transitions, deterministic via an injectable clock."""
+
+from repro.serve.breaker import CLOSED, HALF_OPEN, OPEN, CircuitBreaker
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+def make(clock, **kw):
+    kw.setdefault("failure_threshold", 3)
+    kw.setdefault("cooldown_s", 10.0)
+    return CircuitBreaker(clock=clock, **kw)
+
+
+class TestConsecutiveFailureTrip:
+    def test_trips_at_threshold(self):
+        b = make(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 1
+
+    def test_success_resets_the_streak(self):
+        b = make(FakeClock())
+        b.record_failure()
+        b.record_failure()
+        b.record_success(0.01)
+        b.record_failure()
+        b.record_failure()
+        assert b.state == CLOSED
+
+    def test_open_sheds_completions(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        assert not b.allow_completion()
+        clock.advance(5.0)  # still inside the cooldown
+        assert not b.allow_completion()
+
+
+class TestProbeSchedule:
+    def test_cooldown_half_opens_one_probe(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow_completion()  # the probe
+        assert b.state == HALF_OPEN
+        assert b.probes == 1
+        assert not b.allow_completion()  # only one probe at a time
+
+    def test_probe_success_closes(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow_completion()
+        b.record_success(0.01)
+        assert b.state == CLOSED
+        assert b.allow_completion()
+
+    def test_probe_failure_reopens_and_restarts_cooldown(self):
+        clock = FakeClock()
+        b = make(clock)
+        for _ in range(3):
+            b.record_failure()
+        clock.advance(10.0)
+        assert b.allow_completion()
+        b.record_failure()
+        assert b.state == OPEN
+        assert b.trips == 2
+        clock.advance(9.0)
+        assert not b.allow_completion()  # cooldown restarted at reopen
+        clock.advance(1.0)
+        assert b.allow_completion()
+
+
+class TestLatencyTrip:
+    def test_p95_over_threshold_trips(self):
+        b = make(FakeClock(), latency_threshold_s=0.1, min_samples=4)
+        for _ in range(4):
+            b.record_success(0.5)
+        assert b.state == OPEN
+        assert b.trips == 1
+
+    def test_fast_completions_never_trip(self):
+        b = make(FakeClock(), latency_threshold_s=0.1, min_samples=4)
+        for _ in range(20):
+            b.record_success(0.01)
+        assert b.state == CLOSED
+
+    def test_below_min_samples_never_trips(self):
+        b = make(FakeClock(), latency_threshold_s=0.1, min_samples=8)
+        for _ in range(7):
+            b.record_success(9.0)
+        assert b.state == CLOSED
+
+
+class TestSnapshot:
+    def test_snapshot_fields(self):
+        b = make(FakeClock())
+        b.record_failure()
+        snap = b.snapshot()
+        assert snap["state"] == CLOSED
+        assert snap["consecutive_failures"] == 1
+        assert snap["trips"] == 0

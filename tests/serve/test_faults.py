@@ -1,0 +1,118 @@
+"""Worker supervision under injected faults: restart, requeue, poison.
+
+The chaos invariant throughout: every submitted request resolves to a
+full result, a certified degraded result, or a typed error — never a
+hang or a silent drop (``stats.lost == 0``).
+"""
+
+from repro.resilience import faults
+from repro.serve import (
+    STATUS_FAILED,
+    STATUS_OK,
+    QueryService,
+    ServiceConfig,
+)
+
+import pytest
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def service(g, cg, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("queue_capacity", 128)
+    return QueryService(g, cg, ServiceConfig(**kw))
+
+
+class TestWorkerRestart:
+    def test_killed_worker_restarts_and_request_retries(
+        self, serve_graph, serve_cg
+    ):
+        faults.install("serve.worker.request", "crash", at_hit=2)
+        with service(serve_graph, serve_cg) as svc:
+            tickets = [svc.submit("SSSP", source=s) for s in range(6)]
+            outcomes = [t.result(timeout=30.0) for t in tickets]
+        assert all(o.status == STATUS_OK for o in outcomes)
+        stats = svc.stats()
+        assert stats.worker_restarts == 1
+        assert stats.requeued == 1
+        assert stats.completed == 6
+        assert stats.lost == 0
+
+    def test_retried_request_records_first_failure(
+        self, serve_graph, serve_cg
+    ):
+        faults.install("serve.worker.request", "crash", at_hit=1)
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            out = svc.submit("SSSP", source=0).result(timeout=30.0)
+        assert out.status == STATUS_OK
+        assert out.request.attempts == 1
+        assert "InjectedCrash" in out.request.failures[0]
+
+    def test_io_error_also_triggers_supervision(self, serve_graph, serve_cg):
+        faults.install("serve.worker.request", "ioerror", at_hit=1)
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            out = svc.submit("SSSP", source=0).result(timeout=30.0)
+        assert out.status == STATUS_OK
+        assert svc.stats().worker_restarts == 1
+        assert svc.stats().lost == 0
+
+
+class TestPoisonedRequests:
+    def test_request_failing_twice_returns_structured_error(
+        self, serve_graph, serve_cg
+    ):
+        # repeat=True: the fault fires on every execution attempt, so the
+        # same request dies on its retry too — the poison path.
+        faults.install("serve.worker.request", "crash", at_hit=1, repeat=True)
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            out = svc.submit("SSSP", source=0).result(timeout=30.0)
+        assert out.status == STATUS_FAILED
+        assert out.result is None
+        assert out.error is not None
+        assert out.error.count("InjectedCrash") == 2
+        assert out.request.attempts == 2
+        stats = svc.stats()
+        assert stats.poisoned == 1
+        assert stats.failed == 1
+        assert stats.requeued == 1
+        assert stats.lost == 0
+
+    def test_poison_does_not_block_healthy_requests(
+        self, serve_graph, serve_cg
+    ):
+        # One mid-burst kill: the victim requeues at the front of its
+        # class and succeeds on retry; everything else is untouched.
+        faults.install("serve.worker.request", "crash", at_hit=3)
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            tickets = [svc.submit("SSSP", source=s) for s in range(6)]
+            outcomes = [t.result(timeout=30.0) for t in tickets]
+        statuses = [o.status for o in outcomes]
+        assert statuses.count(STATUS_OK) == 6
+        assert svc.stats().lost == 0
+
+
+class TestChaosStorm:
+    def test_zero_lost_requests_under_repeated_kills(
+        self, serve_graph, serve_cg
+    ):
+        # A crash every 5th execution across a 40-request burst: workers
+        # die and restart throughout, yet every ticket resolves.
+        faults.install("serve.worker.request", "crash", at_hit=5)
+        with service(serve_graph, serve_cg, workers=3) as svc:
+            tickets = [
+                svc.submit("SSSP", source=s % 16, priority=s % 3)
+                for s in range(40)
+            ]
+            assert svc.drain(timeout=60.0)
+            outcomes = [t.result(timeout=1.0) for t in tickets]
+        assert len(outcomes) == 40
+        stats = svc.stats()
+        assert stats.lost == 0
+        assert stats.completed + stats.degraded + stats.failed \
+            + stats.rejected == 40

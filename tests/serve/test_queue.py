@@ -1,0 +1,100 @@
+"""AdmissionQueue: bounded, priority-ordered, requeue-at-front, closable."""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import AdmissionQueue
+from repro.serve.request import QueryRequest
+
+
+def req(i, priority=0):
+    return QueryRequest(query="SSSP", source=0, priority=priority, id=i)
+
+
+class TestOrdering:
+    def test_priority_pops_first(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(req(1, priority=0))
+        q.offer(req(2, priority=5))
+        q.offer(req(3, priority=1))
+        assert [q.pop(0).id for _ in range(3)] == [2, 3, 1]
+
+    def test_fifo_within_priority_class(self):
+        q = AdmissionQueue(capacity=8)
+        for i in range(1, 5):
+            q.offer(req(i, priority=2))
+        assert [q.pop(0).id for _ in range(4)] == [1, 2, 3, 4]
+
+    def test_requeue_jumps_its_priority_class(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(req(1))
+        q.offer(req(2))
+        retried = q.pop(0)
+        assert retried.id == 1
+        q.requeue(retried)
+        # The retried request goes ahead of id=2, not behind it.
+        assert q.pop(0).id == 1
+        assert q.pop(0).id == 2
+
+    def test_requeue_does_not_outrank_higher_priority(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(req(1, priority=0))
+        q.offer(req(2, priority=9))
+        low = q.pop(0)
+        assert low.id == 2
+        q.requeue(low)
+        q.offer(req(3, priority=9))
+        assert q.pop(0).id == 2  # requeued, front of the p=9 class
+        assert q.pop(0).id == 3
+
+
+class TestBoundsAndShutdown:
+    def test_capacity_bound_rejects(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.offer(req(1))
+        assert q.offer(req(2))
+        assert not q.offer(req(3))
+        assert q.depth() == 2
+
+    def test_requeue_exempt_from_capacity(self):
+        # The in-flight request conceptually still held its slot.
+        q = AdmissionQueue(capacity=1)
+        q.offer(req(1))
+        popped = q.pop(0)
+        assert q.offer(req(2))
+        assert q.requeue(popped)
+        assert q.depth() == 2
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            AdmissionQueue(capacity=0)
+
+    def test_pop_timeout_returns_none(self):
+        q = AdmissionQueue(capacity=2)
+        assert q.pop(timeout=0.01) is None
+
+    def test_close_returns_leftovers_and_refuses_offers(self):
+        q = AdmissionQueue(capacity=8)
+        q.offer(req(1))
+        q.offer(req(2))
+        leftovers = q.close()
+        assert {r.id for r in leftovers} == {1, 2}
+        assert q.depth() == 0
+        assert not q.offer(req(3))
+        assert not q.requeue(req(4))
+        assert q.pop(timeout=0.01) is None
+
+    def test_close_wakes_blocked_poppers(self):
+        q = AdmissionQueue(capacity=2)
+        got = []
+
+        def popper():
+            got.append(q.pop(timeout=5.0))
+
+        t = threading.Thread(target=popper)
+        t.start()
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert got == [None]
