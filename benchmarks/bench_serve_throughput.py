@@ -11,9 +11,14 @@ Two entry points:
 * ``pytest benchmarks/bench_serve_throughput.py --benchmark-only`` —
   pytest-benchmark timings per load level;
 * ``PYTHONPATH=src python benchmarks/bench_serve_throughput.py`` —
-  standalone run that records the sweep into ``benchmarks/BENCH_pr5.json``
+  standalone run that records the sweep into ``benchmarks/BENCH_pr6.json``
   (the committed BENCH_* schema: id/title/datetime/machine/benchmarks/
   journals/notes).
+
+Each load level now captures the *full* service-latency and queue-wait
+distributions from the service's streaming histograms (count/mean/p50/p90/
+p95/p99/max), not just the two reservoir percentiles of earlier PRs — so
+the committed artifact shows how the tail moves as offered load grows.
 """
 
 from __future__ import annotations
@@ -61,7 +66,24 @@ def _burst(g, cg, multiple: int) -> dict:
         "elapsed_s": elapsed,
         "throughput_rps": served / elapsed,
         "shed_rate": stats.rejected / offered,
+        "latency_ms": _hist_digest(svc.latency_snapshot()),
+        "queue_wait_ms": _hist_digest(svc.wait_snapshot()),
     }
+
+
+def _hist_digest(snap) -> dict:
+    """count/mean/percentiles/max of a streaming-histogram snapshot."""
+    digest = {"count": snap.count}
+    if snap.count:
+        digest.update({
+            "mean": round(snap.mean, 3),
+            "p50": round(snap.quantile(0.50), 3),
+            "p90": round(snap.quantile(0.90), 3),
+            "p95": round(snap.quantile(0.95), 3),
+            "p99": round(snap.quantile(0.99), 3),
+            "max": round(snap.max, 3),
+        })
+    return digest
 
 
 # ----------------------------------------------------------------------
@@ -88,7 +110,7 @@ def test_serve_throughput(benchmark, serve_pair, multiple):
 
 
 # ----------------------------------------------------------------------
-# standalone BENCH_pr5.json writer
+# standalone BENCH_pr6.json writer
 # ----------------------------------------------------------------------
 def _machine() -> dict:
     import platform
@@ -135,14 +157,19 @@ def main() -> int:
             "rejected": last["rejected"],
             "throughput_rps": round(last["throughput_rps"], 1),
             "shed_rate": round(last["shed_rate"], 4),
+            "latency_ms": last["latency_ms"],
+            "queue_wait_ms": last["queue_wait_ms"],
         }
+        lat = last["latency_ms"]
         print(f"{multiple:>3}x: offered={last['offered']:<4} "
               f"throughput={last['throughput_rps']:8.1f}/s "
-              f"shed={last['shed_rate']:.1%}")
+              f"shed={last['shed_rate']:.1%} "
+              f"latency p50={lat.get('p50', 0):.1f}ms "
+              f"p99={lat.get('p99', 0):.1f}ms")
     payload = {
-        "id": "BENCH_pr5",
-        "title": "repro.serve saturation sweep: throughput and shed rate "
-                 "at 1x/4x/16x offered load",
+        "id": "BENCH_pr6",
+        "title": "repro.serve saturation sweep: throughput, shed rate, and "
+                 "full latency distributions at 1x/4x/16x offered load",
         "datetime": datetime.now(timezone.utc).isoformat(),
         "machine": _machine(),
         "benchmarks": rows,
@@ -156,10 +183,13 @@ def main() -> int:
             "queue_full/deadline rejections over offered. The 1x burst "
             "must shed nothing; overloads keep saturation throughput "
             "while shedding the excess at admission (lost == 0 "
-            "throughout)."
+            "throughout). latency_ms / queue_wait_ms digests come from "
+            "the service's log-bucketed streaming histograms "
+            "(repro.obs.live.hist) over the whole burst, ~2.5% relative "
+            "error per quantile."
         ),
     }
-    out = Path(__file__).resolve().parent / "BENCH_pr5.json"
+    out = Path(__file__).resolve().parent / "BENCH_pr6.json"
     atomic_write_text(out, json.dumps(payload, indent=2) + "\n")
     print(f"wrote {out}")
     return 0

@@ -364,7 +364,8 @@ class RC005RegisteredNames(Rule):
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for call in _calls(ctx.tree):
-            if _call_named(call, "counter", "gauge", "histogram"):
+            if _call_named(call, "counter", "gauge", "histogram",
+                           "stream_hist"):
                 # Only metric-registry receivers; `time.perf_counter()`
                 # has no string first argument so it falls through.
                 name = _str_const(call.args[0]) if call.args else None
@@ -613,25 +614,31 @@ class RC010FaultSite(Rule):
     The failure-mode suite and CI's crash/resume smoke kill engines at
     named ``fault_point`` sites; an evaluator without one is untestable
     under injected faults and silently escapes that coverage. The same
-    holds for ``repro.serve`` worker loops: the chaos-service CI step can
-    only prove worker supervision (restart + requeue) if every loop that
-    pops and executes requests declares a kill site.
+    holds for ``repro.serve`` worker loops (the chaos-service CI step can
+    only prove worker supervision if every loop that pops and executes
+    requests declares a kill site) and for the ``repro.obs.live``
+    background threads — the sampling profiler and scrape exporter run
+    unattended for the whole process lifetime, so their loops must be
+    killable in chaos tests too.
     """
 
     id = "RC010"
     title = "engine function has no fault_point site"
-    scopes = ("repro.engines.", "repro.serve.")
+    scopes = ("repro.engines.", "repro.serve.", "repro.obs.live.")
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
             if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
                 continue
             # An engine loop gathers edges or ticks a budget; a serve
-            # worker loop pops requests or runs two_phase directly.
+            # worker loop pops requests or runs two_phase directly; an
+            # obs.live background loop samples stacks or serves scrapes.
             has_engine_loop = any(
                 isinstance(inner, ast.While)
                 and any(
-                    _call_named(c, "ragged_gather", "tick", "pop", "two_phase")
+                    _call_named(c, "ragged_gather", "tick", "pop",
+                                "two_phase", "_sample_once",
+                                "handle_request")
                     for c in _calls(inner)
                 )
                 for inner in ast.walk(node)

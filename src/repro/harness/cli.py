@@ -367,6 +367,10 @@ def _cmd_serve(args) -> int:
     svc = QueryService(g, cg, cfg)
     start = time.perf_counter()
     with svc:
+        if args.export_port is not None:
+            exporter = svc.start_exporter(port=args.export_port)
+            print(f"exporter: {exporter.url('/metrics')} "
+                  f"(/healthz, /statz)", flush=True)
         tickets = [
             svc.submit(
                 spec.name,
@@ -379,7 +383,13 @@ def _cmd_serve(args) -> int:
             for i in range(args.requests)
         ]
         drained = svc.drain(timeout=args.timeout)
-    elapsed = time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        if args.export_port is not None and args.linger > 0:
+            # Keep the endpoints up for outside scrapers (the CI smoke
+            # curls /metrics while the drained service lingers).
+            print(f"lingering {args.linger:.0f}s for scrapers...",
+                  flush=True)
+            time.sleep(args.linger)
     stats = svc.stats()
     print(stats.render())
     unresolved = sum(1 for t in tickets if not t.done())
@@ -479,6 +489,104 @@ def _cmd_obs_check(args) -> int:
     return 0
 
 
+def _cmd_obs_top(args) -> int:
+    """Live terminal dashboard over a running exporter endpoint."""
+    import json
+    import re as _re
+    import time
+    import urllib.error
+    import urllib.request
+
+    from repro.obs.live import prom
+
+    base = args.endpoint
+    if "://" not in base:
+        base = f"http://{base}"
+    base = base.rstrip("/")
+
+    def fetch(path: str):
+        try:
+            with urllib.request.urlopen(
+                base + path, timeout=args.timeout
+            ) as resp:
+                return resp.status, resp.read().decode("utf-8")
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read().decode("utf-8", "replace")
+
+    span_series = _re.compile(r'\{.*span="([^"]+)".*\}')
+    frames = 0
+    while True:
+        try:
+            health_status, health_body = fetch("/healthz")
+            _, metrics_text = fetch("/metrics")
+            statz_status, statz_body = fetch("/statz")
+        except (urllib.error.URLError, OSError) as exc:
+            print(f"cannot scrape {base}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            fams = prom.parse(metrics_text)
+        except ValueError as exc:
+            print(f"malformed /metrics from {base}: {exc}", file=sys.stderr)
+            return 2
+        lines = [f"== obs top @ {base} "
+                 f"(healthz {health_status}, frame {frames + 1}) =="]
+        try:
+            health = json.loads(health_body)
+            lines.append("health   " + "  ".join(
+                f"{k}={v}" for k, v in sorted(health.items())
+            ))
+        except ValueError:
+            pass
+        if statz_status == 200:
+            statz = json.loads(statz_body)
+            keys = ("submitted", "completed", "degraded", "failed",
+                    "queue_depth", "lost")
+            lines.append("service  " + "  ".join(
+                f"{k}={statz[k]}" for k in keys if k in statz
+            ))
+            p50, p95 = statz.get("latency_p50_ms"), statz.get("latency_p95_ms")
+            if p50 is not None:
+                lines.append(
+                    f"latency  p50={p50:.2f}ms  "
+                    f"p95={(p95 if p95 is not None else p50):.2f}ms"
+                )
+            slo = statz.get("slo") or {}
+            for spec in slo.get("specs", ()):
+                flag = "FIRING" if spec.get("firing") else "ok"
+                lines.append(
+                    f"slo      {spec['name']:<16s} burn_long="
+                    f"{spec['burn_long']:<8g} burn_short="
+                    f"{spec['burn_short']:<8g} {flag}"
+                )
+        for fam, label in (("proc_rss_bytes", "rss_bytes"),
+                           ("proc_threads", "threads"),
+                           ("obs_live_exporter_scrapes_total", "scrapes")):
+            series = fams.get(fam)
+            if series:
+                value = next(iter(series.values()))
+                lines.append(f"proc     {label}={value:g}")
+        counts = fams.get("obs_live_span_ms_count", {})
+        sums = fams.get("obs_live_span_ms_sum", {})
+        span_rows = []
+        for series, count in counts.items():
+            m = span_series.search(series)
+            if m is None or not count:
+                continue
+            total = sums.get(series.replace("_count", "_sum"), 0.0)
+            span_rows.append((total, m.group(1), int(count)))
+        for total, name, count in sorted(span_rows, reverse=True)[:8]:
+            lines.append(
+                f"span     {name:<24s} n={count:<7d} total={total:.1f}ms"
+            )
+        if not args.once:
+            print("\x1b[2J\x1b[H", end="")
+        print("\n".join(lines), flush=True)
+        frames += 1
+        if args.once:
+            return 0
+        time.sleep(args.interval)
+
+
 def _cmd_cache(args) -> int:
     from repro.io.artifacts import ArtifactCache
 
@@ -509,6 +617,13 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a JSONL telemetry journal of this run")
     tele.add_argument("--metrics", action="store_true",
                       help="print span/metrics summary tables on exit")
+    tele.add_argument("--profile", metavar="PATH", default=None,
+                      help="sample stacks for the whole run and write a "
+                           "collapsed-stack flamegraph file here (implies "
+                           "telemetry, for span attribution)")
+    tele.add_argument("--profile-interval", type=float, default=0.005,
+                      metavar="SECONDS",
+                      help="sampling period for --profile (default 5ms)")
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser(
         "list", help="list experiment ids", parents=[tele]
@@ -642,6 +757,14 @@ def build_parser() -> argparse.ArgumentParser:
                          "a half-open probe")
     serve_p.add_argument("--timeout", type=float, default=120.0,
                          help="drain timeout before declaring failure")
+    serve_p.add_argument("--export-port", type=int, default=None,
+                         metavar="PORT",
+                         help="serve /metrics, /healthz, /statz on this "
+                              "port for the duration (0 = ephemeral)")
+    serve_p.add_argument("--linger", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="keep the exporter up this long after the "
+                              "burst drains (for outside scrapers)")
     serve_p.set_defaults(func=_cmd_serve)
 
     # Regression thresholds shared by `obs diff` and `obs check`.
@@ -695,6 +818,19 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write the HTML report with the delta "
                               "table embedded")
     check_p.set_defaults(func=_cmd_obs_check)
+
+    top_p = obs_sub.add_parser(
+        "top", help="live dashboard over a /metrics exporter endpoint")
+    top_p.add_argument("endpoint", nargs="?", default="127.0.0.1:9179",
+                       help="host:port (or URL) of a --export-port process")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       metavar="SECONDS", help="refresh period")
+    top_p.add_argument("--once", action="store_true",
+                       help="print a single frame and exit (no screen "
+                            "clearing; what tests and scripts use)")
+    top_p.add_argument("--timeout", type=float, default=2.0,
+                       metavar="SECONDS", help="per-request scrape timeout")
+    top_p.set_defaults(func=_cmd_obs_top)
     return parser
 
 
@@ -702,11 +838,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     trace_path = getattr(args, "trace", None)
     want_metrics = getattr(args, "metrics", False)
-    if trace_path is None and not want_metrics:
+    profile_path = getattr(args, "profile", None)
+    if trace_path is None and not want_metrics and profile_path is None:
         return args.func(args)
 
     from repro import obs
 
+    profiler = None
+    if profile_path is not None:
+        from repro.obs.live import profile as obs_profile
+
+        profiler = obs_profile.Profiler(
+            interval_s=getattr(args, "profile_interval", 0.005)
+        ).start()
+    snap = None
     with obs.telemetry(
         trace_path=trace_path,
         config=default_config(),
@@ -714,6 +859,18 @@ def main(argv: Optional[List[str]] = None) -> int:
         argv=list(argv) if argv is not None else sys.argv[1:],
     ):
         rc = args.func(args)
+        if profiler is not None:
+            # Stop inside the telemetry context so the profile snapshot
+            # lands in the journal and `obs report` can render it.
+            snap = profiler.stop()
+            obs.journal.emit({
+                "type": "event", "name": "obs.profile", **snap.to_dict(),
+            })
+    if snap is not None:
+        snap.write_collapsed(profile_path)
+        print("\n== profile (self time per span) ==")
+        print(snap.render_table())
+        print(f"collapsed stacks -> {profile_path}")
     if want_metrics:
         print("\n== span summary ==")
         print(obs.spans.render_summary())

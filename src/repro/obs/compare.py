@@ -103,8 +103,10 @@ class Thresholds:
 def _flatten_metrics(snapshot: Dict[str, Any]) -> Dict[str, float]:
     """Final metrics snapshot -> flat name -> number map.
 
-    Histograms contribute ``<name>.count`` and ``<name>.sum``; everything
-    non-numeric is dropped.
+    Histograms contribute ``<name>.count`` and ``<name>.sum``; streaming
+    histograms (:mod:`repro.obs.live.hist`) additionally contribute their
+    instant percentiles, so latency distributions participate in
+    baselines and diffs. Everything non-numeric is dropped.
     """
     flat: Dict[str, float] = {}
     for name, value in snapshot.items():
@@ -113,7 +115,7 @@ def _flatten_metrics(snapshot: Dict[str, Any]) -> Dict[str, float]:
         if isinstance(value, (int, float)):
             flat[name] = float(value)
         elif isinstance(value, dict):
-            for part in ("count", "sum"):
+            for part in ("count", "sum", "p50", "p90", "p95", "p99"):
                 inner = value.get(part)
                 if isinstance(inner, (int, float)):
                     flat[f"{name}.{part}"] = float(inner)

@@ -1,0 +1,301 @@
+"""Declarative SLOs with multi-window burn-rate alerting.
+
+An :class:`SloSpec` states an objective over request outcomes — e.g.
+"99% of requests are neither shed nor failed" — and the tracker turns the
+live outcome stream into a *burn rate*: the error rate divided by the
+error budget ``1 - objective``. Burn 1.0 means the service is spending
+its budget exactly as fast as the objective allows; burn 10 means ten
+times too fast.
+
+Alerting uses the two-window rule from the Google SRE workbook: an alert
+fires only when **both** a long window (sustained damage) and a short
+window (still happening now) burn above the spec's threshold — the long
+window keeps one transient blip from paging, the short window makes the
+alert clear promptly once the bleeding stops. Transitions are emitted as
+``serve.slo.alert`` journal events and mirrored into the metrics
+registry (``serve.slo.burn_rate`` gauge, ``serve.slo.alerts`` counter)
+when telemetry is on; :meth:`SloTracker.statz` always works regardless,
+which is what ``/statz`` serves.
+
+The tracker's clock is injectable, so tests drive transitions
+deterministically; memory is bounded by pruning outcomes older than the
+longest window.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+
+#: Outcome kinds the tracker understands (mirrors serve.request statuses).
+KINDS = ("availability", "latency", "degraded_rate")
+
+
+@dataclass(frozen=True)
+class SloSpec:
+    """One objective over the request-outcome stream.
+
+    ``kind``:
+
+    * ``availability`` — an outcome is bad when it failed or was shed
+      (the paper-degraded Core-Phase answer counts as served; a shed
+      *completion* means the service could not run Phase 2 at all);
+    * ``latency`` — bad when service latency exceeds ``threshold_ms``
+      (outcomes with no latency, i.e. rejections, are excluded);
+    * ``degraded_rate`` — bad when the outcome was degraded for any
+      reason.
+    """
+
+    name: str
+    kind: str
+    objective: float
+    threshold_ms: Optional[float] = None
+    long_window_s: float = 60.0
+    short_window_s: float = 5.0
+    burn_threshold: float = 2.0
+    #: Windows with fewer events than this never fire (cold-start guard).
+    min_events: int = 10
+
+    def __post_init__(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown SLO kind {self.kind!r}; use {KINDS}")
+        if not 0.0 < self.objective < 1.0:
+            raise ValueError("objective must be in (0, 1)")
+        if self.kind == "latency" and self.threshold_ms is None:
+            raise ValueError("latency SLOs need threshold_ms")
+        if self.short_window_s >= self.long_window_s:
+            raise ValueError("short window must be shorter than long window")
+
+    @property
+    def error_budget(self) -> float:
+        return 1.0 - self.objective
+
+    def is_bad(self, outcome: "OutcomeRecord") -> Optional[bool]:
+        """Whether the outcome burns budget; None = not in denominator."""
+        if self.kind == "availability":
+            return outcome.failed or outcome.shed
+        if self.kind == "degraded_rate":
+            return outcome.degraded
+        if outcome.latency_ms is None:
+            return None
+        assert self.threshold_ms is not None
+        return outcome.latency_ms > self.threshold_ms
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "kind": self.kind,
+            "objective": self.objective,
+            "threshold_ms": self.threshold_ms,
+            "long_window_s": self.long_window_s,
+            "short_window_s": self.short_window_s,
+            "burn_threshold": self.burn_threshold,
+        }
+
+
+@dataclass(frozen=True)
+class OutcomeRecord:
+    """One terminal request outcome as the tracker sees it."""
+
+    t: float
+    failed: bool = False
+    degraded: bool = False
+    shed: bool = False
+    latency_ms: Optional[float] = None
+
+
+@dataclass
+class SloState:
+    """Mutable per-spec alert state; rendered into /statz and reports."""
+
+    spec: SloSpec
+    firing: bool = False
+    fired_at: Optional[float] = None
+    transitions: int = 0
+    burn_long: float = 0.0
+    burn_short: float = 0.0
+    events_long: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            **self.spec.to_dict(),
+            "firing": self.firing,
+            "transitions": self.transitions,
+            "burn_long": round(self.burn_long, 4),
+            "burn_short": round(self.burn_short, 4),
+            "events_long": self.events_long,
+        }
+
+
+def default_slos() -> Tuple[SloSpec, ...]:
+    """The stock service SLOs (used by ``serve`` unless overridden)."""
+    return (
+        SloSpec(name="availability", kind="availability", objective=0.99),
+        SloSpec(
+            name="latency_fast", kind="latency", objective=0.95,
+            threshold_ms=250.0,
+        ),
+        SloSpec(
+            name="degraded_rate", kind="degraded_rate", objective=0.90,
+        ),
+    )
+
+
+class SloTracker:
+    """Evaluate burn rates over a bounded window of recent outcomes."""
+
+    def __init__(
+        self,
+        specs: Optional[Sequence[SloSpec]] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.specs: Tuple[SloSpec, ...] = tuple(
+            default_slos() if specs is None else specs
+        )
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._outcomes: Deque[OutcomeRecord] = deque()
+        self._horizon_s = max(
+            (s.long_window_s for s in self.specs), default=60.0
+        )
+        self._states: Dict[str, SloState] = {
+            spec.name: SloState(spec=spec) for spec in self.specs
+        }
+
+    # ------------------------------------------------------------------
+    def record(
+        self,
+        failed: bool = False,
+        degraded: bool = False,
+        shed: bool = False,
+        latency_ms: Optional[float] = None,
+    ) -> None:
+        """Feed one terminal outcome (the service calls this per resolve)."""
+        now = self._clock()
+        rec = OutcomeRecord(
+            t=now, failed=failed, degraded=degraded, shed=shed,
+            latency_ms=latency_ms,
+        )
+        with self._lock:
+            self._outcomes.append(rec)
+            self._prune(now)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self._horizon_s
+        while self._outcomes and self._outcomes[0].t < cutoff:
+            self._outcomes.popleft()
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _burn(
+        spec: SloSpec, outcomes: Sequence[OutcomeRecord],
+        now: float, window_s: float,
+    ) -> Tuple[float, int]:
+        """(burn rate, events considered) for one spec over one window."""
+        cutoff = now - window_s
+        bad = 0
+        total = 0
+        for rec in outcomes:
+            if rec.t < cutoff:
+                continue
+            verdict = spec.is_bad(rec)
+            if verdict is None:
+                continue
+            total += 1
+            if verdict:
+                bad += 1
+        if total == 0:
+            return 0.0, 0
+        error_rate = bad / total
+        return error_rate / spec.error_budget, total
+
+    def evaluate(self) -> List[SloState]:
+        """Recompute burn rates, flip alert states, emit transitions."""
+        now = self._clock()
+        with self._lock:
+            self._prune(now)
+            outcomes = tuple(self._outcomes)
+        fired: List[SloState] = []
+        cleared: List[SloState] = []
+        with self._lock:
+            for spec in self.specs:
+                state = self._states[spec.name]
+                state.burn_long, state.events_long = self._burn(
+                    spec, outcomes, now, spec.long_window_s
+                )
+                state.burn_short, _ = self._burn(
+                    spec, outcomes, now, spec.short_window_s
+                )
+                should_fire = (
+                    state.events_long >= spec.min_events
+                    and state.burn_long >= spec.burn_threshold
+                    and state.burn_short >= spec.burn_threshold
+                )
+                if should_fire and not state.firing:
+                    state.firing = True
+                    state.fired_at = now
+                    state.transitions += 1
+                    fired.append(state)
+                elif state.firing and not should_fire:
+                    state.firing = False
+                    state.transitions += 1
+                    cleared.append(state)
+            states = [self._states[s.name] for s in self.specs]
+        self._publish(states, fired, cleared)
+        return states
+
+    # ------------------------------------------------------------------
+    def _publish(
+        self,
+        states: Sequence[SloState],
+        fired: Sequence[SloState],
+        cleared: Sequence[SloState],
+    ) -> None:
+        """Mirror state into metrics + journal (telemetry-gated)."""
+        if not obs_runtime._enabled:
+            return
+        for state in states:
+            obs_metrics.gauge(
+                "serve.slo.burn_rate", slo=state.spec.name
+            ).set(state.burn_long)
+        for state in fired:
+            obs_metrics.counter(
+                "serve.slo.alerts", slo=state.spec.name
+            ).inc()
+        for state, transition in (
+            [(s, "fire") for s in fired] + [(s, "clear") for s in cleared]
+        ):
+            obs_journal.emit({
+                "type": "event", "name": "serve.slo.alert",
+                "slo": state.spec.name,
+                "transition": transition,
+                "burn_long": round(state.burn_long, 4),
+                "burn_short": round(state.burn_short, 4),
+                "objective": state.spec.objective,
+            })
+
+    # ------------------------------------------------------------------
+    def firing(self) -> List[str]:
+        """Names of currently-firing SLO alerts (after last evaluate)."""
+        with self._lock:
+            return [
+                s.spec.name for s in self._states.values() if s.firing
+            ]
+
+    def statz(self) -> Dict[str, object]:
+        """The /statz ``slo`` block: per-spec state after last evaluate."""
+        with self._lock:
+            states = [self._states[s.name].to_dict() for s in self.specs]
+        return {
+            "specs": states,
+            "firing": [
+                str(s["name"]) for s in states if s["firing"]
+            ],
+        }

@@ -13,9 +13,13 @@ by the :mod:`repro.obs.runtime` guard at the instrumentation points.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Iterable, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.obs.live.hist import StreamingHistogram
 
 LabelSet = Tuple[Tuple[str, str], ...]
+
+MetricObject = Union["Counter", "Gauge", "Histogram", StreamingHistogram]
 
 
 def _label_key(labels: Dict[str, object]) -> LabelSet:
@@ -85,6 +89,7 @@ class MetricsRegistry:
         self._counters: Dict[Tuple[str, LabelSet], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelSet], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelSet], Histogram] = {}
+        self._stream_hists: Dict[Tuple[str, LabelSet], StreamingHistogram] = {}
 
     def counter(self, name: str, **labels: object) -> Counter:
         key = (name, _label_key(labels))
@@ -113,6 +118,22 @@ class MetricsRegistry:
                 metric = self._histograms[key] = Histogram()
                 return metric
 
+    def stream_hist(self, name: str, **labels: object) -> StreamingHistogram:
+        """A mergeable log-bucketed histogram with instant percentiles.
+
+        Use for latency-style distributions that need p50/p95/p99 at any
+        moment (service latency, queue wait, per-span durations); the
+        plain :meth:`histogram` stays for cheap count/sum/min/max
+        accumulation.
+        """
+        key = (name, _label_key(labels))
+        with self._lock:
+            try:
+                return self._stream_hists[key]
+            except KeyError:
+                metric = self._stream_hists[key] = StreamingHistogram()
+                return metric
+
     def aggregate(self, name: str) -> int:
         """Sum of a counter across all of its label sets."""
         with self._lock:
@@ -136,13 +157,38 @@ class MetricsRegistry:
                     "max": h.max if h.count else None,
                     "mean": h.mean,
                 }
+            stream_hists = list(self._stream_hists.items())
+        # Streaming histograms snapshot under their own lock (their
+        # to_dict walks buckets), so render them outside the registry's.
+        for (name, labels), sh in stream_hists:
+            out[format_metric(name, labels)] = sh.to_dict()
         return out
+
+    def collect(self) -> List[Tuple[str, str, LabelSet, MetricObject]]:
+        """Every live metric as ``(kind, name, labels, metric)`` rows.
+
+        ``kind`` is one of ``counter``/``gauge``/``histogram``/
+        ``stream_hist``. The exporter renders from this, so it sees the
+        metric objects themselves rather than a JSON projection.
+        """
+        with self._lock:
+            rows: List[Tuple[str, str, LabelSet, MetricObject]] = []
+            for (name, labels), c in self._counters.items():
+                rows.append(("counter", name, labels, c))
+            for (name, labels), g in self._gauges.items():
+                rows.append(("gauge", name, labels, g))
+            for (name, labels), h in self._histograms.items():
+                rows.append(("histogram", name, labels, h))
+            for (name, labels), sh in self._stream_hists.items():
+                rows.append(("stream_hist", name, labels, sh))
+        return rows
 
     def reset(self) -> None:
         with self._lock:
             self._counters.clear()
             self._gauges.clear()
             self._histograms.clear()
+            self._stream_hists.clear()
 
     def render_table(self) -> str:
         """Aligned text table of the snapshot, sorted by metric name."""
@@ -174,6 +220,10 @@ def gauge(name: str, **labels: object) -> Gauge:
 
 def histogram(name: str, **labels: object) -> Histogram:
     return REGISTRY.histogram(name, **labels)
+
+
+def stream_hist(name: str, **labels: object) -> StreamingHistogram:
+    return REGISTRY.stream_hist(name, **labels)
 
 
 def names(snapshot_keys: Iterable[str]) -> set:

@@ -33,6 +33,8 @@ NAMESPACES: FrozenSet[str] = frozenset({
     "graph",
     "checks",
     "serve",
+    "obs",
+    "proc",
 })
 
 #: Every counter/gauge/histogram name the codebase may record.
@@ -87,6 +89,32 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serve.worker.restarts",
     "serve.queue.depth",
     "serve.latency_ms",
+    # Live observability plane (repro.obs.live): streaming histograms,
+    # exporter, profiler, SLO burn rates.
+    "obs.live.span_ms",
+    "obs.live.exporter.scrapes",
+    "obs.live.exporter.errors",
+    "obs.live.profiler.samples",
+    "obs.live.profiler.dropped",
+    "serve.queue_wait_ms",
+    "serve.slo.burn_rate",
+    "serve.slo.firing",
+    "serve.slo.alerts",
+    # Service-level series the exporter derives from the always-on tally
+    # (never written to the registry, but part of the scraped vocabulary).
+    "serve.submitted",
+    "serve.failed",
+    "serve.workers_alive",
+    "serve.lost",
+    "serve.queue_depth",
+    # Process runtime gauges sampled at scrape time (repro.obs.live.proc).
+    "proc.rss_bytes",
+    "proc.cpu_seconds",
+    "proc.threads",
+    "proc.gc.collections",
+    "proc.gc.collected",
+    "proc.gc.uncollectable",
+    "proc.gc.pause_ms",
 })
 
 #: Every span name (see repro.obs.spans) a ``with span(...)`` may open.
@@ -115,6 +143,8 @@ EVENT_NAMES: FrozenSet[str] = frozenset({
     "serve.breaker",
     "serve.worker.restart",
     "serve.stats",
+    "serve.slo.alert",
+    "obs.profile",
 })
 
 

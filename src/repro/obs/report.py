@@ -142,6 +142,61 @@ def _resilience_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
     return rows
 
 
+def _histogram_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
+    """Streaming-histogram entries of the final metrics snapshot.
+
+    Plain histograms flatten to count/sum elsewhere; the log-bucketed
+    streaming ones (:mod:`repro.obs.live.hist`) carry instant percentiles,
+    recognizable by their ``p50`` key.
+    """
+    snapshot: Dict[str, Any] = {}
+    for ev in events:
+        if ev.get("type") == "metrics":
+            snapshot = ev.get("metrics", {}) or {}
+    rows: List[List[Any]] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        if not isinstance(value, dict) or "p50" not in value:
+            continue
+        rows.append([
+            name, int(value.get("count", 0)),
+            round(float(value.get("mean", 0.0)), 3),
+            round(float(value.get("p50", 0.0)), 3),
+            round(float(value.get("p90", 0.0)), 3),
+            round(float(value.get("p95", 0.0)), 3),
+            round(float(value.get("p99", 0.0)), 3),
+            round(float(value.get("max", 0.0)), 3),
+        ])
+    return rows
+
+
+def _profile_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
+    """Per-span self-time table from the ``obs.profile`` journal event."""
+    profile: Optional[Dict[str, Any]] = None
+    for ev in events:
+        if ev.get("type") == "event" and ev.get("name") == "obs.profile":
+            profile = ev
+    if profile is None:
+        return []
+    self_time = profile.get("self_time") or {}
+    rows: List[List[Any]] = []
+    for label, agg in sorted(
+        self_time.items(),
+        key=lambda kv: kv[1].get("samples", 0), reverse=True,
+    ):
+        rows.append([
+            label, int(agg.get("samples", 0)),
+            f"{100.0 * float(agg.get('share', 0.0)):.1f}%",
+            round(float(agg.get("est_s", 0.0)), 3),
+        ])
+    if rows:
+        rows.append([
+            "(total)", int(profile.get("total_samples", 0)), "100.0%",
+            round(float(profile.get("duration_s", 0.0)), 3),
+        ])
+    return rows
+
+
 def _convergence_rows(
     series: Dict[str, List[Dict[str, Any]]]
 ) -> List[List[Any]]:
@@ -181,6 +236,19 @@ def render_report(events: EventsOrPath, source: str = "") -> str:
         sections.append(_render_table(
             ["event", "what", "detail"], resilience_rows,
             title="Resilience",
+        ))
+    hist_rows = _histogram_rows(events)
+    if hist_rows:
+        sections.append(_render_table(
+            ["histogram", "count", "mean", "p50", "p90", "p95", "p99",
+             "max"],
+            hist_rows, title="Latency distributions (ms)",
+        ))
+    profile_rows = _profile_rows(events)
+    if profile_rows:
+        sections.append(_render_table(
+            ["span", "samples", "share", "est s"], profile_rows,
+            title="Profile self time",
         ))
     if series:
         sections.append(_render_table(
@@ -321,6 +389,15 @@ def render_html(
     if resilience_rows:
         parts += ["<h2>Resilience</h2>", _html_table(
             ["event", "what", "detail"], resilience_rows)]
+    hist_rows = _histogram_rows(events)
+    if hist_rows:
+        parts += ["<h2>Latency distributions (ms)</h2>", _html_table(
+            ["histogram", "count", "mean", "p50", "p90", "p95", "p99",
+             "max"], hist_rows)]
+    profile_rows = _profile_rows(events)
+    if profile_rows:
+        parts += ["<h2>Profile self time</h2>", _html_table(
+            ["span", "samples", "share", "est s"], profile_rows)]
     if series:
         parts += ["<h2>Convergence</h2>", _html_table(
             ["phase", "iterations", "edges", "updates", "peak frontier"],

@@ -25,7 +25,8 @@ Known sites (grep for ``fault_point`` for ground truth):
 ``engine.delta_stepping.round``, ``engine.batch.round``,
 ``engine.async.round``, ``engine.pull.round``, ``twophase.core.begin``,
 ``twophase.completion.begin``, ``checkpoint.save``, ``io.load``,
-``artifacts.read``, ``journal.close``, ``serve.worker.request``.
+``artifacts.read``, ``journal.close``, ``serve.worker.request``,
+``obs.live.profiler.sample``, ``obs.live.exporter.serve``.
 """
 
 from __future__ import annotations

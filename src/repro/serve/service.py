@@ -27,7 +27,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.coregraph import CoreGraph
 from repro.core.twophase import two_phase
@@ -35,6 +35,8 @@ from repro.graph.csr import Graph
 from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
+from repro.obs.live import prom
+from repro.obs.live.slo import SloSpec, SloTracker
 from repro.obs.spans import span
 from repro.queries.registry import get_spec
 from repro.resilience.budget import Budget
@@ -75,6 +77,10 @@ class ServiceConfig:
     breaker_cooldown_s: float = 1.0
     #: EWMA smoothing for the admission-time service estimate.
     ewma_alpha: float = 0.2
+    #: SLO specs tracked by the service (None = :func:`default_slos`).
+    slo_specs: Optional[Sequence[SloSpec]] = None
+    #: Re-evaluate SLO burn rates every N resolved requests.
+    slo_eval_every: int = 32
 
 
 class QueryService:
@@ -101,6 +107,9 @@ class QueryService:
         )
         self._pool = WorkerPool(self, self.config.workers)
         self._tally = Tally()
+        self.slo = SloTracker(self.config.slo_specs, clock=self._clock)
+        self._resolved_since_slo_eval = 0
+        self._exporter: Optional[object] = None
         self._cond = threading.Condition()
         self._tickets: Dict[int, Ticket] = {}
         self._next_id = 0
@@ -285,18 +294,34 @@ class QueryService:
         else:
             assert outcome.rejection is not None
             self._tally.inc(f"rejected_{outcome.rejection.reason}")
+        terminal_latency_ms: Optional[float] = None
         if outcome.status in (STATUS_OK, STATUS_DEGRADED):
+            terminal_latency_ms = outcome.service_s * 1000.0
             self._tally.observe_latency(outcome.service_s)
+            self._tally.observe_wait(outcome.wait_s)
+        self.slo.record(
+            failed=outcome.status == STATUS_FAILED,
+            degraded=outcome.status == STATUS_DEGRADED,
+            shed=outcome.shed,
+            latency_ms=terminal_latency_ms,
+        )
+        self._maybe_evaluate_slo()
         if obs_runtime._enabled:
             if outcome.status == STATUS_OK:
                 obs_metrics.counter("serve.completed").inc()
-                obs_metrics.histogram("serve.latency_ms").observe(
+                obs_metrics.stream_hist("serve.latency_ms").observe(
                     outcome.service_s * 1000.0
+                )
+                obs_metrics.stream_hist("serve.queue_wait_ms").observe(
+                    outcome.wait_s * 1000.0
                 )
             elif outcome.status == STATUS_DEGRADED:
                 obs_metrics.counter("serve.degraded").inc()
-                obs_metrics.histogram("serve.latency_ms").observe(
+                obs_metrics.stream_hist("serve.latency_ms").observe(
                     outcome.service_s * 1000.0
+                )
+                obs_metrics.stream_hist("serve.queue_wait_ms").observe(
+                    outcome.wait_s * 1000.0
                 )
             elif outcome.status == STATUS_REJECTED:
                 assert outcome.rejection is not None
@@ -384,12 +409,23 @@ class QueryService:
                 self._cond.wait(wait)
         return True
 
+    def _maybe_evaluate_slo(self) -> None:
+        """Amortized burn-rate evaluation (every ``slo_eval_every`` resolves)."""
+        with self._cond:
+            self._resolved_since_slo_eval += 1
+            due = self._resolved_since_slo_eval >= self.config.slo_eval_every
+            if due:
+                self._resolved_since_slo_eval = 0
+        if due:
+            self.slo.evaluate()
+
     def close(self, timeout: float = 5.0) -> None:
         """Stop admitting, resolve the backlog as shutdown, stop workers."""
         with self._cond:
             if self._closed:
                 return
             self._closed = True
+        self.stop_exporter()
         for req in self._queue.close():
             self._resolve(
                 req,
@@ -430,3 +466,100 @@ class QueryService:
             latency_p50_ms=self._tally.percentile_ms(0.50),
             latency_p95_ms=self._tally.percentile_ms(0.95),
         )
+
+    def latency_snapshot(self):
+        """Immutable snapshot of the full service-latency distribution."""
+        return self._tally.latency_snapshot()
+
+    def wait_snapshot(self):
+        """Immutable snapshot of the queue-wait distribution."""
+        return self._tally.wait_snapshot()
+
+    # ------------------------------------------------------------------
+    # Live observability plane (scrape exporter + SLO surfaces)
+    # ------------------------------------------------------------------
+    def statz(self) -> Dict[str, object]:
+        """The /statz document: service stats + SLO state, always on."""
+        self.slo.evaluate()
+        doc = dict(self.stats().to_dict())
+        doc["slo"] = self.slo.statz()
+        doc["workers_alive"] = self._pool.alive_count()
+        return doc
+
+    def healthz(self) -> Tuple[bool, Dict[str, object]]:
+        """Liveness: healthy while open with at least one live worker."""
+        with self._cond:
+            closed = self._closed
+        alive = self._pool.alive_count()
+        healthy = not closed and (alive > 0 or not self._started)
+        return healthy, {
+            "workers_alive": alive,
+            "breaker": str(self.breaker.snapshot()["state"]),
+            "queue_depth": self._queue.depth(),
+            "slo_firing": self.slo.firing(),
+        }
+
+    def metric_rows(self) -> List[prom.Row]:
+        """Always-on ``serve.*`` exporter rows from the service tally.
+
+        Independent of the telemetry switch (the tally always counts), so
+        a scraper sees accurate service series even on ``--metrics``-less
+        runs. The exporter gives these rows precedence over the registry's
+        telemetry-gated twins of the same names.
+        """
+        stats = self.stats()
+        rows: List[prom.Row] = [
+            ("counter", "serve.submitted", (), stats.submitted),
+            ("counter", "serve.admitted", (), stats.admitted),
+            ("counter", "serve.completed", (), stats.completed),
+            ("counter", "serve.degraded", (), stats.degraded),
+            ("counter", "serve.shed", (), stats.shed_completions),
+            ("counter", "serve.failed", (), stats.failed),
+            ("counter", "serve.poisoned", (), stats.poisoned),
+            ("counter", "serve.requeued", (), stats.requeued),
+            ("counter", "serve.worker.restarts", (), stats.worker_restarts),
+            ("counter", "serve.rejected", (("reason", "queue_full"),),
+             stats.rejected_queue_full),
+            ("counter", "serve.rejected", (("reason", "deadline_unmeetable"),),
+             stats.rejected_deadline),
+            ("counter", "serve.rejected", (("reason", "shutdown"),),
+             stats.rejected_shutdown),
+            ("gauge", "serve.queue_depth", (), stats.queue_depth),
+            ("gauge", "serve.workers_alive", (), self._pool.alive_count()),
+            ("gauge", "serve.breaker.trips", (), stats.breaker_trips),
+            ("gauge", "serve.lost", (), stats.lost),
+            ("stream_hist", "serve.latency_ms", (),
+             self._tally.latency_histogram()),
+            ("stream_hist", "serve.queue_wait_ms", (),
+             self._tally.wait_histogram()),
+        ]
+        for state in self.slo.evaluate():
+            labels = (("slo", state.spec.name),)
+            rows.append(
+                ("gauge", "serve.slo.burn_rate", labels, state.burn_long)
+            )
+            rows.append(
+                ("gauge", "serve.slo.firing", labels, float(state.firing))
+            )
+        return rows
+
+    def start_exporter(self, port: int = 0, host: str = "127.0.0.1"):
+        """Start (or return) the /metrics endpoint for this service."""
+        if self._exporter is not None:
+            return self._exporter
+        from repro.obs.live.server import MetricsServer
+
+        self._exporter = MetricsServer(
+            port=port,
+            host=host,
+            collectors=[self.metric_rows],
+            healthz=self.healthz,
+            statz=self.statz,
+        ).start()
+        return self._exporter
+
+    def stop_exporter(self) -> None:
+        exporter = self._exporter
+        self._exporter = None
+        if exporter is not None:
+            exporter.stop()

@@ -19,7 +19,9 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, Optional
+
+from repro.obs.live.hist import HistogramSnapshot, StreamingHistogram
 
 
 @dataclass
@@ -94,13 +96,20 @@ class ServiceStats:
 
 
 class Tally:
-    """Thread-safe counters + a bounded latency reservoir for percentiles."""
+    """Thread-safe counters + full-run streaming latency histograms.
 
-    def __init__(self, latency_window: int = 512) -> None:
+    Latency and queue-wait distributions are log-bucketed streaming
+    histograms (:mod:`repro.obs.live.hist`): constant memory, every
+    observation retained. The bounded reservoir this replaces kept only
+    the most recent 512 samples, so saturation benchmarks reported
+    percentiles of the run's *tail* instead of the run.
+    """
+
+    def __init__(self) -> None:
         self._lock = threading.Lock()
         self._counts: Dict[str, int] = {}
-        self._latencies_ms: List[float] = []
-        self._latency_window = latency_window
+        self._latency_ms = StreamingHistogram()
+        self._wait_ms = StreamingHistogram()
 
     def inc(self, key: str, amount: int = 1) -> None:
         with self._lock:
@@ -111,18 +120,28 @@ class Tally:
             return self._counts.get(key, 0)
 
     def observe_latency(self, service_s: float) -> None:
-        with self._lock:
-            self._latencies_ms.append(service_s * 1000.0)
-            if len(self._latencies_ms) > self._latency_window:
-                del self._latencies_ms[: -self._latency_window]
+        self._latency_ms.observe(service_s * 1000.0)
+
+    def observe_wait(self, wait_s: float) -> None:
+        self._wait_ms.observe(wait_s * 1000.0)
 
     def percentile_ms(self, q: float) -> Optional[float]:
-        with self._lock:
-            if not self._latencies_ms:
-                return None
-            ordered = sorted(self._latencies_ms)
-            idx = min(len(ordered) - 1, int(q * len(ordered)))
-            return ordered[idx]
+        return self._latency_ms.quantile(q)
+
+    def latency_snapshot(self) -> HistogramSnapshot:
+        """Full-run service-latency distribution (milliseconds)."""
+        return self._latency_ms.snapshot()
+
+    def wait_snapshot(self) -> HistogramSnapshot:
+        """Full-run queue-wait distribution (milliseconds)."""
+        return self._wait_ms.snapshot()
+
+    def latency_histogram(self) -> StreamingHistogram:
+        """The live latency histogram (exporters render it directly)."""
+        return self._latency_ms
+
+    def wait_histogram(self) -> StreamingHistogram:
+        return self._wait_ms
 
     def counts(self) -> Dict[str, int]:
         with self._lock:

@@ -65,6 +65,10 @@ class WorkerPool:
     def resume(self) -> None:
         self._paused.clear()
 
+    def alive_count(self) -> int:
+        """Worker threads currently alive (the /healthz liveness signal)."""
+        return sum(1 for t in self._threads if t.is_alive())
+
     # ------------------------------------------------------------------
     def _supervise(self, wid: int) -> None:
         """Outermost frame of a worker thread: restart the loop on death."""

@@ -1,0 +1,146 @@
+"""Sampling profiler: span attribution, memory bounds, fault tolerance."""
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.obs.live.profile import (
+    IDLE_LABEL,
+    NO_SPAN_LABEL,
+    OVERFLOW_LABEL,
+    ProfileSnapshot,
+    Profiler,
+    active_profiler,
+    start_profiler,
+    stop_profiler,
+)
+from repro.resilience.faults import injected
+
+
+def _busy(seconds: float) -> None:
+    deadline = time.perf_counter() + seconds
+    while time.perf_counter() < deadline:
+        sum(range(100))
+
+
+def test_samples_attribute_to_open_span():
+    profiler = Profiler(interval_s=0.001).start()
+    try:
+        with obs.telemetry():
+            with obs.span("twophase.core"):
+                _busy(0.3)
+    finally:
+        snap = profiler.stop()
+    assert snap.total_samples > 10
+    # the acceptance bar: >80% of samples land on the active phase span
+    assert snap.span_share("twophase.core") > 0.8
+
+
+def test_nested_spans_attribute_to_innermost():
+    profiler = Profiler(interval_s=0.001).start()
+    try:
+        with obs.telemetry():
+            with obs.span("twophase.core"):
+                with obs.span("cg.hub_query"):
+                    _busy(0.25)
+    finally:
+        snap = profiler.stop()
+    assert snap.span_share("cg.hub_query") > 0.8
+    assert snap.span_share("twophase.core") < 0.2
+
+
+def test_worker_idle_and_no_span_labels():
+    stop = threading.Event()
+    worker = threading.Thread(
+        target=stop.wait, name="serve-worker-77", daemon=True
+    )
+    plain = threading.Thread(
+        target=stop.wait, name="plain-helper", daemon=True
+    )
+    worker.start()
+    plain.start()
+    profiler = Profiler(interval_s=0.001).start()
+    time.sleep(0.15)
+    snap = profiler.stop()
+    stop.set()
+    worker.join()
+    plain.join()
+    labels = {label for label, _frames, _count in snap.stacks}
+    assert IDLE_LABEL in labels
+    assert NO_SPAN_LABEL in labels
+
+
+def test_own_threads_never_sampled():
+    profiler = Profiler(interval_s=0.001).start()
+    time.sleep(0.1)
+    snap = profiler.stop()
+    for _label, frames, _count in snap.stacks:
+        assert not any("profile.py:_run" in f for f in frames)
+
+
+def test_max_stacks_overflow_bucket():
+    profiler = Profiler(max_stacks=1)
+    profiler._record("a", ("f1",))
+    profiler._record("b", ("f2",))  # novel stack past the bound
+    snap = profiler.snapshot()
+    labels = {label for label, _f, _c in snap.stacks}
+    assert OVERFLOW_LABEL in labels
+    assert snap.dropped == 1
+    assert snap.total_samples == 2
+
+
+def test_injected_fault_drops_one_sample_not_the_profiler():
+    with injected("obs.live.profiler.sample", "crash", at_hit=1):
+        profiler = Profiler(interval_s=0.001).start()
+        time.sleep(0.1)
+        assert profiler.running
+        snap = profiler.stop()
+    assert snap.dropped >= 1
+    assert snap.ticks > 0  # kept sampling after the killed tick
+
+
+def test_collapsed_format_and_atomic_write(tmp_path):
+    snap = ProfileSnapshot(
+        stacks=(("twophase.core", ("a.py:f", "b.py:g"), 3),),
+        total_samples=3, ticks=3, dropped=0,
+        duration_s=0.3, interval_s=0.1,
+    )
+    assert snap.collapsed() == "twophase.core;a.py:f;b.py:g 3\n"
+    out = tmp_path / "profile.txt"
+    snap.write_collapsed(out)
+    assert out.read_text() == snap.collapsed()
+
+
+def test_self_time_scales_by_measured_tick_period():
+    # 10 ticks over 1s means the honest per-sample cost is 100 ms even
+    # though 1 ms was requested (sampling overhead stretched the loop).
+    snap = ProfileSnapshot(
+        stacks=(("x", (), 10),), total_samples=10, ticks=10, dropped=0,
+        duration_s=1.0, interval_s=0.001,
+    )
+    assert snap.effective_interval_s == pytest.approx(0.1)
+    assert snap.self_time()["x"]["est_s"] == pytest.approx(1.0)
+    assert snap.self_time()["x"]["share"] == pytest.approx(1.0)
+
+
+def test_to_dict_feeds_the_report_section():
+    snap = ProfileSnapshot(
+        stacks=(("twophase.core", (), 8), (NO_SPAN_LABEL, (), 2)),
+        total_samples=10, ticks=10, dropped=0,
+        duration_s=0.5, interval_s=0.05,
+    )
+    d = snap.to_dict()
+    assert d["total_samples"] == 10
+    assert d["self_time"]["twophase.core"]["share"] == pytest.approx(0.8)
+
+
+def test_shared_profiler_toggle_is_idempotent():
+    first = start_profiler(interval_s=0.01)
+    assert start_profiler() is first
+    assert active_profiler() is first
+    snap = stop_profiler()
+    assert isinstance(snap, ProfileSnapshot)
+    assert active_profiler() is None
+    assert stop_profiler() is None

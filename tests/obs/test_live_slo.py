@@ -1,0 +1,160 @@
+"""SLO burn-rate alerting: deterministic transitions via an injected clock."""
+
+import pytest
+
+from repro import obs
+from repro.obs.journal import read_events
+from repro.obs.live.slo import OutcomeRecord, SloSpec, SloTracker, default_slos
+
+
+class FakeClock:
+    def __init__(self, start: float = 1000.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _availability_spec(**overrides):
+    kwargs = dict(
+        name="availability", kind="availability", objective=0.90,
+        long_window_s=60.0, short_window_s=5.0, burn_threshold=2.0,
+        min_events=5,
+    )
+    kwargs.update(overrides)
+    return SloSpec(**kwargs)
+
+
+def test_spec_validation():
+    with pytest.raises(ValueError, match="kind"):
+        SloSpec(name="x", kind="nope", objective=0.9)
+    with pytest.raises(ValueError, match="objective"):
+        SloSpec(name="x", kind="availability", objective=1.5)
+    with pytest.raises(ValueError, match="threshold_ms"):
+        SloSpec(name="x", kind="latency", objective=0.9)
+    with pytest.raises(ValueError, match="window"):
+        SloSpec(name="x", kind="availability", objective=0.9,
+                long_window_s=5.0, short_window_s=5.0)
+
+
+def test_is_bad_per_kind():
+    avail = _availability_spec()
+    latency = SloSpec(name="lat", kind="latency", objective=0.95,
+                      threshold_ms=100.0)
+    degraded = SloSpec(name="deg", kind="degraded_rate", objective=0.9)
+    shed = OutcomeRecord(t=0.0, shed=True)
+    slow = OutcomeRecord(t=0.0, latency_ms=500.0)
+    rejected = OutcomeRecord(t=0.0)  # no latency: excluded from latency SLO
+    assert avail.is_bad(shed)
+    assert latency.is_bad(slow)
+    assert latency.is_bad(rejected) is None
+    assert degraded.is_bad(OutcomeRecord(t=0.0, degraded=True))
+
+
+def test_burn_rate_fires_and_clears(clock):
+    tracker = SloTracker([_availability_spec()], clock=clock)
+    # all-failed traffic: error rate 1.0 against a 10% budget = burn 10x
+    for _ in range(10):
+        tracker.record(failed=True)
+        clock.advance(0.1)
+    states = tracker.evaluate()
+    assert states[0].firing
+    assert states[0].burn_long >= 2.0
+    assert tracker.firing() == ["availability"]
+
+    # an hour later the window holds only healthy traffic
+    clock.advance(3600.0)
+    for _ in range(20):
+        tracker.record()
+        clock.advance(0.1)
+    states = tracker.evaluate()
+    assert not states[0].firing
+    assert states[0].transitions == 2  # fire then clear
+    assert tracker.firing() == []
+
+
+def test_min_events_cold_start_guard(clock):
+    tracker = SloTracker([_availability_spec(min_events=50)], clock=clock)
+    for _ in range(10):  # hot burn but too few events to trust
+        tracker.record(failed=True)
+        clock.advance(0.1)
+    assert not tracker.evaluate()[0].firing
+
+
+def test_short_window_gates_stale_burn(clock):
+    """A burst that ended minutes ago must not keep the alert firing."""
+    spec = _availability_spec(long_window_s=300.0, short_window_s=5.0)
+    tracker = SloTracker([spec], clock=clock)
+    for _ in range(20):
+        tracker.record(failed=True)
+        clock.advance(0.1)
+    assert tracker.evaluate()[0].firing
+    # 60s of healthy traffic: the long window still remembers the burst,
+    # but the short window says the bleeding stopped.
+    for _ in range(60):
+        tracker.record()
+        clock.advance(1.0)
+    state = tracker.evaluate()[0]
+    assert state.burn_long >= spec.burn_threshold
+    assert not state.firing
+
+
+def test_latency_slo_counts_only_latencied_outcomes(clock):
+    spec = SloSpec(name="lat", kind="latency", objective=0.50,
+                   threshold_ms=100.0, long_window_s=60.0,
+                   short_window_s=5.0, burn_threshold=1.5, min_events=4)
+    tracker = SloTracker([spec], clock=clock)
+    for _ in range(10):
+        tracker.record(latency_ms=500.0)  # all slow: error rate 1.0
+        tracker.record()                  # rejection: excluded
+        clock.advance(0.1)
+    state = tracker.evaluate()[0]
+    assert state.firing
+    assert state.events_long == 10  # rejections not in the denominator
+
+
+def test_default_slos_cover_the_three_kinds():
+    kinds = {s.kind for s in default_slos()}
+    assert kinds == {"availability", "latency", "degraded_rate"}
+
+
+def test_transitions_land_in_journal_and_metrics(tmp_path, clock):
+    trace = tmp_path / "slo.jsonl"
+    tracker = SloTracker([_availability_spec()], clock=clock)
+    with obs.telemetry(trace_path=trace):
+        for _ in range(10):
+            tracker.record(failed=True)
+            clock.advance(0.1)
+        tracker.evaluate()
+        clock.advance(3600.0)
+        for _ in range(20):
+            tracker.record()
+            clock.advance(0.1)
+        tracker.evaluate()
+        snap = obs.REGISTRY.snapshot()
+    alerts = [
+        e for e in read_events(trace)
+        if e.get("name") == "serve.slo.alert"
+    ]
+    assert [a["transition"] for a in alerts] == ["fire", "clear"]
+    assert snap['serve.slo.alerts{slo="availability"}'] == 1
+    assert 'serve.slo.burn_rate{slo="availability"}' in snap
+
+
+def test_statz_shape(clock):
+    tracker = SloTracker(clock=clock)
+    tracker.record(degraded=True, latency_ms=10.0)
+    tracker.evaluate()
+    doc = tracker.statz()
+    assert {s["name"] for s in doc["specs"]} == {
+        "availability", "latency_fast", "degraded_rate"
+    }
+    assert doc["firing"] == []

@@ -1,0 +1,181 @@
+"""The service's live ops plane: /metrics, /healthz, /statz, SLO wiring.
+
+Every scrape assertion runs against a real ``MetricsServer`` bound to an
+ephemeral port with a live ``QueryService`` behind it, and every test
+closes with the chaos invariant ``lost == 0``.
+"""
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs.live import prom
+from repro.obs.live.slo import SloSpec
+from repro.resilience import faults
+from repro.serve import QueryService, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+def service(g, cg, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("queue_capacity", 64)
+    return QueryService(g, cg, ServiceConfig(**kw))
+
+
+def _get(url: str, timeout: float = 5.0):
+    with urllib.request.urlopen(url, timeout=timeout) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+class TestMetricsEndpoint:
+    def test_scrape_is_valid_exposition_with_serve_series(
+        self, serve_graph, serve_cg
+    ):
+        with service(serve_graph, serve_cg) as svc:
+            exporter = svc.start_exporter(port=0)
+            for s in range(6):
+                svc.submit("SSSP", source=s)
+            assert svc.drain(timeout=60.0)
+            status, body = _get(exporter.url("/metrics"))
+            assert status == 200
+            parsed = prom.parse(body)  # raises on malformed output
+            assert parsed["serve_submitted_total"][
+                "serve_submitted_total"
+            ] == 6
+            assert parsed["serve_completed_total"][
+                "serve_completed_total"
+            ] >= 1
+            # the full latency distribution is scrapable
+            assert parsed["serve_latency_ms_count"][
+                "serve_latency_ms_count"
+            ] >= 1
+            assert any(
+                k.endswith('le="+Inf"}')
+                for k in parsed["serve_latency_ms_bucket"]
+            )
+            # process runtime gauges ride along
+            assert parsed["proc_rss_bytes"]["proc_rss_bytes"] > 0
+            assert parsed["proc_threads"]["proc_threads"] >= 1
+        assert svc.stats().lost == 0
+
+    def test_exporter_stops_with_service_close(self, serve_graph, serve_cg):
+        svc = service(serve_graph, serve_cg)
+        exporter = svc.start_exporter(port=0)
+        url = exporter.url("/metrics")
+        _get(url)
+        svc.close()
+        with pytest.raises(Exception):
+            _get(url, timeout=0.5)
+        assert svc.stats().lost == 0
+
+    def test_start_exporter_is_idempotent(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            first = svc.start_exporter(port=0)
+            assert svc.start_exporter(port=0) is first
+
+
+class TestHealthz:
+    def test_healthy_while_open_unhealthy_after_close(
+        self, serve_graph, serve_cg
+    ):
+        svc = service(serve_graph, serve_cg).start()
+        exporter = svc.start_exporter(port=0)
+        svc.submit("SSSP", source=0).result(timeout=30.0)
+        status, body = _get(exporter.url("/healthz"))
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["workers_alive"] >= 1
+        svc.close()
+        healthy, detail = svc.healthz()
+        assert healthy is False
+        assert svc.stats().lost == 0
+
+
+class TestStatz:
+    def test_statz_document(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            exporter = svc.start_exporter(port=0)
+            svc.submit("SSSP", source=0)
+            assert svc.drain(timeout=60.0)
+            status, body = _get(exporter.url("/statz"))
+            assert status == 200
+            doc = json.loads(body)
+            assert doc["submitted"] == 1
+            assert doc["lost"] == 0
+            assert "slo" in doc
+            names = {s["name"] for s in doc["slo"]["specs"]}
+            assert "availability" in names
+        assert svc.stats().lost == 0
+
+
+class TestServiceStatsPercentiles:
+    def test_percentiles_cover_the_full_run(self, serve_graph, serve_cg):
+        """The streaming histogram sees every completion, not a window."""
+        with service(serve_graph, serve_cg) as svc:
+            for i in range(40):
+                svc.submit("SSSP", source=i % 16)
+            assert svc.drain(timeout=120.0)
+        stats = svc.stats()
+        served = stats.completed + stats.degraded
+        snap = svc.latency_snapshot()
+        assert snap.count == served  # full-run coverage, nothing dropped
+        assert stats.latency_p50_ms == pytest.approx(snap.quantile(0.50))
+        assert stats.latency_p95_ms == pytest.approx(snap.quantile(0.95))
+        assert snap.quantile(0.50) <= snap.quantile(0.95) <= snap.max
+        assert stats.lost == 0
+
+    def test_wait_histogram_populates(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            for i in range(8):
+                svc.submit("SSSP", source=i)
+            assert svc.drain(timeout=60.0)
+        assert svc.wait_snapshot().count >= 1
+        assert svc.stats().lost == 0
+
+
+class TestSloWiring:
+    def test_healthy_traffic_burns_nothing(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg, slo_eval_every=1) as svc:
+            for i in range(12):
+                svc.submit("SSSP", source=i % 8)
+            assert svc.drain(timeout=60.0)
+            states = svc.slo.evaluate()
+        by_name = {s.spec.name: s for s in states}
+        assert by_name["availability"].burn_long == 0.0
+        assert not svc.slo.firing()
+        assert svc.stats().lost == 0
+
+    def test_availability_slo_fires_on_failing_traffic(
+        self, serve_graph, serve_cg
+    ):
+        spec = SloSpec(
+            name="availability", kind="availability", objective=0.99,
+            long_window_s=60.0, short_window_s=5.0,
+            burn_threshold=2.0, min_events=5,
+        )
+        # every execution crashes: requests exhaust retries and fail
+        faults.install(
+            "serve.worker.request", "crash", at_hit=1, repeat=True
+        )
+        with service(
+            serve_graph, serve_cg, workers=1,
+            slo_specs=[spec], slo_eval_every=1,
+        ) as svc:
+            for i in range(8):
+                svc.submit("SSSP", source=i)
+            assert svc.drain(timeout=60.0)
+            states = svc.slo.evaluate()
+        stats = svc.stats()
+        assert stats.failed >= 5
+        by_name = {s.spec.name: s for s in states}
+        assert by_name["availability"].firing
+        assert "availability" in svc.statz()["slo"]["firing"]
+        assert stats.lost == 0
