@@ -22,7 +22,7 @@ RC010  engine loops must expose a fault_point site
 from __future__ import annotations
 
 import ast
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.checks.lint.framework import FileContext, Rule, Violation
 from repro.obs import namespaces
@@ -384,26 +384,57 @@ class RC005RegisteredNames(Rule):
                         "repro.obs.namespaces.SPAN_NAMES",
                     )
             elif _call_named(call, "emit") and call.args:
-                event = self._event_name(call.args[0])
-                if event is not None and not namespaces.known_event(event):
+                kind, event = self._journal_name(call.args[0])
+                if kind == "event" and event is not None \
+                        and not namespaces.known_event(event):
                     yield self.violation(
                         ctx, call,
                         f"journal event name {event!r} is not registered "
                         "in repro.obs.namespaces.EVENT_NAMES",
                     )
+                elif kind == "span" and event is not None \
+                        and not namespaces.known_span(event):
+                    # Synthetic span events (journaled directly, not via
+                    # `with span(...)`) use the same span vocabulary.
+                    yield self.violation(
+                        ctx, call,
+                        f"synthetic span name {event!r} is not registered "
+                        "in repro.obs.namespaces.SPAN_NAMES",
+                    )
+        # Exporter row literals — ("counter", "serve.submitted", ...) —
+        # bypass the registry call sites above but land in the scraped
+        # vocabulary all the same, so their names face the same gate.
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Tuple) or len(node.elts) < 2:
+                continue
+            kind = _str_const(node.elts[0])
+            if kind not in ("counter", "gauge", "histogram", "stream_hist"):
+                continue
+            name = _str_const(node.elts[1])
+            # Dotted names only: a dotless second element is some other
+            # tuple (argument lists, table headers) that merely starts
+            # with a kind-like word.
+            if name is None or "." not in name:
+                continue
+            if not namespaces.known_metric(name):
+                yield self.violation(
+                    ctx, node,
+                    f"exporter row metric name {name!r} is not registered "
+                    "in repro.obs.namespaces.METRIC_NAMES",
+                )
 
     @staticmethod
-    def _event_name(node: ast.AST) -> Optional[str]:
+    def _journal_name(node: ast.AST) -> "Tuple[Optional[str], Optional[str]]":
         if not isinstance(node, ast.Dict):
-            return None
+            return None, None
         entries: Dict[str, Optional[str]] = {}
         for key, value in zip(node.keys, node.values):
             k = _str_const(key) if key is not None else None
             if k in ("type", "name"):
                 entries[k] = _str_const(value)
-        if entries.get("type") != "event":
-            return None
-        return entries.get("name")
+        if entries.get("type") not in ("event", "span"):
+            return None, None
+        return entries.get("type"), entries.get("name")
 
 
 # ---------------------------------------------------------------------------

@@ -406,15 +406,81 @@ def _cmd_serve(args) -> int:
 
 
 def _cmd_obs_report(args) -> int:
-    """Render one journal as a terminal (and optionally HTML) report."""
+    """Render one journal as a terminal (and optionally HTML/JSON) report."""
+    import json
+
     from repro.obs.journal import read_events
-    from repro.obs.report import render_html, render_report
+    from repro.obs.report import render_html, render_report, report_payload
 
     events = read_events(args.journal)
     print(render_report(events, source=str(args.journal)))
     if args.html:
         path = render_html(events, args.html, source=str(args.journal))
         print(f"\nhtml report -> {path}")
+    if args.json:
+        from repro.resilience.atomic import atomic_write_text
+
+        payload = report_payload(events, source=str(args.journal))
+        atomic_write_text(args.json, json.dumps(payload, indent=2) + "\n")
+        print(f"json report -> {args.json}")
+    return 0
+
+
+def _cmd_obs_trace(args) -> int:
+    """Render one request's causal trace; list/pick traces without an id.
+
+    Exits 1 when the requested trace has orphan spans (a span naming a
+    parent that never journaled) — the CI trace round-trip smoke treats a
+    broken causal chain as a failure, not a cosmetic defect.
+    """
+    from repro.obs.journal import read_events
+    from repro.obs.traceview import (
+        build_tree, find_explain, pick_trace, render_trace,
+        render_trace_html, render_trace_table, summarize_traces,
+    )
+
+    events = read_events(args.journal)
+    if args.pick is not None:
+        tid = pick_trace(events, status=args.pick)
+        if tid is None:
+            print(f"no trace with status {args.pick!r}", file=sys.stderr)
+            return 2
+        print(tid)
+        return 0
+    if args.trace_id is None:
+        print(render_trace_table(summarize_traces(events)))
+        return 0
+    tree = build_tree(events, args.trace_id)
+    if not tree.roots and not tree.orphans:
+        print(f"no spans for trace {args.trace_id} in {args.journal}",
+              file=sys.stderr)
+        return 2
+    print(render_trace(tree))
+    if args.html:
+        path = render_trace_html(
+            tree, args.html, explain=find_explain(events, args.trace_id)
+        )
+        print(f"\nhtml trace -> {path}")
+    if tree.orphans:
+        print(f"\ntrace {args.trace_id} has {len(tree.orphans)} orphan "
+              f"span(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_obs_explain(args) -> int:
+    """Render the explain record (wide event) of one traced request."""
+    from repro.obs.journal import read_events
+    from repro.obs.traceview import find_explain
+    from repro.serve.explain import render_explain
+
+    events = read_events(args.journal)
+    payload = find_explain(events, args.trace_id)
+    if payload is None:
+        print(f"no serve.explain event for trace {args.trace_id} in "
+              f"{args.journal}", file=sys.stderr)
+        return 2
+    print(render_explain(payload))
     return 0
 
 
@@ -789,7 +855,32 @@ def build_parser() -> argparse.ArgumentParser:
     rep_p.add_argument("journal", help="JSONL journal from --trace")
     rep_p.add_argument("--html", metavar="PATH",
                        help="also write a self-contained HTML report")
+    rep_p.add_argument("--json", metavar="PATH",
+                       help="also write the machine-readable report "
+                            "(same summary structures as the HTML)")
     rep_p.set_defaults(func=_cmd_obs_report)
+
+    trace_p = obs_sub.add_parser(
+        "trace", help="render a request's causal tree + waterfall "
+                      "(no id: list traced requests)")
+    trace_p.add_argument("journal", help="JSONL journal from --trace")
+    trace_p.add_argument("trace_id", nargs="?", default=None,
+                         help="trace id (from the listing, an exemplar, "
+                              "or /statz)")
+    trace_p.add_argument("--html", metavar="PATH",
+                         help="also write a self-contained HTML trace view")
+    trace_p.add_argument("--pick", metavar="STATUS", default=None,
+                         help="print the first trace id with this terminal "
+                              "status (ok/degraded/failed/rejected) and "
+                              "exit; what CI scripting uses")
+    trace_p.set_defaults(func=_cmd_obs_trace)
+
+    explain_p = obs_sub.add_parser(
+        "explain", help="render the per-request explain record "
+                        "(EXPLAIN ANALYZE for one traced query)")
+    explain_p.add_argument("journal")
+    explain_p.add_argument("trace_id")
+    explain_p.set_defaults(func=_cmd_obs_explain)
 
     diff_p = obs_sub.add_parser(
         "diff", help="per-phase and per-counter deltas of two journals",

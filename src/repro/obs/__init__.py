@@ -38,17 +38,20 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Iterator, Optional, Union
 
-from repro.obs import compare, export, journal, metrics, quality, report, runtime, spans
+from repro.obs import (
+    compare, export, journal, metrics, quality, report, runtime, spans, trace,
+)
 from repro.obs.journal import Journal, build_manifest, emit, read_events
 from repro.obs.metrics import REGISTRY, counter, gauge, histogram
 from repro.obs.runtime import disable, enable, is_enabled
 from repro.obs.spans import span
+from repro.obs.trace import TraceContext
 
 __all__ = [
     "compare", "export", "journal", "metrics", "quality", "report",
-    "runtime", "spans",
+    "runtime", "spans", "trace",
     "Journal", "build_manifest", "emit", "read_events",
-    "REGISTRY", "counter", "gauge", "histogram",
+    "REGISTRY", "counter", "gauge", "histogram", "TraceContext",
     "disable", "enable", "is_enabled", "span", "telemetry", "reset",
 ]
 
@@ -57,6 +60,7 @@ def reset() -> None:
     """Clear accumulated spans and metrics (journals are per-run files)."""
     spans.reset()
     REGISTRY.reset()
+    trace.uninstall_collector()
 
 
 @contextmanager

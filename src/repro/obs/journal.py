@@ -29,6 +29,8 @@ from datetime import datetime, timezone
 from pathlib import Path
 from typing import Any, Dict, Iterator, List, Optional, Union
 
+from repro.obs import trace
+
 
 def _jsonable(value: Any) -> Any:
     if isinstance(value, (str, int, float, bool)) or value is None:
@@ -123,6 +125,10 @@ class Journal:
     def emit(self, event: Dict[str, Any]) -> None:
         payload = {k: _jsonable(v) for k, v in event.items()}
         payload.setdefault("thread", threading.get_ident())
+        if "trace" not in payload:
+            trace_id = trace.current_trace_id()
+            if trace_id is not None:
+                payload["trace"] = trace_id
         with self._lock:
             if self._fh.closed:
                 return
@@ -176,7 +182,19 @@ def active_journal() -> Optional[Journal]:
 
 
 def emit(event: Dict[str, Any]) -> None:
-    """Append ``event`` to the active journal; no-op when none is active."""
+    """Append ``event`` to the active journal and feed the trace collector.
+
+    The journal append is a no-op when no journal is active, but the
+    trace-collector dispatch is not: an installed :class:`TraceStore`
+    still buffers trace-stamped events, which is what makes live traces
+    inspectable on services run without ``--trace``.
+    """
+    if "trace" not in event:
+        trace_id = trace.current_trace_id()
+        if trace_id is not None:
+            event = {**event, "trace": trace_id}
+    if "trace" in event:
+        trace.dispatch(event)
     journal = _active
     if journal is not None:
         journal.emit(event)

@@ -80,7 +80,14 @@ DEFAULT_SCHEME = BucketScheme()
 
 @dataclass(frozen=True)
 class HistogramSnapshot:
-    """Immutable point-in-time distribution; merge/delta are associative."""
+    """Immutable point-in-time distribution; merge/delta are associative.
+
+    ``exemplars`` is a sorted tuple of ``(bucket_index, trace_id, value)``
+    triples — the most recent traced observation seen per bucket — kept
+    as a tuple (not a dict) so the dataclass stays frozen and hashable.
+    At most one exemplar per bucket, so memory stays bounded by the
+    scheme no matter how many observations stream through.
+    """
 
     scheme: BucketScheme
     counts: Tuple[int, ...]
@@ -88,6 +95,7 @@ class HistogramSnapshot:
     total: float
     min: float
     max: float
+    exemplars: Tuple[Tuple[int, str, float], ...] = ()
 
     @property
     def mean(self) -> float:
@@ -129,6 +137,11 @@ class HistogramSnapshot:
             return self
         if self.count == 0:
             return other
+        # Exemplar union: per bucket the right-hand operand wins, which is
+        # associative (rightmost-wins under any grouping) and keeps "most
+        # recent" semantics when merging chronological snapshots in order.
+        ex = {idx: (tid, val) for idx, tid, val in self.exemplars}
+        ex.update({idx: (tid, val) for idx, tid, val in other.exemplars})
         return HistogramSnapshot(
             scheme=self.scheme,
             counts=tuple(a + b for a, b in zip(self.counts, other.counts)),
@@ -136,6 +149,9 @@ class HistogramSnapshot:
             total=self.total + other.total,
             min=min(self.min, other.min),
             max=max(self.max, other.max),
+            exemplars=tuple(
+                (idx, tid, val) for idx, (tid, val) in sorted(ex.items())
+            ),
         )
 
     def delta(self, earlier: "HistogramSnapshot") -> "HistogramSnapshot":
@@ -157,7 +173,18 @@ class HistogramSnapshot:
             total=max(0.0, self.total - earlier.total),
             min=self.min if count else math.inf,
             max=self.max if count else -math.inf,
+            # Exemplar recency is not invertible; keep only exemplars for
+            # buckets that actually saw traffic in the interval.
+            exemplars=tuple(
+                (idx, tid, val)
+                for idx, tid, val in self.exemplars
+                if idx < len(counts) and counts[idx] > 0
+            ),
         )
+
+    def exemplar_map(self) -> Dict[int, Tuple[str, float]]:
+        """``{bucket_index: (trace_id, value)}`` view of :attr:`exemplars`."""
+        return {idx: (tid, val) for idx, tid, val in self.exemplars}
 
     # ------------------------------------------------------------------
     def cumulative_buckets(self) -> List[Tuple[float, int]]:
@@ -186,7 +213,7 @@ class HistogramSnapshot:
         consumers handle both uniformly.
         """
         pct = self.percentiles()
-        return {
+        out = {
             "count": self.count,
             "sum": self.total,
             "min": self.min if self.count else None,
@@ -198,6 +225,11 @@ class HistogramSnapshot:
                 str(i): c for i, c in enumerate(self.counts) if c
             },
         }
+        if self.exemplars:
+            out["exemplars"] = {
+                str(idx): [tid, val] for idx, tid, val in self.exemplars
+            }
+        return out
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "HistogramSnapshot":
@@ -214,6 +246,12 @@ class HistogramSnapshot:
         count = int(payload.get("count", sum(counts)))
         mn = payload.get("min")
         mx = payload.get("max")
+        exemplars = tuple(
+            sorted(
+                (int(key), str(tid), float(val))
+                for key, (tid, val) in (payload.get("exemplars") or {}).items()
+            )
+        )
         return cls(
             scheme=scheme,
             counts=tuple(counts),
@@ -221,6 +259,7 @@ class HistogramSnapshot:
             total=float(payload.get("sum", 0.0)),
             min=math.inf if mn is None else float(mn),
             max=-math.inf if mx is None else float(mx),
+            exemplars=exemplars,
         )
 
     @classmethod
@@ -253,18 +292,24 @@ class StreamingHistogram:
     instant percentiles and snapshot/merge/delta semantics.
     """
 
-    __slots__ = ("scheme", "_lock", "_counts", "count", "total", "min", "max")
+    __slots__ = (
+        "scheme", "_lock", "_counts", "_exemplars",
+        "count", "total", "min", "max",
+    )
 
     def __init__(self, scheme: BucketScheme = DEFAULT_SCHEME) -> None:
         self.scheme = scheme
         self._lock = threading.Lock()
         self._counts = [0] * scheme.num_buckets
+        # bucket index -> (trace_id, value) of the latest traced
+        # observation; at most one entry per bucket, so bounded.
+        self._exemplars: Dict[int, Tuple[str, float]] = {}
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, exemplar: Optional[str] = None) -> None:
         value = float(value)
         idx = self.scheme.index(value)
         with self._lock:
@@ -275,6 +320,8 @@ class StreamingHistogram:
                 self.min = value
             if value > self.max:
                 self.max = value
+            if exemplar is not None:
+                self._exemplars[idx] = (exemplar, value)
 
     @property
     def mean(self) -> float:
@@ -289,6 +336,10 @@ class StreamingHistogram:
                 total=self.total,
                 min=self.min,
                 max=self.max,
+                exemplars=tuple(
+                    (idx, tid, val)
+                    for idx, (tid, val) in sorted(self._exemplars.items())
+                ),
             )
 
     def quantile(self, q: float) -> Optional[float]:
@@ -305,6 +356,7 @@ class StreamingHistogram:
     def reset(self) -> None:
         with self._lock:
             self._counts = [0] * self.scheme.num_buckets
+            self._exemplars.clear()
             self.count = 0
             self.total = 0.0
             self.min = math.inf

@@ -167,15 +167,65 @@ def _histogram_lines(
         count = int(getattr(metric, "count", 0))
         total = float(getattr(metric, "total", 0.0))
         buckets = [(math.inf, count)]
+    exemplars = snap.exemplar_map() if snap is not None else {}
+    scheme = snap.scheme if snap is not None else None
     for bound, cumulative in buckets:
         le = tuple(labels) + (("le", format_value(bound)),)
-        lines.append(
-            f"{base}_bucket{_render_labels(le)} {cumulative}"
-        )
+        line = f"{base}_bucket{_render_labels(le)} {cumulative}"
+        if exemplars and scheme is not None:
+            ex = _bucket_exemplar(scheme, exemplars, bound)
+            if ex is not None:
+                tid, val = ex
+                # OpenMetrics-style exemplar suffix: jump from a latency
+                # bucket straight to a retained trace id.
+                line += (
+                    f' # {{trace_id="{_escape_label(tid)}"}} '
+                    f"{format_value(val)}"
+                )
+        lines.append(line)
     rendered = _render_labels(labels)
     lines.append(f"{base}_sum{rendered} {format_value(total)}")
     lines.append(f"{base}_count{rendered} {count}")
     return lines
+
+
+def _bucket_exemplar(
+    scheme: object,
+    exemplars: Dict[int, Tuple[str, float]],
+    bound: float,
+) -> Optional[Tuple[str, float]]:
+    """The exemplar attached to the bucket whose upper bound is ``bound``.
+
+    Exemplars are keyed by scheme bucket index; exposition buckets are
+    keyed by upper bound. Both bounds come from the same
+    ``scheme.upper_bound`` computation, so exact float equality is the
+    correct join.
+    """
+    for idx, ex in exemplars.items():
+        if scheme.upper_bound(idx) == bound:  # type: ignore[attr-defined]
+            return ex
+    return None
+
+
+def exemplars(text: str) -> Dict[str, Tuple[str, float]]:
+    """Extract exemplar annotations: ``{sample_series: (trace_id, value)}``.
+
+    Companion to :func:`parse` for consumers (``obs top``, tests) that
+    want the bucket → trace-id links rather than just the counts.
+    """
+    out: Dict[str, Tuple[str, float]] = {}
+    ex_re = re.compile(
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*(?:\{[^}]*\})?)\s+\S+"
+        r"\s+#\s+\{trace_id=\"([^\"]*)\"\}\s+(\S+)\s*$"
+    )
+    for line in text.splitlines():
+        if line.startswith("#"):
+            continue
+        m = ex_re.match(line)
+        if m is not None:
+            series, tid, raw = m.groups()
+            out[series] = (tid, float(raw))
+    return out
 
 
 def parse(text: str) -> Dict[str, Dict[str, float]]:
@@ -187,8 +237,12 @@ def parse(text: str) -> Dict[str, Dict[str, float]]:
     """
     families: Dict[str, Dict[str, float]] = {}
     types: Dict[str, str] = {}
+    # The optional tail is an OpenMetrics-style exemplar annotation
+    # ("# {trace_id=...} value"); strict parsing tolerates (and ignores)
+    # it so exemplar-bearing documents still round-trip.
     sample_re = re.compile(
-        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+        r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)"
+        r"(?:\s+#\s+\{[^}]*\}\s+\S+)?$"
     )
     for lineno, line in enumerate(text.splitlines(), start=1):
         if not line.strip():

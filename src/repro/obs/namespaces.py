@@ -107,6 +107,15 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "serve.workers_alive",
     "serve.lost",
     "serve.queue_depth",
+    # Request-scoped tracing: tail-sampler retention accounting
+    # (repro.obs.trace.TraceStore, exported by the query service).
+    "obs.trace.retained",
+    "obs.trace.dropped",
+    "obs.trace.evicted",
+    "obs.trace.abandoned",
+    "obs.trace.truncated",
+    "obs.trace.store.traces",
+    "obs.trace.store.events",
     # Process runtime gauges sampled at scrape time (repro.obs.live.proc).
     "proc.rss_bytes",
     "proc.cpu_seconds",
@@ -125,7 +134,12 @@ SPAN_NAMES: FrozenSet[str] = frozenset({
     "cg.hub_query",
     "cg.hub_traverse",
     "cg.connectivity",
+    # Request lifecycle: the synthetic root span (submit -> resolve),
+    # admission decision, queue wait, and worker execution.
     "serve.request",
+    "serve.admit",
+    "serve.queue.wait",
+    "serve.execute",
 })
 
 #: Every ``name`` a ``{"type": "event", ...}`` journal line may carry.
@@ -144,6 +158,7 @@ EVENT_NAMES: FrozenSet[str] = frozenset({
     "serve.worker.restart",
     "serve.stats",
     "serve.slo.alert",
+    "serve.explain",
     "obs.profile",
 })
 

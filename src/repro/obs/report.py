@@ -209,6 +209,57 @@ def _convergence_rows(
     return rows
 
 
+def report_payload(
+    events: EventsOrPath, source: str = ""
+) -> Dict[str, Any]:
+    """Machine-readable report: the same summary structures the terminal
+    and HTML renderers tabulate, as one JSON-ready document.
+
+    Each section mirrors its table: ``phases`` and ``quality`` carry the
+    raw :class:`RunSummary` aggregates, ``resilience``/``histograms``/
+    ``profile`` carry the rendered row tuples keyed by their headers, and
+    ``traces`` summarizes any request-scoped traces in the journal.
+    """
+    from repro.obs.traceview import summarize_traces
+
+    events = list(iter_events(events))
+    manifest = manifest_of(events)
+    summary = summarize_run(events, source=source)
+    series = iteration_series(events)
+    return {
+        "label": summary.label(),
+        "source": source or None,
+        "manifest": manifest,
+        "key": summary.key,
+        "phases": summary.phases,
+        "quality": summary.quality,
+        "metrics": summary.metrics,
+        "resilience": [
+            dict(zip(("event", "what", "detail"), row))
+            for row in _resilience_rows(events)
+        ],
+        "histograms": [
+            dict(zip(
+                ("histogram", "count", "mean", "p50", "p90", "p95",
+                 "p99", "max"), row,
+            ))
+            for row in _histogram_rows(events)
+        ],
+        "profile": [
+            dict(zip(("span", "samples", "share", "est_s"), row))
+            for row in _profile_rows(events)
+        ],
+        "convergence": [
+            dict(zip(
+                ("phase", "iterations", "edges", "updates",
+                 "peak_frontier"), row,
+            ))
+            for row in _convergence_rows(series)
+        ],
+        "traces": summarize_traces(events),
+    }
+
+
 def render_report(events: EventsOrPath, source: str = "") -> str:
     """The terminal run report (manifest, timing, quality, convergence)."""
     events = list(iter_events(events))

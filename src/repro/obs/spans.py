@@ -18,7 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
-from repro.obs import runtime
+from repro.obs import runtime, trace
 
 
 @dataclass
@@ -31,6 +31,8 @@ class SpanRecord:
     depth: int
     parent: Optional[str] = None
     attrs: Dict[str, Any] = field(default_factory=dict)
+    span_id: Optional[str] = None
+    parent_span_id: Optional[str] = None
 
 
 class _NullSpan:
@@ -86,7 +88,10 @@ def open_spans() -> Dict[int, Optional[str]]:
 class Span:
     """Live timing context; use via :func:`span`."""
 
-    __slots__ = ("name", "attrs", "start", "depth", "parent")
+    __slots__ = (
+        "name", "attrs", "start", "depth", "parent",
+        "span_id", "parent_id", "trace_id",
+    )
 
     def __init__(self, name: str, attrs: Dict[str, Any]):
         self.name = name
@@ -94,11 +99,25 @@ class Span:
         self.start = 0.0
         self.depth = 0
         self.parent: Optional[str] = None
+        self.span_id = trace.new_span_id()
+        self.parent_id: Optional[str] = None
+        self.trace_id: Optional[str] = None
 
     def __enter__(self) -> "Span":
         stack = _stack()
         self.depth = len(stack)
-        self.parent = stack[-1].name if stack else None
+        if stack:
+            self.parent = stack[-1].name
+            self.parent_id = stack[-1].span_id
+        else:
+            # First span this thread opens for a request: parent under the
+            # propagated trace context's owning span (usually the request
+            # root minted at submit), so cross-thread trees stay connected.
+            ctx = trace.current()
+            if ctx is not None:
+                self.parent_id = ctx.span_id
+        ctx = trace.current()
+        self.trace_id = None if ctx is None else ctx.trace_id
         stack.append(self)
         self.start = time.perf_counter()
         return self
@@ -115,6 +134,8 @@ class Span:
             depth=self.depth,
             parent=self.parent,
             attrs=self.attrs,
+            span_id=self.span_id,
+            parent_span_id=self.parent_id,
         )
         with _lock:
             _records.append(record)
@@ -122,11 +143,12 @@ class Span:
         # name, which is how per-phase engine time and per-hub CG-build
         # time get full latency distributions without instrumenting the
         # kernels themselves (wall-clock reads stay out of their loops).
+        # The owning trace id rides along as the bucket's exemplar.
         from repro.obs import metrics as obs_metrics
 
         obs_metrics.stream_hist(
             "obs.live.span_ms", span=self.name
-        ).observe(duration * 1e3)
+        ).observe(duration * 1e3, exemplar=self.trace_id)
         from repro.obs import journal
 
         event = {
@@ -135,8 +157,12 @@ class Span:
             "duration_s": duration,
             "depth": self.depth,
             "parent": self.parent,
+            "span_id": self.span_id,
+            "parent_span_id": self.parent_id,
             **self.attrs,
         }
+        if self.trace_id is not None:
+            event["trace"] = self.trace_id
         active = journal.active_journal()
         if active is not None:
             # Spans journal on *exit*; the explicit start time is what lets

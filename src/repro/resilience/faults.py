@@ -157,16 +157,23 @@ def _record(fault: Fault) -> None:
     from repro.obs import journal as obs_journal
     from repro.obs import metrics as obs_metrics
     from repro.obs import runtime as obs_runtime
+    from repro.obs import trace as obs_trace
 
     if not obs_runtime._enabled:
         return
     obs_metrics.counter(
         "resilience.faults.injected", site=fault.site, kind=fault.kind
     ).inc()
-    obs_journal.emit({
+    event = {
         "type": "event", "name": "fault.injected", "site": fault.site,
         "kind": fault.kind, "hit": fault.hits,
-    })
+    }
+    # Chaos runs are attributable per-request: a fault that fires while a
+    # worker executes a traced request carries that request's trace id.
+    trace_id = obs_trace.current_trace_id()
+    if trace_id is not None:
+        event["trace"] = trace_id
+    obs_journal.emit(event)
 
 
 def fault_point(site: str) -> None:

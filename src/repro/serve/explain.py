@@ -1,0 +1,228 @@
+"""Per-request explain records: ``EXPLAIN ANALYZE`` for graph queries.
+
+An :class:`ExplainRecord` is one wide event aggregating everything the
+service learned about a single request across its lifecycle — admission
+decision, queue wait, budget consumption, breaker state at execution,
+per-phase work breakdown from the engines, the CG-vs-full-graph edge
+ratio the Core Phase exploited, the Theorem-1 certified fraction, and the
+degraded/shed reason if any. It is built in
+:meth:`~repro.serve.service.QueryService._resolve` (the single place
+every request terminates), journaled as a ``serve.explain`` event, and
+attached to the request's retained trace in the
+:class:`~repro.obs.trace.TraceStore`, so ``obs explain <trace-id>``
+answers "why was *this* query slow/degraded/shed?" from one line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.serve.request import Outcome, QueryRequest
+
+_CERT_LABELS = {0: "exact", 1: "approx", 2: "unreached"}
+
+
+def _phase_breakdown(stats: Any) -> Dict[str, Any]:
+    """The explain-facing slice of one phase's RunStats."""
+    return {
+        "wall_ms": round(float(stats.wall_time) * 1000.0, 3),
+        "iterations": int(stats.iterations),
+        "edges_processed": int(stats.edges_processed),
+        "updates": int(stats.updates),
+    }
+
+
+def certificate_summary(certificate: Any) -> Optional[Dict[str, int]]:
+    """Per-class counts of a per-vertex precision certificate array."""
+    if certificate is None:
+        return None
+    out: Dict[str, int] = {}
+    for code, label in _CERT_LABELS.items():
+        out[label] = int((certificate == code).sum())
+    return out
+
+
+@dataclass
+class ExplainRecord:
+    """The wide per-request event (see module docstring)."""
+
+    trace_id: Optional[str]
+    request_id: int
+    query: str
+    source: Optional[int]
+    priority: int
+    status: str
+    reason: Optional[str] = None
+    error: Optional[str] = None
+    admitted: bool = False
+    attempts: int = 0
+    shed: bool = False
+    queue_wait_ms: float = 0.0
+    service_ms: float = 0.0
+    deadline_s: Optional[float] = None
+    budget: Optional[Dict[str, Any]] = None
+    breaker_state: Optional[str] = None
+    phase1: Optional[Dict[str, Any]] = None
+    phase2: Optional[Dict[str, Any]] = None
+    impacted: Optional[int] = None
+    certified_precise: Optional[int] = None
+    certified_fraction: Optional[float] = None
+    certificate: Optional[Dict[str, int]] = None
+    degraded_phase: Optional[int] = None
+    cg_edge_fraction: Optional[float] = None
+    hubs: Optional[int] = None
+    sampled: Optional[bool] = None
+    sample_reason: Optional[str] = None
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-ready form; None-valued optional facets are elided."""
+        out: Dict[str, Any] = {
+            "trace": self.trace_id,
+            "request": self.request_id,
+            "query": self.query,
+            "source": self.source,
+            "priority": self.priority,
+            "status": self.status,
+            "admitted": self.admitted,
+            "attempts": self.attempts,
+            "shed": self.shed,
+            "queue_wait_ms": round(self.queue_wait_ms, 3),
+            "service_ms": round(self.service_ms, 3),
+        }
+        optional = {
+            "reason": self.reason,
+            "error": self.error,
+            "deadline_s": self.deadline_s,
+            "budget": self.budget,
+            "breaker_state": self.breaker_state,
+            "phase1": self.phase1,
+            "phase2": self.phase2,
+            "impacted": self.impacted,
+            "certified_precise": self.certified_precise,
+            "certified_fraction": self.certified_fraction,
+            "certificate": self.certificate,
+            "degraded_phase": self.degraded_phase,
+            "cg_edge_fraction": self.cg_edge_fraction,
+            "hubs": self.hubs,
+            "sampled": self.sampled,
+            "sample_reason": self.sample_reason,
+        }
+        out.update({k: v for k, v in optional.items() if v is not None})
+        out.update(self.extra)
+        return out
+
+
+def build_explain(
+    req: QueryRequest,
+    outcome: Outcome,
+    breaker_state: Optional[str] = None,
+    cg_edge_fraction: Optional[float] = None,
+    hubs: Optional[int] = None,
+    num_vertices: Optional[int] = None,
+) -> ExplainRecord:
+    """Assemble the explain record for one terminal outcome."""
+    rec = ExplainRecord(
+        trace_id=req.trace_id,
+        request_id=req.id,
+        query=req.query,
+        source=req.source,
+        priority=req.priority,
+        status=outcome.status,
+        reason=None if outcome.rejection is None else outcome.rejection.reason,
+        error=outcome.error,
+        # Door rejections never reach a worker (wait_s stays 0); a
+        # rejection carrying queue wait expired *after* admission.
+        admitted=outcome.rejection is None or outcome.wait_s > 0.0,
+        attempts=req.attempts,
+        shed=outcome.shed,
+        queue_wait_ms=outcome.wait_s * 1000.0,
+        service_ms=outcome.service_s * 1000.0,
+        deadline_s=req.deadline_s,
+        breaker_state=breaker_state,
+        cg_edge_fraction=cg_edge_fraction,
+        hubs=hubs,
+    )
+    if req.max_iterations is not None or req.deadline_s is not None:
+        rec.budget = {
+            "deadline_s": req.deadline_s,
+            "max_iterations": req.max_iterations,
+        }
+    res = outcome.result
+    if res is not None:
+        rec.phase1 = _phase_breakdown(res.phase1)
+        rec.phase2 = _phase_breakdown(res.phase2)
+        rec.impacted = int(res.impacted)
+        rec.certified_precise = int(res.certified_precise)
+        if num_vertices:
+            rec.certified_fraction = round(
+                res.certified_precise / num_vertices, 6
+            )
+        rec.certificate = certificate_summary(res.certificate)
+        rec.degraded_phase = res.degraded_phase
+        if res.budget_error is not None:
+            budget = rec.budget or {}
+            budget["exceeded"] = res.budget_error.as_dict()
+            rec.budget = budget
+    return rec
+
+
+def render_explain(payload: Dict[str, Any]) -> str:
+    """Human-readable rendering of one explain event (CLI ``obs explain``)."""
+    lines = [
+        f"explain: request {payload.get('request')} "
+        f"[{payload.get('query')}] -> {payload.get('status')}",
+        f"  trace           {payload.get('trace')}",
+    ]
+
+    def row(label: str, value: Any) -> None:
+        if value is not None:
+            lines.append(f"  {label:15s} {value}")
+
+    row("source", payload.get("source"))
+    row("priority", payload.get("priority"))
+    row("reason", payload.get("reason"))
+    row("error", payload.get("error"))
+    row("admitted", payload.get("admitted"))
+    row("attempts", payload.get("attempts"))
+    row("shed", payload.get("shed"))
+    row("queue_wait_ms", payload.get("queue_wait_ms"))
+    row("service_ms", payload.get("service_ms"))
+    row("deadline_s", payload.get("deadline_s"))
+    row("breaker", payload.get("breaker_state"))
+    budget = payload.get("budget")
+    if budget is not None:
+        row("budget", budget)
+    for phase in ("phase1", "phase2"):
+        info = payload.get(phase)
+        if info:
+            lines.append(
+                f"  {phase:15s} {info.get('wall_ms', 0):.3f} ms, "
+                f"{info.get('iterations', 0)} iters, "
+                f"{info.get('edges_processed', 0)} edges, "
+                f"{info.get('updates', 0)} updates"
+            )
+    row("impacted", payload.get("impacted"))
+    row("certified", payload.get("certified_precise"))
+    frac = payload.get("certified_fraction")
+    if frac is not None:
+        row("cert_fraction", f"{frac:.4f}")
+    cert = payload.get("certificate")
+    if cert:
+        row(
+            "certificate",
+            ", ".join(f"{k}={v}" for k, v in cert.items()),
+        )
+    row("degraded_phase", payload.get("degraded_phase"))
+    cg = payload.get("cg_edge_fraction")
+    if cg is not None:
+        row("cg_edges", f"{cg:.4f} of full graph")
+    row("hubs", payload.get("hubs"))
+    if payload.get("sampled") is not None:
+        row(
+            "sampling",
+            f"retained={payload.get('sampled')} "
+            f"reason={payload.get('sample_reason')}",
+        )
+    return "\n".join(lines)

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.core.twophase import TwoPhaseResult
+from repro.obs.trace import TraceContext
 
 STATUS_OK = "ok"
 STATUS_DEGRADED = "degraded"
@@ -57,6 +58,16 @@ class QueryRequest:
     submitted_at: float = 0.0
     attempts: int = 0
     failures: List[str] = field(default_factory=list)
+    #: Causal trace context minted at submit; ``trace.span_id`` is the
+    #: request's root span, which every worker-side span parents under.
+    trace: Optional[TraceContext] = None
+    #: ``perf_counter`` at submit — the journal-relative start of the
+    #: synthetic ``serve.request`` root span and ``serve.queue.wait``.
+    submitted_perf: float = 0.0
+
+    @property
+    def trace_id(self) -> Optional[str]:
+        return None if self.trace is None else self.trace.trace_id
 
     def remaining_s(self, now: float) -> Optional[float]:
         """Seconds of deadline left at time ``now``, or None (unbounded)."""

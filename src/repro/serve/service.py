@@ -35,13 +35,16 @@ from repro.graph.csr import Graph
 from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
 from repro.obs import runtime as obs_runtime
+from repro.obs import trace as obs_trace
 from repro.obs.live import prom
 from repro.obs.live.slo import SloSpec, SloTracker
 from repro.obs.spans import span
+from repro.obs.trace import TraceStore
 from repro.queries.registry import get_spec
 from repro.resilience.budget import Budget
 
 from repro.serve.breaker import CircuitBreaker
+from repro.serve.explain import build_explain
 from repro.serve.queue import AdmissionQueue
 from repro.serve.request import (
     REASON_DEADLINE,
@@ -81,6 +84,13 @@ class ServiceConfig:
     slo_specs: Optional[Sequence[SloSpec]] = None
     #: Re-evaluate SLO burn rates every N resolved requests.
     slo_eval_every: int = 32
+    #: Tail-sampler tuning: retained-trace capacity, per-trace event cap,
+    #: the healthy-traffic head-sampling rate (1 in N), and the latency
+    #: above which an otherwise-healthy request is always retained.
+    trace_capacity: int = 256
+    trace_max_events: int = 512
+    trace_head_every: int = 16
+    trace_slow_ms: Optional[float] = 500.0
 
 
 class QueryService:
@@ -107,6 +117,22 @@ class QueryService:
         )
         self._pool = WorkerPool(self, self.config.workers)
         self._tally = Tally()
+        self.traces = TraceStore(
+            sampler=obs_trace.TailSampler(
+                slow_ms=self.config.trace_slow_ms,
+                head_every=self.config.trace_head_every,
+            ),
+            capacity=self.config.trace_capacity,
+            max_events_per_trace=self.config.trace_max_events,
+        )
+        # Explain-record constants: the CG/full-graph edge ratio and hub
+        # count are properties of the shared pair, computed once.
+        self._num_vertices = int(g.num_vertices)
+        self._cg_edge_fraction: Optional[float] = None
+        if g.num_edges:
+            self._cg_edge_fraction = float(proxy.num_edges) / float(g.num_edges)
+        hubs = getattr(proxy, "hubs", None)
+        self._num_hubs: Optional[int] = None if hubs is None else len(hubs)
         self.slo = SloTracker(self.config.slo_specs, clock=self._clock)
         self._resolved_since_slo_eval = 0
         self._exporter: Optional[object] = None
@@ -122,6 +148,7 @@ class QueryService:
     def start(self) -> "QueryService":
         if not self._started:
             self._started = True
+            obs_trace.install_collector(self.traces.record)
             self._pool.start()
         return self
 
@@ -166,21 +193,27 @@ class QueryService:
                 triangle=cfg.triangle if triangle is None else triangle,
                 id=self._next_id,
                 submitted_at=self._clock(),
+                trace=obs_trace.new_trace(),
+                submitted_perf=time.perf_counter(),
             )
             ticket = Ticket(req)
             self._tickets[req.id] = ticket
             self._outstanding += 1
             closed = self._closed
+        assert req.trace is not None
+        self.traces.begin(req.trace.trace_id)
         self._tally.inc("submitted")
 
-        rejection = self._admission_check(req, closed)
-        if rejection is not None:
-            self._resolve(
-                req,
-                Outcome(request=req, status=STATUS_REJECTED,
-                        rejection=rejection),
-            )
-            return ticket
+        with obs_trace.use(req.trace):
+            with span("serve.admit", query=req.query, request=req.id):
+                rejection = self._admission_check(req, closed)
+            if rejection is not None:
+                self._resolve(
+                    req,
+                    Outcome(request=req, status=STATUS_REJECTED,
+                            rejection=rejection),
+                )
+                return ticket
         self._tally.inc("admitted")
         if obs_runtime._enabled:
             obs_metrics.counter("serve.admitted").inc()
@@ -217,10 +250,31 @@ class QueryService:
         return (self._queue.depth() / self.config.workers) * ewma
 
     # ------------------------------------------------------------------
+    def _emit_queue_wait(self, req: QueryRequest, wait_s: float) -> None:
+        """Synthesize the queue-wait span: no thread owns the queue time,
+        so the interval (submit -> worker pickup) is journaled directly as
+        a span event parented under the request's root span."""
+        if not obs_runtime._enabled or req.trace is None:
+            return
+        event = {
+            "type": "span", "name": "serve.queue.wait",
+            "duration_s": wait_s, "depth": 1,
+            "parent": "serve.request",
+            "span_id": obs_trace.new_span_id(),
+            "parent_span_id": req.trace.span_id,
+            "trace": req.trace.trace_id,
+            "request": req.id,
+        }
+        active = obs_journal.active_journal()
+        if active is not None:
+            event["start_t"] = active.rel_time(req.submitted_perf)
+        obs_journal.emit(event)
+
     def _execute(self, req: QueryRequest) -> Outcome:
         """Run one admitted request (worker thread context)."""
         now = self._clock()
         wait_s = now - req.submitted_at
+        self._emit_queue_wait(req, wait_s)
         remaining = req.remaining_s(now)
         if remaining is not None and remaining <= 0:
             # Expired while queued: abort before any engine work.
@@ -245,7 +299,7 @@ class QueryService:
                 obs_metrics.counter("serve.shed").inc()
         spec = get_spec(req.query)
         t0 = self._clock()
-        with span("serve.request", query=req.query):
+        with span("serve.execute", query=req.query, request=req.id):
             res = two_phase(
                 self.g, self.proxy, spec, req.source,
                 triangle=req.triangle, budget=budget,
@@ -285,6 +339,15 @@ class QueryService:
             ticket = self._tickets.pop(req.id, None)
         if ticket is None:
             return  # already resolved (e.g. crash after a late resolve)
+        with obs_trace.use(req.trace):
+            self._account_and_finish(req, outcome)
+        ticket.resolve(outcome)
+        with self._cond:
+            self._outstanding -= 1
+            self._cond.notify_all()
+
+    def _account_and_finish(self, req: QueryRequest, outcome: Outcome) -> None:
+        """Tally the outcome, close its trace, and journal the wide events."""
         if outcome.status == STATUS_OK:
             self._tally.inc("completed")
         elif outcome.status == STATUS_DEGRADED:
@@ -297,8 +360,8 @@ class QueryService:
         terminal_latency_ms: Optional[float] = None
         if outcome.status in (STATUS_OK, STATUS_DEGRADED):
             terminal_latency_ms = outcome.service_s * 1000.0
-            self._tally.observe_latency(outcome.service_s)
-            self._tally.observe_wait(outcome.wait_s)
+            self._tally.observe_latency(outcome.service_s, req.trace_id)
+            self._tally.observe_wait(outcome.wait_s, req.trace_id)
         self.slo.record(
             failed=outcome.status == STATUS_FAILED,
             degraded=outcome.status == STATUS_DEGRADED,
@@ -306,28 +369,52 @@ class QueryService:
             latency_ms=terminal_latency_ms,
         )
         self._maybe_evaluate_slo()
+
+        # Close the trace: build the explain record, let the tail sampler
+        # decide retention on the end-to-end latency, then stamp the
+        # sampling verdict back onto the (shared) explain dict so the
+        # retained trace and the journal carry it.
+        explain = build_explain(
+            req, outcome,
+            breaker_state=str(self.breaker.snapshot()["state"]),
+            cg_edge_fraction=self._cg_edge_fraction,
+            hubs=self._num_hubs,
+            num_vertices=self._num_vertices,
+        ).to_dict()
+        total_ms = (outcome.wait_s + outcome.service_s) * 1000.0
+        sample_reason: Optional[str] = None
+        if req.trace is not None:
+            sample_reason = self.traces.finish(
+                req.trace.trace_id, outcome.status,
+                latency_ms=total_ms, shed=outcome.shed, explain=explain,
+            )
+        explain["sampled"] = sample_reason is not None
+        if sample_reason is not None:
+            explain["sample_reason"] = sample_reason
+
         if obs_runtime._enabled:
             if outcome.status == STATUS_OK:
                 obs_metrics.counter("serve.completed").inc()
                 obs_metrics.stream_hist("serve.latency_ms").observe(
-                    outcome.service_s * 1000.0
+                    outcome.service_s * 1000.0, exemplar=req.trace_id
                 )
                 obs_metrics.stream_hist("serve.queue_wait_ms").observe(
-                    outcome.wait_s * 1000.0
+                    outcome.wait_s * 1000.0, exemplar=req.trace_id
                 )
             elif outcome.status == STATUS_DEGRADED:
                 obs_metrics.counter("serve.degraded").inc()
                 obs_metrics.stream_hist("serve.latency_ms").observe(
-                    outcome.service_s * 1000.0
+                    outcome.service_s * 1000.0, exemplar=req.trace_id
                 )
                 obs_metrics.stream_hist("serve.queue_wait_ms").observe(
-                    outcome.wait_s * 1000.0
+                    outcome.wait_s * 1000.0, exemplar=req.trace_id
                 )
             elif outcome.status == STATUS_REJECTED:
                 assert outcome.rejection is not None
                 obs_metrics.counter(
                     "serve.rejected", reason=outcome.rejection.reason
                 ).inc()
+            self._emit_root_span(req, outcome)
             obs_journal.emit({
                 "type": "event", "name": "serve.request",
                 "request": req.id, "query": req.query,
@@ -340,10 +427,33 @@ class QueryService:
                 "wait_ms": round(outcome.wait_s * 1000.0, 3),
                 "service_ms": round(outcome.service_s * 1000.0, 3),
             })
-        ticket.resolve(outcome)
-        with self._cond:
-            self._outstanding -= 1
-            self._cond.notify_all()
+            obs_journal.emit({
+                "type": "event", "name": "serve.explain", **explain,
+            })
+
+    def _emit_root_span(self, req: QueryRequest, outcome: Outcome) -> None:
+        """Synthesize the ``serve.request`` root span (submit -> resolve).
+
+        The root's span id is the one the trace context was minted with,
+        so every span/event emitted anywhere in the request's lifetime —
+        admission, queue wait, worker execution, engine phases, injected
+        faults — already parents under it.
+        """
+        if req.trace is None:
+            return
+        event = {
+            "type": "span", "name": "serve.request",
+            "duration_s": time.perf_counter() - req.submitted_perf,
+            "depth": 0, "parent": None,
+            "span_id": req.trace.span_id, "parent_span_id": None,
+            "trace": req.trace.trace_id,
+            "request": req.id, "query": req.query,
+            "status": outcome.status,
+        }
+        active = obs_journal.active_journal()
+        if active is not None:
+            event["start_t"] = active.rel_time(req.submitted_perf)
+        obs_journal.emit(event)
 
     # ------------------------------------------------------------------
     def _on_worker_death(
@@ -437,6 +547,7 @@ class QueryService:
                 ),
             )
         self._pool.stop(timeout)
+        obs_trace.uninstall_collector(self.traces.record)
         if obs_runtime._enabled:
             obs_journal.emit({
                 "type": "event", "name": "serve.stats",
@@ -484,6 +595,10 @@ class QueryService:
         doc = dict(self.stats().to_dict())
         doc["slo"] = self.slo.statz()
         doc["workers_alive"] = self._pool.alive_count()
+        doc["traces"] = {
+            **self.traces.stats(),
+            "recent": self.traces.recent(),
+        }
         return doc
 
     def healthz(self) -> Tuple[bool, Dict[str, object]]:
@@ -533,6 +648,16 @@ class QueryService:
             ("stream_hist", "serve.queue_wait_ms", (),
              self._tally.wait_histogram()),
         ]
+        tstats = self.traces.stats()
+        rows.extend([
+            ("counter", "obs.trace.retained", (), tstats.get("retained", 0)),
+            ("counter", "obs.trace.dropped", (), tstats.get("dropped", 0)),
+            ("counter", "obs.trace.evicted", (), tstats.get("evicted", 0)),
+            ("counter", "obs.trace.truncated", (), tstats.get("truncated", 0)),
+            ("counter", "obs.trace.abandoned", (), tstats.get("abandoned", 0)),
+            ("gauge", "obs.trace.store.traces", (), tstats.get("traces", 0)),
+            ("gauge", "obs.trace.store.events", (), tstats.get("events", 0)),
+        ])
         for state in self.slo.evaluate():
             labels = (("slo", state.spec.name),)
             rows.append(

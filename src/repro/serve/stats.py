@@ -119,11 +119,15 @@ class Tally:
         with self._lock:
             return self._counts.get(key, 0)
 
-    def observe_latency(self, service_s: float) -> None:
-        self._latency_ms.observe(service_s * 1000.0)
+    def observe_latency(
+        self, service_s: float, trace_id: Optional[str] = None
+    ) -> None:
+        self._latency_ms.observe(service_s * 1000.0, exemplar=trace_id)
 
-    def observe_wait(self, wait_s: float) -> None:
-        self._wait_ms.observe(wait_s * 1000.0)
+    def observe_wait(
+        self, wait_s: float, trace_id: Optional[str] = None
+    ) -> None:
+        self._wait_ms.observe(wait_s * 1000.0, exemplar=trace_id)
 
     def percentile_ms(self, q: float) -> Optional[float]:
         return self._latency_ms.quantile(q)

@@ -17,6 +17,7 @@ from __future__ import annotations
 import threading
 from typing import TYPE_CHECKING, List
 
+from repro.obs import trace as obs_trace
 from repro.resilience.faults import fault_point
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -95,13 +96,17 @@ class WorkerPool:
             req = self._service._queue.pop(timeout=0.05)
             if req is None:
                 continue
-            try:
-                fault_point("serve.worker.request")
-                outcome = self._service._execute(req)
-                self._service._resolve(req, outcome)
-            except BaseException as exc:
-                # The request dies with the worker: hand it back to the
-                # service (requeue-once / poison) before re-raising into
-                # the supervisor.
-                self._service._on_worker_death(wid, req, exc)
-                raise
+            # The whole worker-side lifetime runs under the request's
+            # trace context, so engine spans, fault fires, and the
+            # death/requeue path are all stamped with its trace id.
+            with obs_trace.use(req.trace):
+                try:
+                    fault_point("serve.worker.request")
+                    outcome = self._service._execute(req)
+                    self._service._resolve(req, outcome)
+                except BaseException as exc:
+                    # The request dies with the worker: hand it back to
+                    # the service (requeue-once / poison) before
+                    # re-raising into the supervisor.
+                    self._service._on_worker_death(wid, req, exc)
+                    raise

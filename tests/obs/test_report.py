@@ -54,6 +54,30 @@ def test_render_report_without_optional_sections():
     assert "Convergence" not in text
 
 
+def test_report_payload_is_json_ready():
+    """The --json path: the same summary structures, machine-readable."""
+    import json
+
+    events = EVENTS + [
+        {"type": "span", "name": "serve.request", "duration_s": 0.004,
+         "depth": 0, "span_id": "s1", "parent_span_id": None,
+         "trace": "tZ", "status": "ok", "query": "SSSP", "request": 1,
+         "seq": 7, "t": 0.04},
+    ]
+    payload = report.report_payload(events, source="run.jsonl")
+    json.dumps(payload)  # every value must serialize
+    assert payload["source"] == "run.jsonl"
+    assert payload["manifest"]["seed"] == 7
+    assert payload["key"]["graph"] == "PK"
+    assert payload["key"]["query"] == "SSSP"
+    assert payload["phases"]["twophase.core"]["total_s"] == 0.002
+    assert payload["quality"]
+    assert payload["metrics"]["engine.edges_scanned"] == 40
+    (trace_row,) = payload["traces"]
+    assert trace_row["trace"] == "tZ"
+    assert trace_row["status"] == "ok"
+
+
 def test_render_diff_marks_regressions():
     deltas = [
         compare.Delta(name="phase:twophase.completion", kind="time",

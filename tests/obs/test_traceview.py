@@ -1,0 +1,163 @@
+"""Trace reassembly from journal events: trees, orphans, rendering."""
+
+from repro.obs import traceview
+
+
+def _span(name, span_id, parent=None, trace="tX", start=None, dur=0.001,
+          **extra):
+    ev = {
+        "type": "span", "name": name, "span_id": span_id,
+        "parent_span_id": parent, "trace": trace, "duration_s": dur,
+        **extra,
+    }
+    if start is not None:
+        ev["start_t"] = start
+    return ev
+
+
+def _request_events(trace="tX"):
+    """A realistic single-request event stream (root, admit, wait, exec)."""
+    return [
+        _span("serve.admit", "s2", parent="s1", trace=trace,
+              start=0.000, dur=0.001),
+        _span("serve.queue.wait", "s3", parent="s1", trace=trace,
+              start=0.001, dur=0.004),
+        _span("twophase.core", "s5", parent="s4", trace=trace,
+              start=0.006, dur=0.010),
+        _span("twophase.completion", "s6", parent="s4", trace=trace,
+              start=0.016, dur=0.005),
+        _span("serve.execute", "s4", parent="s1", trace=trace,
+              start=0.005, dur=0.017),
+        _span("serve.request", "s1", parent=None, trace=trace,
+              start=0.000, dur=0.023, status="done", query="SSSP",
+              request=1),
+        {"type": "event", "name": "serve.explain", "trace": trace,
+         "request": 1, "query": "SSSP", "status": "done"},
+    ]
+
+
+class TestBuildTree:
+    def test_reassembles_one_rooted_tree(self):
+        tree = traceview.build_tree(_request_events(), "tX")
+        assert [r.name for r in tree.roots] == ["serve.request"]
+        assert tree.orphans == []
+        root = tree.roots[0]
+        assert [c.name for c in root.children] == [
+            "serve.admit", "serve.queue.wait", "serve.execute"
+        ]
+        execute = root.children[2]
+        assert [c.name for c in execute.children] == [
+            "twophase.core", "twophase.completion"
+        ]
+        assert tree.span_count == 6
+        assert [e["name"] for e in tree.events] == ["serve.explain"]
+
+    def test_window_covers_all_spans(self):
+        tree = traceview.build_tree(_request_events(), "tX")
+        t0, t1 = tree.window()
+        assert t0 == 0.0
+        assert abs(t1 - 0.023) < 1e-9
+
+    def test_other_traces_are_filtered_out(self):
+        events = _request_events("tX") + _request_events("tY")
+        tree = traceview.build_tree(events, "tX")
+        assert tree.span_count == 6
+        assert all(
+            n.event["trace"] == "tX" for n in tree.all_nodes()
+        )
+
+    def test_missing_parent_becomes_orphan(self):
+        events = [
+            _span("serve.request", "s1", parent=None),
+            _span("twophase.core", "s5", parent="sGONE"),
+        ]
+        tree = traceview.build_tree(events, "tX")
+        assert [o.name for o in tree.orphans] == ["twophase.core"]
+        assert tree.span_count == 2
+
+    def test_spans_without_ids_become_roots(self):
+        events = [
+            {"type": "span", "name": "legacy", "trace": "tX",
+             "duration_s": 0.001},
+        ]
+        tree = traceview.build_tree(events, "tX")
+        assert [r.name for r in tree.roots] == ["legacy"]
+        assert tree.orphans == []
+
+    def test_trace_ids_in_order_of_first_appearance(self):
+        events = _request_events("tB")[:2] + _request_events("tA")
+        assert traceview.trace_ids(events) == ["tB", "tA"]
+
+
+class TestExplainLookup:
+    def test_find_explain_returns_last_matching(self):
+        events = _request_events("tX")
+        events.append({
+            "type": "event", "name": "serve.explain", "trace": "tX",
+            "request": 1, "status": "done", "final": True,
+        })
+        found = traceview.find_explain(events, "tX")
+        assert found["final"] is True
+
+    def test_find_explain_missing_is_none(self):
+        assert traceview.find_explain(_request_events("tX"), "tZ") is None
+
+
+class TestSummaries:
+    def test_summarize_rows_carry_terminal_status(self):
+        events = _request_events("tX") + _request_events("tY")
+        rows = {r["trace"]: r for r in traceview.summarize_traces(events)}
+        assert rows["tX"]["status"] == "done"
+        assert rows["tX"]["query"] == "SSSP"
+        assert rows["tX"]["spans"] == 6
+        assert rows["tX"]["events"] == 1
+        assert abs(rows["tX"]["duration_ms"] - 23.0) < 1e-6
+
+    def test_pick_trace_by_status(self):
+        events = _request_events("tX")
+        bad = _request_events("tBAD")
+        for ev in bad:
+            if ev.get("name") in ("serve.request", "serve.explain"):
+                ev["status"] = "degraded"
+        events += bad
+        assert traceview.pick_trace(events, "degraded") == "tBAD"
+        assert traceview.pick_trace(events, "done") == "tX"
+        assert traceview.pick_trace(events) == "tX"
+        assert traceview.pick_trace(events, "failed") is None
+
+
+class TestRendering:
+    def test_render_trace_shows_tree_and_waterfall(self):
+        tree = traceview.build_tree(_request_events(), "tX")
+        text = traceview.render_trace(tree)
+        assert "trace tX — 6 spans, 1 events" in text
+        assert "serve.request" in text
+        assert "twophase.core" in text
+        assert "#" in text  # waterfall bars
+        assert "ORPHAN" not in text
+
+    def test_render_trace_flags_orphans(self):
+        events = [
+            _span("serve.request", "s1", parent=None),
+            _span("twophase.core", "s5", parent="sGONE"),
+        ]
+        text = traceview.render_trace(traceview.build_tree(events, "tX"))
+        assert "ORPHAN SPANS (1)" in text
+
+    def test_render_html_is_self_contained(self, tmp_path):
+        tree = traceview.build_tree(_request_events(), "tX")
+        out = traceview.render_trace_html(
+            tree, tmp_path / "trace.html",
+            explain=traceview.find_explain(_request_events(), "tX"),
+        )
+        html = out.read_text()
+        assert html.startswith("<!doctype html>")
+        assert "serve.request" in html
+        assert "Explain" in html
+        assert "class='orphan'" not in html  # clean tree: no orphan rows
+
+    def test_render_trace_table(self):
+        rows = traceview.summarize_traces(_request_events())
+        table = traceview.render_trace_table(rows)
+        assert "tX" in table and "SSSP" in table and "done" in table
+        assert traceview.render_trace_table([]).startswith("no traced")

@@ -1,0 +1,214 @@
+"""Per-request explain records and end-to-end trace reconstruction.
+
+The acceptance bar for the tracing plane: every non-rejected request in a
+chaos run must yield a reconstructable causal tree (admission -> queue ->
+worker -> engine phases, zero orphan spans), and the tail sampler must
+provably retain every degraded/failed trace under bounded memory.
+"""
+
+import pytest
+
+from repro import obs
+from repro.obs import traceview
+from repro.resilience import faults
+from repro.serve import QueryService, ServiceConfig
+
+
+@pytest.fixture(autouse=True)
+def clean_slate():
+    faults.clear()
+    obs.reset()
+    obs.disable()
+    yield
+    faults.clear()
+    obs.reset()
+    obs.disable()
+
+
+def service(g, cg, **kw):
+    kw.setdefault("workers", 2)
+    kw.setdefault("queue_capacity", 64)
+    kw.setdefault("trace_head_every", 1)  # tests inspect every trace
+    return QueryService(g, cg, ServiceConfig(**kw))
+
+
+class TestExplainContent:
+    def test_done_request_has_the_full_story(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            ticket = svc.submit("SSSP", source=0)
+            out = ticket.result(timeout=30.0)
+            assert svc.drain(timeout=30.0)
+        assert out.status == "ok"
+        rec = svc.traces.get(ticket.request.trace_id)
+        assert rec is not None
+        ex = rec.explain
+        assert ex["status"] == "ok"
+        assert ex["query"] == "SSSP"
+        assert ex["admitted"] is True
+        assert ex["sampled"] is True
+        assert ex["sample_reason"] == rec.reason
+        # phase breakdown straight from the engines
+        assert ex["phase1"]["iterations"] >= 1
+        assert ex["phase2"]["edges_processed"] >= 0
+        assert ex["impacted"] >= 0
+        assert 0.0 < ex["cg_edge_fraction"] < 1.0
+        assert ex["hubs"] == 8
+        assert 0.0 <= ex["certified_fraction"] <= 1.0
+        assert set(ex["certificate"]) == {"exact", "approx", "unreached"}
+        assert ex["queue_wait_ms"] >= 0.0
+        assert ex["service_ms"] > 0.0
+        assert ex["breaker_state"]
+
+    def test_degraded_request_names_the_budget(
+        self, serve_graph, serve_cg, phase1_iterations
+    ):
+        with service(serve_graph, serve_cg, workers=1) as svc:
+            out = svc.submit(
+                "SSSP", source=0, max_iterations=phase1_iterations + 1
+            ).result(timeout=30.0)
+        assert out.status == "degraded"
+        rec = svc.traces.get(out.request.trace_id)
+        ex = rec.explain
+        assert rec.reason == "degraded"
+        assert ex["status"] == "degraded"
+        assert ex["degraded_phase"] == 2
+        assert ex["budget"]["max_iterations"] == phase1_iterations + 1
+        assert "exceeded" in ex["budget"]
+
+    def test_rejected_request_explains_the_door(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            out = svc.submit("SSSP", source=0, deadline_s=-1.0).result(
+                timeout=30.0
+            )
+        assert out.status == "rejected"
+        rec = svc.traces.get(out.request.trace_id)
+        ex = rec.explain
+        assert ex["admitted"] is False
+        assert ex["reason"] == "deadline_unmeetable"
+        assert "phase1" not in ex  # never executed
+        assert ex["service_ms"] == 0.0
+
+    def test_failed_traces_survive_head_sampling(self, serve_graph, serve_cg):
+        faults.install(
+            "serve.worker.request", "crash", at_hit=1, repeat=True
+        )
+        with service(
+            serve_graph, serve_cg, workers=1,
+            trace_head_every=1 << 30,  # head sampling would drop everything
+        ) as svc:
+            tickets = [svc.submit("SSSP", source=i) for i in range(6)]
+            assert svc.drain(timeout=60.0)
+        retained = set(svc.traces.trace_ids())
+        for t in tickets:
+            out = t.result(timeout=1.0)
+            assert out.status == "failed"
+            assert t.request.trace_id in retained
+            assert svc.traces.get(t.request.trace_id).explain["error"]
+        assert svc.stats().lost == 0
+
+    def test_bounded_memory_under_failing_flood(self, serve_graph, serve_cg):
+        """Retention is bounded even when every trace is a keeper."""
+        faults.install(
+            "serve.worker.request", "crash", at_hit=1, repeat=True
+        )
+        with service(
+            serve_graph, serve_cg, workers=1,
+            trace_capacity=8, trace_max_events=16,
+            trace_head_every=1 << 30,
+        ) as svc:
+            for i in range(40):
+                svc.submit("SSSP", source=i % 8)
+            assert svc.drain(timeout=120.0)
+        stats = svc.traces.stats()
+        assert stats["traces"] <= 8
+        assert stats["events"] <= 8 * 16
+        assert stats["evicted"] >= 1
+        assert svc.stats().lost == 0
+
+
+class TestStatzAndMetrics:
+    def test_statz_surfaces_trace_store(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            svc.submit("SSSP", source=0)
+            assert svc.drain(timeout=30.0)
+            doc = svc.statz()
+        assert doc["traces"]["retained"] >= 1
+        recent = doc["traces"]["recent"]
+        assert recent and recent[0]["trace_id"].startswith("t")
+
+    def test_metric_rows_export_trace_counters(self, serve_graph, serve_cg):
+        with service(serve_graph, serve_cg) as svc:
+            svc.submit("SSSP", source=0)
+            assert svc.drain(timeout=30.0)
+            names = {row[1] for row in svc.metric_rows()}
+        assert {
+            "obs.trace.retained", "obs.trace.dropped", "obs.trace.evicted",
+            "obs.trace.store.traces", "obs.trace.store.events",
+        } <= names
+
+
+class TestChaosTraceReconstruction:
+    def test_every_request_yields_a_complete_causal_tree(
+        self, serve_graph, serve_cg, tmp_path, phase1_iterations
+    ):
+        """The headline invariant: chaos traffic, zero orphan spans."""
+        journal_path = tmp_path / "chaos.jsonl"
+        faults.install("serve.worker.request", "crash", at_hit=3)
+        with obs.telemetry(trace_path=journal_path, seed=7):
+            with service(serve_graph, serve_cg) as svc:
+                tickets = [
+                    svc.submit(
+                        "SSSP", source=i,
+                        max_iterations=(
+                            phase1_iterations + 1 if i % 4 == 0 else None
+                        ),
+                    )
+                    for i in range(12)
+                ]
+                assert svc.drain(timeout=120.0)
+        outcomes = {t.request.trace_id: t.result(1.0) for t in tickets}
+        statuses = {o.status for o in outcomes.values()}
+        assert "degraded" in statuses  # the budgeted ones
+        events = obs.read_events(journal_path)
+        tids = traceview.trace_ids(events)
+        assert set(tids) == set(outcomes)
+        for tid in tids:
+            tree = traceview.build_tree(events, tid)
+            assert tree.orphans == [], (
+                f"trace {tid}: broken causal chain "
+                f"{[o.name for o in tree.orphans]}"
+            )
+            roots = [r.name for r in tree.roots]
+            assert roots == ["serve.request"]
+            names = {n.name for n in tree.all_nodes()}
+            assert "serve.admit" in names
+            assert {"serve.queue.wait", "serve.execute"} <= names
+            # the explain wide event rode the same trace
+            assert traceview.find_explain(events, tid) is not None
+        assert svc.stats().lost == 0
+
+    def test_pick_and_render_a_degraded_trace(
+        self, serve_graph, serve_cg, tmp_path, phase1_iterations
+    ):
+        """What the CI smoke does: pick a degraded trace, render it."""
+        journal_path = tmp_path / "run.jsonl"
+        with obs.telemetry(trace_path=journal_path):
+            with service(serve_graph, serve_cg, workers=1) as svc:
+                svc.submit("SSSP", source=0)
+                svc.submit(
+                    "SSSP", source=1,
+                    max_iterations=phase1_iterations + 1,
+                )
+                assert svc.drain(timeout=60.0)
+        events = obs.read_events(journal_path)
+        tid = traceview.pick_trace(events, "degraded")
+        assert tid is not None
+        tree = traceview.build_tree(events, tid)
+        text = traceview.render_trace(tree)
+        assert "serve.request" in text and "ORPHAN" not in text
+        explain = traceview.find_explain(events, tid)
+        assert explain["degraded_phase"] == 2
+        out = traceview.render_trace_html(
+            tree, tmp_path / "trace.html", explain=explain
+        )
+        assert out.read_text().startswith("<!doctype html>")

@@ -6,6 +6,7 @@ closes with the chaos invariant ``lost == 0``.
 """
 
 import json
+import threading
 import urllib.request
 
 import pytest
@@ -138,6 +139,50 @@ class TestServiceStatsPercentiles:
                 svc.submit("SSSP", source=i)
             assert svc.drain(timeout=60.0)
         assert svc.wait_snapshot().count >= 1
+        assert svc.stats().lost == 0
+
+
+class TestConcurrentScrapes:
+    def test_parallel_scrapes_under_load_stay_valid(
+        self, serve_graph, serve_cg
+    ):
+        """Scrapers hammering /metrics while requests execute must always
+        see a parseable, internally consistent exposition — rendering
+        snapshots under the registry lock, never a torn read."""
+        with service(serve_graph, serve_cg) as svc:
+            exporter = svc.start_exporter(port=0)
+            stop = threading.Event()
+            errors = []
+            scrapes = [0]
+
+            def scraper():
+                while not stop.is_set():
+                    try:
+                        status, body = _get(exporter.url("/metrics"))
+                        assert status == 200
+                        prom.parse(body)  # raises on malformed exposition
+                        scrapes[0] += 1
+                    except Exception as exc:  # pragma: no cover - failure path
+                        errors.append(exc)
+                        return
+
+            threads = [threading.Thread(target=scraper) for _ in range(4)]
+            for t in threads:
+                t.start()
+            for i in range(24):
+                svc.submit("SSSP", source=i % 16)
+            assert svc.drain(timeout=120.0)
+            stop.set()
+            for t in threads:
+                t.join(timeout=10.0)
+            assert not errors
+            assert scrapes[0] >= 4  # every scraper got at least one pass
+            # the settled exposition accounts for the whole run
+            _, body = _get(exporter.url("/metrics"))
+            parsed = prom.parse(body)
+            assert parsed["serve_submitted_total"][
+                "serve_submitted_total"
+            ] == 24
         assert svc.stats().lost == 0
 
 
