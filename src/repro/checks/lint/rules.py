@@ -647,15 +647,20 @@ class RC010FaultSite(Rule):
     under injected faults and silently escapes that coverage. The same
     holds for ``repro.serve`` worker loops (the chaos-service CI step can
     only prove worker supervision if every loop that pops and executes
-    requests declares a kill site) and for the ``repro.obs.live``
+    requests declares a kill site), for the ``repro.obs.live``
     background threads — the sampling profiler and scrape exporter run
     unattended for the whole process lifetime, so their loops must be
-    killable in chaos tests too.
+    killable in chaos tests too — and for the ``repro.evolve``
+    rebuild supervisor, whose crash-restart loop is exactly the thing
+    the mutation-storm chaos job kills.
     """
 
     id = "RC010"
     title = "engine function has no fault_point site"
-    scopes = ("repro.engines.", "repro.serve.", "repro.obs.live.")
+    scopes = (
+        "repro.engines.", "repro.serve.", "repro.obs.live.",
+        "repro.evolve.",
+    )
 
     def check(self, ctx: FileContext) -> Iterator[Violation]:
         for node in ast.walk(ctx.tree):
@@ -663,13 +668,14 @@ class RC010FaultSite(Rule):
                 continue
             # An engine loop gathers edges or ticks a budget; a serve
             # worker loop pops requests or runs two_phase directly; an
-            # obs.live background loop samples stacks or serves scrapes.
+            # obs.live background loop samples stacks or serves scrapes;
+            # the evolve supervisor's tick loop attempts rebuilds.
             has_engine_loop = any(
                 isinstance(inner, ast.While)
                 and any(
                     _call_named(c, "ragged_gather", "tick", "pop",
                                 "two_phase", "_sample_once",
-                                "handle_request")
+                                "handle_request", "_attempt")
                     for c in _calls(inner)
                 )
                 for inner in ast.walk(node)

@@ -264,6 +264,31 @@ def check_async_no_lost_updates(
         )
 
 
+def check_epoch_integrity(epoch, site: str) -> None:
+    """A pinned epoch must be internally consistent — never torn.
+
+    Torn means the graph and the core-graph proxy come from different
+    versions: the fingerprint no longer matches the graph content, the
+    proxy's edge mask addresses a different edge array, or the proxy
+    contains edges the graph lost. Any of these would silently void the
+    2Phase exactness argument for answers computed on the pin.
+    """
+    g: Graph = epoch.graph
+    actual = g.fingerprint()
+    if actual != epoch.fingerprint:
+        report("epoch_integrity", site,
+               f"epoch {epoch.number} fingerprint {epoch.fingerprint[:12]} "
+               f"does not match its graph content ({actual[:12]})")
+    proxy = epoch.proxy
+    mask = getattr(proxy, "edge_mask", None)
+    if mask is not None and mask.size != g.num_edges:
+        report("epoch_integrity", site,
+               f"epoch {epoch.number} proxy mask covers {mask.size} edges "
+               f"but the graph holds {g.num_edges} — graph and CG are from "
+               "different versions")
+    check_cg_containment(g, proxy, site)
+
+
 # ---------------------------------------------------------------------------
 # Telemetry-name audit
 # ---------------------------------------------------------------------------

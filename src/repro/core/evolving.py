@@ -102,6 +102,12 @@ class EvolvingCoreGraph:
         self.stats = MaintenanceStats()
         self._triangle_safe = True
 
+    @property
+    def triangle_safe(self) -> bool:
+        """Whether Theorem-1 certificates are currently sound (no churn
+        since the last build/rebuild)."""
+        return self._triangle_safe
+
     # ------------------------------------------------------------------
     # Churn
     # ------------------------------------------------------------------
@@ -193,9 +199,21 @@ class EvolvingCoreGraph:
         self.rebuild()
         return True
 
-    def rebuild(self) -> None:
-        """Re-identify the CG on the current graph (the one-time cost)."""
-        self.cg = build_cg(self.graph, self.spec, num_hubs=self.num_hubs)
+    def rebuild(self, budget=None, progress=None) -> None:
+        """Re-identify the CG on the current graph (the one-time cost).
+
+        ``budget`` (a :class:`repro.resilience.Budget`) bounds the hub
+        queries; ``progress(done, total)`` is invoked after each hub so a
+        supervised rebuilder can checkpoint between hubs.
+        """
+        kwargs = {}
+        if budget is not None:
+            kwargs["budget"] = budget
+        if progress is not None:
+            kwargs["progress"] = progress
+        self.cg = build_cg(
+            self.graph, self.spec, num_hubs=self.num_hubs, **kwargs
+        )
         self.stats.rebuilds += 1
         self._triangle_safe = True
 

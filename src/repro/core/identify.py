@@ -63,6 +63,8 @@ def build_core_graph(
     track_growth: bool = False,
     track_selection: bool = False,
     include_backward: bool = True,
+    budget=None,
+    progress=None,
 ) -> CoreGraph:
     """Algorithm 1: find the core graph of ``g`` for query kind ``spec``.
 
@@ -85,6 +87,14 @@ def build_core_graph(
         Algorithm 1 does. Disabling it is the ablation of the paper's
         "forward and backward queries ... preserve pairwise reachability"
         argument; note the Theorem 1 certificates need backward values.
+    budget:
+        Optional :class:`repro.resilience.Budget`; its deadline is checked
+        before each hub query so a bounded rebuild aborts between hubs
+        (raising :class:`repro.resilience.BudgetExceeded`) instead of
+        mid-traversal.
+    progress:
+        Optional ``progress(done, total)`` callback invoked after each hub
+        query — the hook supervised rebuilders use to checkpoint.
     """
     if spec.multi_source:
         raise ValueError(
@@ -111,8 +121,10 @@ def build_core_graph(
     build_span = span("cg.build", algorithm="weighted", query=spec.name,
                       num_hubs=len(hub_arr))
     with build_span:
-        for h in hub_arr:
+        for i, h in enumerate(hub_arr):
             h = int(h)
+            if budget is not None:
+                budget.check_deadline("cg.build")
             with span("cg.hub_query", hub=h, query=spec.name):
                 fvals = evaluate_query(g, spec, h, weights=fw_weights)
                 fmask = spec.on_solution_path(
@@ -133,6 +145,8 @@ def build_core_graph(
                 hub_data.append(HubData(hub=h, forward=fvals, backward=bvals))
             if growth is not None:
                 growth.append(int(mask.sum()))
+            if progress is not None:
+                progress(i + 1, len(hub_arr))
 
         connectivity_added = 0
         if connectivity:

@@ -72,12 +72,18 @@ def build_unweighted_core_graph(
     connectivity: bool = True,
     track_growth: bool = False,
     spec: QuerySpec = REACH,
+    budget=None,
+    progress=None,
 ) -> CoreGraph:
     """Algorithm 2: the general core graph serving REACH and WCC.
 
     Forward traversals run on ``g`` and mark edges directly; backward
     traversals run on ``G^T`` and their edges are mapped back to the forward
     orientation (``E_C = E_f ∪ Reverse(E_b)``).
+
+    ``budget`` / ``progress`` behave as in
+    :func:`repro.core.identify.build_core_graph`: the deadline is checked
+    before each hub traversal and ``progress(done, total)`` fires after it.
     """
     if hubs is None:
         hub_arr = top_degree_vertices(g, num_hubs)
@@ -97,6 +103,8 @@ def build_unweighted_core_graph(
     with build_span:
         for i, h in enumerate(hub_arr):
             s_id = i + 1  # 0 is the "unvisited" label
+            if budget is not None:
+                budget.check_deadline("cg.build")
             with span("cg.hub_traverse", hub=int(h)):
                 _qid_traverse(g, int(h), s_id, fw_qid, fw_mask)
                 _qid_traverse(grev, int(h), s_id, bw_qid, bw_mask)
@@ -104,6 +112,8 @@ def build_unweighted_core_graph(
                 combined = fw_mask.copy()
                 combined[perm[np.flatnonzero(bw_mask)]] = True
                 growth.append(int(combined.sum()))
+            if progress is not None:
+                progress(i + 1, len(hub_arr))
 
         mask = fw_mask
         mask[perm[np.flatnonzero(bw_mask)]] = True

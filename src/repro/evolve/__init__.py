@@ -1,0 +1,39 @@
+"""Live-graph epoch maintenance: serve exact answers while the graph churns.
+
+The paper builds the core graph once; the ROADMAP's serving target means
+constant edge churn. This package keeps a :class:`~repro.serve.service.
+QueryService` answering — correctly and without blocking admission — while
+insert/delete batches land and Algorithm 1/2 rebuilds run in the
+background:
+
+* :mod:`repro.evolve.epoch` — immutable, version-stamped ``(Graph, CG)``
+  pairs with an atomic swap and request-lifetime pinning, so a query can
+  never observe a torn pair;
+* :mod:`repro.evolve.maintainer` — applies mutation batches under the
+  :class:`~repro.core.evolving.EvolvingCoreGraph` correctness rules and
+  publishes each result as a new epoch (all-or-nothing: a crash mid-apply
+  leaves the old epoch current);
+* :mod:`repro.evolve.certificate` — the staleness certificate attached to
+  answers computed on a no-longer-latest epoch;
+* :mod:`repro.evolve.rebuild` — a supervised background rebuilder running
+  Algorithm 1/2 under a budget with checkpoints and crash retry;
+* :mod:`repro.evolve.stream` — deterministic mutation-batch streams for
+  tests, chaos runs, and benchmarks.
+"""
+
+from repro.evolve.certificate import StalenessCertificate
+from repro.evolve.epoch import Epoch, EpochStore
+from repro.evolve.maintainer import EpochMaintainer
+from repro.evolve.rebuild import RebuildStats, RebuildSupervisor
+from repro.evolve.stream import MutationBatch, next_batch
+
+__all__ = [
+    "Epoch",
+    "EpochStore",
+    "EpochMaintainer",
+    "MutationBatch",
+    "RebuildStats",
+    "RebuildSupervisor",
+    "StalenessCertificate",
+    "next_batch",
+]

@@ -1,0 +1,65 @@
+"""Staleness certificates for answers computed on a superseded epoch.
+
+A full 2Phase answer is *exact on the epoch it ran against* (exactness
+holds for any subgraph proxy, and deletions drop CG edges before an epoch
+is published), so staleness is not an error bar on the values — it
+quantifies how far the world moved while the answer was being computed:
+how many epochs behind, how many edges churned past it, and how precise
+the answer epoch's core graph still was when last probed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+
+@dataclass(frozen=True)
+class StalenessCertificate:
+    """Attached to every answer served from a non-latest epoch.
+
+    Attributes
+    ----------
+    epoch:
+        Epoch number the answer was computed on (and is exact for).
+    latest_epoch:
+        Newest epoch at resolve time.
+    epoch_lag:
+        ``latest_epoch - epoch`` — how many swaps the answer missed.
+    churned_edges:
+        Total edges inserted plus deleted between the two epochs; the
+        magnitude of graph change the answer does not reflect.
+    probe_precision:
+        The answer epoch's last sampled core-phase precision (percent),
+        or None when never probed — the quality of the proxy that
+        produced the answer.
+    triangle_safe:
+        Whether Theorem-1 certificates were sound on the answer epoch.
+    """
+
+    epoch: int
+    latest_epoch: int
+    epoch_lag: int
+    churned_edges: int
+    probe_precision: Optional[float] = None
+    triangle_safe: bool = True
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "epoch": self.epoch,
+            "latest_epoch": self.latest_epoch,
+            "epoch_lag": self.epoch_lag,
+            "churned_edges": self.churned_edges,
+            "probe_precision": self.probe_precision,
+            "triangle_safe": self.triangle_safe,
+        }
+
+    def describe(self) -> str:
+        probe = (
+            "unprobed" if self.probe_precision is None
+            else f"{self.probe_precision:.1f}% precise"
+        )
+        return (
+            f"epoch {self.epoch} (lag {self.epoch_lag}, "
+            f"{self.churned_edges} edges churned since, {probe})"
+        )

@@ -1,0 +1,190 @@
+"""Version-stamped immutable (Graph, CG) pairs with atomic swap and pinning.
+
+The double-buffering discipline that makes live mutation safe:
+
+* an :class:`Epoch` is immutable — graph, proxy, and identity captured at
+  publish time; nothing a reader holds ever changes under it;
+* the :class:`EpochStore` swaps the *current* epoch atomically under a
+  lock, with the ``evolve.swap`` fault point firing **before** the new
+  epoch becomes visible — an injected crash can lose a swap but can never
+  publish half of one;
+* readers :meth:`~EpochStore.pin` an epoch for a request's lifetime, so a
+  query binds graph and proxy from the same version even while the store
+  moves on. Pin counts are tracked per epoch (the ``evolve.pinned``
+  gauge) and retired epochs drop out of the table once unpinned.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional
+
+from repro.core.coregraph import CoreGraph
+from repro.evolve.certificate import StalenessCertificate
+from repro.graph.csr import Graph
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.resilience.faults import fault_point
+
+
+@dataclass(frozen=True)
+class Epoch:
+    """One published (graph, core graph) version.
+
+    ``inserted_edges``/``deleted_edges`` are cumulative totals across the
+    store's lifetime, so churn between any two epochs is a subtraction.
+    ``triangle_safe`` records whether Theorem-1 certificates are sound on
+    this epoch (no churn since its proxy was built).
+    """
+
+    number: int
+    graph: Graph
+    proxy: CoreGraph
+    fingerprint: str
+    triangle_safe: bool = True
+    inserted_edges: int = 0
+    deleted_edges: int = 0
+    probe_precision: Optional[float] = None
+    rebuilt_from: Optional[int] = None
+
+    @property
+    def churned_edges(self) -> int:
+        return self.inserted_edges + self.deleted_edges
+
+    def staleness(self, latest: "Epoch") -> StalenessCertificate:
+        """The certificate for an answer computed on ``self`` when
+        ``latest`` is the newest epoch."""
+        return StalenessCertificate(
+            epoch=self.number,
+            latest_epoch=latest.number,
+            epoch_lag=latest.number - self.number,
+            churned_edges=latest.churned_edges - self.churned_edges,
+            probe_precision=self.probe_precision,
+            triangle_safe=self.triangle_safe,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Epoch({self.number}, |E|={self.graph.num_edges}, "
+            f"cg={self.proxy.num_edges}, fp={self.fingerprint[:8]}, "
+            f"triangle={'ok' if self.triangle_safe else 'off'})"
+        )
+
+
+def make_epoch(
+    number: int,
+    graph: Graph,
+    proxy: CoreGraph,
+    triangle_safe: bool = True,
+    inserted_edges: int = 0,
+    deleted_edges: int = 0,
+    probe_precision: Optional[float] = None,
+    rebuilt_from: Optional[int] = None,
+) -> Epoch:
+    """Build an :class:`Epoch`, computing the graph fingerprint."""
+    return Epoch(
+        number=number,
+        graph=graph,
+        proxy=proxy,
+        fingerprint=graph.fingerprint(),
+        triangle_safe=triangle_safe,
+        inserted_edges=inserted_edges,
+        deleted_edges=deleted_edges,
+        probe_precision=probe_precision,
+        rebuilt_from=rebuilt_from,
+    )
+
+
+class EpochStore:
+    """Holds the current epoch; swaps are atomic, reads are pinned.
+
+    One writer (the maintainer) swaps; any number of readers pin. The
+    lock only guards the reference and the pin table — readers never hold
+    it while executing a query, so mutations cannot block admission.
+    """
+
+    def __init__(self, initial: Epoch) -> None:
+        self._lock = threading.Lock()
+        self._current = initial
+        self._pins: Dict[int, int] = {}
+        self._swaps = 0
+
+    def current(self) -> Epoch:
+        """The latest epoch (unpinned peek — do not execute against it)."""
+        with self._lock:
+            return self._current
+
+    def latest_number(self) -> int:
+        with self._lock:
+            return self._current.number
+
+    def swap_count(self) -> int:
+        with self._lock:
+            return self._swaps
+
+    @contextmanager
+    def pin(self) -> Iterator[Epoch]:
+        """Pin the current epoch for the duration of the block.
+
+        The yielded epoch's graph and proxy are guaranteed to be the same
+        version for the whole block, regardless of concurrent swaps.
+        """
+        with self._lock:
+            epoch = self._current
+            self._pins[epoch.number] = self._pins.get(epoch.number, 0) + 1
+        try:
+            yield epoch
+        finally:
+            with self._lock:
+                left = self._pins.get(epoch.number, 0) - 1
+                if left <= 0:
+                    self._pins.pop(epoch.number, None)
+                else:
+                    self._pins[epoch.number] = left
+
+    def pinned_count(self, number: Optional[int] = None) -> int:
+        """Live pins on epoch ``number`` (or across all epochs)."""
+        with self._lock:
+            if number is not None:
+                return self._pins.get(number, 0)
+            return sum(self._pins.values())
+
+    def swap(self, new: Epoch) -> Epoch:
+        """Atomically publish ``new``; returns the retired epoch.
+
+        Requires ``new.number == current.number + 1`` — the writer owns
+        version numbering and gaps would break staleness accounting. The
+        ``evolve.swap`` fault point fires *before* visibility: an
+        injected crash aborts the publish entirely, never tearing it.
+        """
+        fault_point("evolve.swap")
+        with self._lock:
+            retired = self._current
+            if new.number != retired.number + 1:
+                raise ValueError(
+                    f"epoch swap out of order: current {retired.number}, "
+                    f"got {new.number}"
+                )
+            self._current = new
+            self._swaps += 1
+        obs_journal.set_global_context(
+            graph_epoch=new.number, graph_fingerprint=new.fingerprint
+        )
+        if obs_runtime._enabled:
+            obs_metrics.counter("evolve.swaps").inc()
+            obs_metrics.gauge("evolve.epoch").set(new.number)
+            obs_journal.emit({
+                "type": "event",
+                "name": "evolve.swap",
+                "epoch": new.number,
+                "retired_epoch": retired.number,
+                "graph_fingerprint": new.fingerprint,
+                "num_edges": new.graph.num_edges,
+                "cg_edges": new.proxy.num_edges,
+                "triangle_safe": new.triangle_safe,
+                "rebuilt_from": new.rebuilt_from,
+            })
+        return retired

@@ -1,0 +1,299 @@
+"""The single writer: apply mutation batches, publish epochs, rebuild.
+
+Correctness comes from :class:`~repro.core.evolving.EvolvingCoreGraph`
+(inserts keep the CG a subgraph; deletes drop CG edges; Theorem-1
+certificates die on any churn). This module adds the serving discipline:
+
+* **all-or-nothing application** — the maintainer snapshots the evolving
+  state before touching it and restores it on any failure (including the
+  ``evolve.apply`` injected crash), so a half-applied batch can never
+  become an epoch;
+* **epoch publication** — each successful batch or rebuild is published
+  through :meth:`EpochStore.swap`, whose own fault point fires before
+  visibility;
+* **non-blocking rebuilds** — Algorithm 1/2 runs against an immutable
+  graph snapshot *outside* the writer lock; installation rebases the new
+  CG onto whatever the graph has become (dropping CG edges deleted in the
+  meantime — the ``CG ⊆ G`` invariant), so mutations keep flowing during
+  the rebuild.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.coregraph import CoreGraph
+from repro.core.evolving import EvolvingCoreGraph, _membership_mask
+from repro.evolve.epoch import Epoch, EpochStore, make_epoch
+from repro.graph.csr import Graph
+from repro.graph.mutate import remove_edges
+from repro.obs import journal as obs_journal
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.obs.spans import span
+from repro.queries.base import QuerySpec
+from repro.resilience.faults import fault_point
+
+
+class EpochMaintainer:
+    """Owns the mutable evolving state; everything it publishes is frozen.
+
+    Construction builds the initial core graph and publishes epoch 0.
+    ``apply`` and ``install_rebuild`` are serialized by the writer lock;
+    readers only ever touch the :class:`EpochStore`.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        spec: QuerySpec,
+        num_hubs: int = 20,
+        rebuild_below_precision: float = 95.0,
+        probe_sources: int = 3,
+        probe_seed: int = 7,
+    ) -> None:
+        self.spec = spec
+        self._lock = threading.Lock()
+        self._ev = EvolvingCoreGraph(
+            g,
+            spec,
+            num_hubs=num_hubs,
+            rebuild_below_precision=rebuild_below_precision,
+            probe_sources=probe_sources,
+            probe_seed=probe_seed,
+        )
+        self._batches = 0
+        self.store = EpochStore(
+            make_epoch(0, self._ev.graph, self._ev.cg)
+        )
+        obs_journal.set_global_context(
+            graph_epoch=0, graph_fingerprint=self.store.current().fingerprint
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation batches
+    # ------------------------------------------------------------------
+    def apply(
+        self,
+        inserts: Iterable = (),
+        deletes: Iterable[Tuple[int, int]] = (),
+    ) -> Epoch:
+        """Apply one batch and publish the result as the next epoch.
+
+        All-or-nothing: any failure (typed mutation error, injected
+        crash, swap abort) restores the pre-batch state and re-raises;
+        the previously current epoch stays published.
+        """
+        inserts = list(inserts)
+        deletes = list(deletes)
+        with self._lock:
+            ev = self._ev
+            saved = (
+                ev.graph, ev.cg, ev._triangle_safe,
+                ev.stats.inserted_edges, ev.stats.deleted_edges,
+            )
+            base = self.store.current()
+            try:
+                with span("evolve.apply", epoch=base.number + 1,
+                          inserts=len(inserts), deletes=len(deletes)):
+                    if inserts:
+                        ev.insert_edges(inserts)
+                    fault_point("evolve.apply")
+                    if deletes:
+                        ev.delete_edges(deletes)
+                    deleted_now = (
+                        ev.stats.deleted_edges - saved[4]
+                    )
+                    epoch = make_epoch(
+                        base.number + 1,
+                        ev.graph,
+                        ev.cg,
+                        triangle_safe=ev.triangle_safe,
+                        inserted_edges=base.inserted_edges + len(inserts),
+                        deleted_edges=base.deleted_edges + deleted_now,
+                        probe_precision=base.probe_precision,
+                        rebuilt_from=base.rebuilt_from,
+                    )
+                    self.store.swap(epoch)
+            except BaseException:
+                (ev.graph, ev.cg, ev._triangle_safe,
+                 ev.stats.inserted_edges, ev.stats.deleted_edges) = saved
+                raise
+            self._batches += 1
+        if obs_runtime._enabled:
+            obs_metrics.counter("evolve.batches").inc()
+            obs_metrics.counter("evolve.inserted_edges").inc(len(inserts))
+            obs_metrics.counter("evolve.deleted_edges").inc(deleted_now)
+            obs_journal.emit({
+                "type": "event",
+                "name": "evolve.batch",
+                "epoch": epoch.number,
+                "inserts": len(inserts),
+                "deletes": deleted_now,
+                "num_edges": epoch.graph.num_edges,
+            })
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Quality policy
+    # ------------------------------------------------------------------
+    def probe(self) -> float:
+        """Sampled core-phase precision of the current epoch's proxy.
+
+        Publishes the reading onto subsequent epochs via the evolving
+        stats and exports the ``evolve.probe_precision`` gauge.
+        """
+        with self._lock:
+            precision = self._ev.probe_precision()
+            current = self.store.current()
+            if current.probe_precision != precision:
+                refreshed = make_epoch(
+                    current.number + 1,
+                    current.graph,
+                    current.proxy,
+                    triangle_safe=current.triangle_safe,
+                    inserted_edges=current.inserted_edges,
+                    deleted_edges=current.deleted_edges,
+                    probe_precision=precision,
+                    rebuilt_from=current.rebuilt_from,
+                )
+                self.store.swap(refreshed)
+        if obs_runtime._enabled:
+            obs_metrics.gauge("evolve.probe_precision").set(precision)
+        return precision
+
+    def needs_rebuild(self) -> bool:
+        """Whether the precision probe fell below the rebuild threshold."""
+        return self.probe() < self._ev.rebuild_below_precision
+
+    # ------------------------------------------------------------------
+    # Rebuild (snapshot -> build outside the lock -> rebase -> publish)
+    # ------------------------------------------------------------------
+    def rebuild_snapshot(self) -> Epoch:
+        """The epoch a background rebuild should build against."""
+        return self.store.current()
+
+    def build_proxy(
+        self, snapshot: Epoch, budget=None, progress=None
+    ) -> CoreGraph:
+        """Run Algorithm 1/2 on ``snapshot``'s (immutable) graph.
+
+        Called *without* the writer lock — mutation batches keep landing
+        while this runs. The ``evolve.rebuild`` fault point models a
+        crash inside the long build.
+        """
+        from repro.core.dispatch import build_cg
+
+        fault_point("evolve.rebuild")
+        with span("evolve.rebuild", epoch=snapshot.number):
+            return build_cg(
+                snapshot.graph,
+                self.spec,
+                num_hubs=self._ev.num_hubs,
+                budget=budget,
+                progress=progress,
+            )
+
+    def install_rebuild(self, snapshot: Epoch, proxy: CoreGraph) -> Epoch:
+        """Publish a freshly built proxy, rebasing it onto current state.
+
+        If the graph churned while the build ran, CG edges deleted in the
+        meantime are dropped (restoring ``CG ⊆ G``) and Theorem-1 stays
+        disabled; with no churn the rebuild restores certificates too.
+        """
+        with self._lock:
+            ev = self._ev
+            base = self.store.current()
+            clean = ev.graph.fingerprint() == snapshot.fingerprint
+            if clean:
+                installed = proxy
+            else:
+                installed = self._rebase(ev.graph, proxy)
+            ev.cg = installed
+            ev._triangle_safe = clean
+            epoch = make_epoch(
+                base.number + 1,
+                ev.graph,
+                installed,
+                triangle_safe=clean,
+                inserted_edges=base.inserted_edges,
+                deleted_edges=base.deleted_edges,
+                probe_precision=None,
+                rebuilt_from=snapshot.number,
+            )
+            self.store.swap(epoch)
+            ev.stats.rebuilds += 1
+        if obs_runtime._enabled:
+            obs_metrics.counter("evolve.rebuilds").inc()
+            obs_journal.emit({
+                "type": "event",
+                "name": "evolve.rebuild",
+                "epoch": epoch.number,
+                "built_on_epoch": snapshot.number,
+                "rebased": not clean,
+                "cg_edges": installed.num_edges,
+                "triangle_safe": clean,
+            })
+        return epoch
+
+    @staticmethod
+    def _rebase(current: Graph, proxy: CoreGraph) -> CoreGraph:
+        """Fit a proxy built on an older snapshot to ``current``.
+
+        Inserts since the snapshot only grow the graph (the CG stays a
+        subgraph); deletes may have removed CG edges, which must be
+        dropped. Hub values are stale either way, so they are discarded.
+        """
+        missing: List[Tuple[int, int]] = []
+        seen = set()
+        for u, v, _ in proxy.graph.iter_edges():
+            if (u, v) not in seen and not current.has_edge(u, v):
+                seen.add((u, v))
+                missing.append((u, v))
+        cg_graph = proxy.graph
+        if missing:
+            cg_graph, _ = remove_edges(cg_graph, missing)
+        return CoreGraph(
+            graph=cg_graph,
+            edge_mask=_membership_mask(current, cg_graph),
+            spec_name=proxy.spec_name,
+            hubs=proxy.hubs,
+            hub_data=[],
+            connectivity_edges=proxy.connectivity_edges,
+            source_num_edges=current.num_edges,
+        )
+
+    def rebuild(self, budget=None, progress=None) -> Epoch:
+        """Synchronous snapshot -> build -> install convenience."""
+        snapshot = self.rebuild_snapshot()
+        proxy = self.build_proxy(snapshot, budget=budget, progress=progress)
+        return self.install_rebuild(snapshot, proxy)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def batches_applied(self) -> int:
+        return self._batches
+
+    @property
+    def graph(self) -> Graph:
+        """The live (latest-epoch) graph — what the next batch mutates."""
+        return self._ev.graph
+
+    def emit_stats(self) -> None:
+        """Journal an ``evolve.stats`` snapshot (end-of-run summary)."""
+        current = self.store.current()
+        obs_journal.emit({
+            "type": "event",
+            "name": "evolve.stats",
+            "epoch": current.number,
+            "batches": self._batches,
+            "inserted_edges": current.inserted_edges,
+            "deleted_edges": current.deleted_edges,
+            "rebuilds": self._ev.stats.rebuilds,
+            "swaps": self.store.swap_count(),
+            "pinned": self.store.pinned_count(),
+            "triangle_safe": current.triangle_safe,
+        })

@@ -1,0 +1,223 @@
+"""Supervised background core-graph rebuilds with checkpoints and retry.
+
+The rebuilder is a daemon thread shaped like the serve worker pool's
+supervisor: an outer supervise loop restarts the inner loop after a crash
+(capped exponential backoff), and the inner loop polls the maintainer's
+quality policy, running Algorithm 1/2 under a fresh
+:class:`~repro.resilience.budget.Budget` per attempt. Progress checkpoints
+(a small JSON state file, atomically replaced after every hub) let an
+operator see how far a crashed attempt got; a retry starts clean — hub
+queries are pure, so re-running them is correctness-free.
+
+Crash model: the ``evolve.rebuild`` fault point fires inside the build,
+``evolve.swap`` inside publication, and ``evolve.supervisor.tick`` in the
+polling loop — a kill-storm across all three must leave the service
+answering on a consistent epoch, with the rebuild eventually landing.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Optional, Union
+
+from repro.evolve.maintainer import EpochMaintainer
+from repro.obs import metrics as obs_metrics
+from repro.obs import runtime as obs_runtime
+from repro.resilience.atomic import atomic_open
+from repro.resilience.budget import Budget, BudgetExceeded
+from repro.resilience.faults import fault_point
+
+
+@dataclass
+class RebuildStats:
+    """Lifecycle accounting for the background rebuilder."""
+
+    attempts: int = 0
+    rebuilds: int = 0
+    failures: int = 0
+    retries: int = 0
+    supervisor_restarts: int = 0
+    last_error: str = ""
+    last_epoch: Optional[int] = None
+    _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
+
+
+class RebuildSupervisor:
+    """Runs maintenance rebuilds in the background, surviving crashes.
+
+    Parameters
+    ----------
+    maintainer:
+        The single writer whose quality policy decides when to rebuild.
+    poll_interval_s:
+        Inner-loop sleep between policy checks.
+    budget_factory:
+        Called per attempt; returns the :class:`Budget` bounding it (or
+        None for unbounded). Each attempt gets a fresh budget — budgets
+        are single-claim.
+    checkpoint_path:
+        Where per-hub progress state is written (atomic JSON). None
+        disables checkpointing.
+    backoff_base_s / backoff_max_s:
+        Capped exponential backoff between crash restarts.
+    """
+
+    def __init__(
+        self,
+        maintainer: EpochMaintainer,
+        poll_interval_s: float = 0.02,
+        budget_factory: Optional[Callable[[], Optional[Budget]]] = None,
+        checkpoint_path: Optional[Union[str, Path]] = None,
+        backoff_base_s: float = 0.02,
+        backoff_max_s: float = 1.0,
+    ) -> None:
+        self.maintainer = maintainer
+        self.poll_interval_s = poll_interval_s
+        self.budget_factory = budget_factory
+        self.checkpoint_path = (
+            None if checkpoint_path is None else Path(checkpoint_path)
+        )
+        self.backoff_base_s = backoff_base_s
+        self.backoff_max_s = backoff_max_s
+        self.stats = RebuildStats()
+        self._stop = threading.Event()
+        self._force = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RebuildSupervisor":
+        if self._thread is not None:
+            raise RuntimeError("rebuild supervisor already started")
+        self._thread = threading.Thread(
+            target=self._supervise, name="evolve-rebuild", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: float = 5.0) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    def request_rebuild(self) -> None:
+        """Force a rebuild on the next tick regardless of the probe."""
+        self._force.set()
+
+    # ------------------------------------------------------------------
+    # Supervision (outer loop: restart-on-crash with capped backoff)
+    # ------------------------------------------------------------------
+    def _supervise(self) -> None:
+        restarts = 0
+        while not self._stop.is_set():
+            try:
+                self._loop()
+                return  # clean stop
+            except BaseException as exc:  # repro: noqa RC004 — supervision boundary: rebuild crashed; record and restart with backoff
+                restarts += 1
+                with self.stats._lock:
+                    self.stats.supervisor_restarts += 1
+                    self.stats.failures += 1
+                    self.stats.last_error = f"{type(exc).__name__}: {exc}"
+                if obs_runtime._enabled:
+                    obs_metrics.counter("evolve.rebuild.failures").inc()
+                backoff = min(
+                    self.backoff_max_s,
+                    self.backoff_base_s * (2 ** min(restarts - 1, 6)),
+                )
+                if self._stop.wait(backoff):
+                    return
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            fault_point("evolve.supervisor.tick")
+            forced = self._force.is_set()
+            if forced or self.maintainer.needs_rebuild():
+                # The force flag survives a crashed or budget-aborted
+                # attempt, so a restarted supervisor retries the rebuild
+                # instead of dropping the request on the floor.
+                if self._attempt():
+                    self._force.clear()
+            if self._stop.wait(self.poll_interval_s):
+                return
+
+    # ------------------------------------------------------------------
+    # One rebuild attempt
+    # ------------------------------------------------------------------
+    def _attempt(self) -> bool:
+        with self.stats._lock:
+            self.stats.attempts += 1
+            attempt = self.stats.attempts
+        snapshot = self.maintainer.rebuild_snapshot()
+        budget = self.budget_factory() if self.budget_factory else None
+        if budget is not None:
+            budget.begin_run("evolve.rebuild")
+
+        def progress(done: int, total: int) -> None:
+            self._checkpoint(snapshot.number, attempt, done, total)
+
+        try:
+            proxy = self.maintainer.build_proxy(
+                snapshot, budget=budget, progress=progress
+            )
+            epoch = self.maintainer.install_rebuild(snapshot, proxy)
+        except BudgetExceeded as exc:
+            # Bounded attempt ran out of budget: not a crash — count a
+            # retry and let the next tick try again with a fresh budget.
+            with self.stats._lock:
+                self.stats.retries += 1
+                self.stats.last_error = f"BudgetExceeded: {exc}"
+            if obs_runtime._enabled:
+                obs_metrics.counter("evolve.rebuild.retries").inc()
+            return False
+        with self.stats._lock:
+            self.stats.rebuilds += 1
+            self.stats.last_epoch = epoch.number
+        self._clear_checkpoint()
+        return True
+
+    # ------------------------------------------------------------------
+    # Checkpointing
+    # ------------------------------------------------------------------
+    def _checkpoint(
+        self, epoch: int, attempt: int, done: int, total: int
+    ) -> None:
+        if self.checkpoint_path is None:
+            return
+        state = {
+            "schema": "repro-evolve-rebuild/v1",
+            "epoch": epoch,
+            "attempt": attempt,
+            "hubs_done": done,
+            "hubs_total": total,
+        }
+        with atomic_open(self.checkpoint_path) as fh:
+            json.dump(state, fh)
+            fh.write("\n")
+        if obs_runtime._enabled:
+            obs_metrics.counter("resilience.checkpoint.saves").inc()
+
+    def _clear_checkpoint(self) -> None:
+        if self.checkpoint_path is not None:
+            try:
+                self.checkpoint_path.unlink()
+            except FileNotFoundError:
+                pass
+
+    def read_checkpoint(self) -> Optional[dict]:
+        """The last written progress state, or None."""
+        if self.checkpoint_path is None or not self.checkpoint_path.exists():
+            return None
+        return json.loads(self.checkpoint_path.read_text())
+
+    def describe(self) -> str:
+        s = self.stats
+        return (
+            f"rebuilds={s.rebuilds} attempts={s.attempts} "
+            f"failures={s.failures} retries={s.retries} "
+            f"restarts={s.supervisor_restarts}"
+        )

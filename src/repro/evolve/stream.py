@@ -1,0 +1,58 @@
+"""Deterministic mutation-batch streams for chaos runs and benchmarks.
+
+Each batch is generated against the *current* graph so it is always valid
+under the strict :mod:`repro.graph.mutate` semantics: insertions are
+loop-free non-duplicates, deletions name existing pairs. Determinism is
+per ``(seed, step)`` so a stream can be replayed exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.graph.csr import Graph
+from repro.graph.mutate import random_edge_batch, sample_edge_pairs
+
+
+@dataclass(frozen=True)
+class MutationBatch:
+    """One step of a mutation stream."""
+
+    step: int
+    inserts: List[tuple] = field(default_factory=list)
+    deletes: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def size(self) -> int:
+        return len(self.inserts) + len(self.deletes)
+
+
+def next_batch(
+    g: Graph,
+    step: int,
+    batch_size: int = 16,
+    delete_fraction: float = 0.25,
+    seed: int = 0,
+) -> MutationBatch:
+    """The ``step``-th batch of the ``seed`` stream against graph ``g``.
+
+    ``delete_fraction`` of the batch deletes existing pairs (sampled from
+    ``g``); the rest inserts fresh pairs not in ``g``. Because deletions
+    are drawn from the existing edge set and insertions from its
+    complement, the two halves can never collide.
+    """
+    if batch_size <= 0:
+        return MutationBatch(step=step)
+    step_seed = seed * 1_000_003 + step
+    want_deletes = int(batch_size * delete_fraction)
+    deletes = (
+        sample_edge_pairs(g, want_deletes, seed=step_seed)
+        if want_deletes else []
+    )
+    want_inserts = batch_size - len(deletes)
+    inserts = (
+        random_edge_batch(g, want_inserts, seed=step_seed)
+        if want_inserts else []
+    )
+    return MutationBatch(step=step, inserts=inserts, deletes=deletes)

@@ -31,7 +31,8 @@ class Graph:
         for unweighted graphs, in which case every weight reads as ``1.0``.
     """
 
-    __slots__ = ("offsets", "dst", "weights", "_reverse", "__weakref__")
+    __slots__ = ("offsets", "dst", "weights", "_reverse", "_fingerprint",
+                 "__weakref__")
 
     def __init__(
         self,
@@ -59,6 +60,7 @@ class Graph:
         self.dst = dst
         self.weights = weights
         self._reverse: Optional["Graph"] = None
+        self._fingerprint: Optional[str] = None
 
     # ------------------------------------------------------------------
     # Basic properties
@@ -131,6 +133,27 @@ class Graph:
             self._reverse = _reverse(self)
             self._reverse._reverse = self
         return self._reverse
+
+    # ------------------------------------------------------------------
+    # Identity
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content digest of the CSR arrays (cached).
+
+        Two graphs with identical topology and weights share a fingerprint
+        regardless of how they were constructed; any edge churn changes it.
+        Used to version-stamp epochs and journal events so runs on drifted
+        graphs are never compared as like-for-like.
+        """
+        if self._fingerprint is None:
+            import hashlib
+
+            h = hashlib.blake2b(digest_size=16)
+            h.update(np.ascontiguousarray(self.offsets).tobytes())
+            h.update(np.ascontiguousarray(self.dst).tobytes())
+            h.update(np.ascontiguousarray(self.edge_weights()).tobytes())
+            self._fingerprint = h.hexdigest()
+        return self._fingerprint
 
     # ------------------------------------------------------------------
     # Size accounting (used by the system cost models)

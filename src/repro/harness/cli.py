@@ -113,9 +113,17 @@ def _resolve_graph(name_or_path: str):
 
 
 def _emit_graph_loaded(name: str, g) -> None:
-    """Record the resolved graph's shape in the journal (if tracing)."""
+    """Record the resolved graph's shape in the journal (if tracing).
+
+    The content fingerprint also becomes ambient journal context, so
+    every downstream result event is stamped with the exact graph bytes
+    it was computed on and ``obs compare`` can refuse to diff runs whose
+    "same" graph drifted between recordings.
+    """
     from repro.obs import journal as obs_journal
 
+    fingerprint = g.fingerprint()
+    obs_journal.set_global_context(graph_fingerprint=fingerprint)
     obs_journal.emit(
         {
             "type": "event",
@@ -123,6 +131,7 @@ def _emit_graph_loaded(name: str, g) -> None:
             "graph": name,
             "num_vertices": int(g.num_vertices),
             "num_edges": int(g.num_edges),
+            "graph_fingerprint": fingerprint,
         }
     )
 
@@ -336,7 +345,16 @@ def _cmd_serve(args) -> int:
     invariant: every submitted request resolved (``lost == 0``). Exit 1
     when any request was lost or never resolved — the CI chaos step runs
     this under ``REPRO_FAULTS`` worker kills and ``REPRO_SANITIZE=1``.
+
+    With ``--mutate-stream`` the service runs in live-graph mode: a
+    writer thread applies insert/delete batches through an
+    :class:`repro.evolve.EpochMaintainer` while the burst is in flight,
+    a :class:`repro.evolve.RebuildSupervisor` refreshes the CG in the
+    background, and the summary additionally asserts ``torn=0`` (no
+    request ever observed a mixed graph/CG pair) and that every answer
+    computed on a superseded epoch carried a staleness certificate.
     """
+    import threading
     import time
 
     from repro.harness.cache import get_cg, get_graph, get_sources
@@ -354,7 +372,6 @@ def _cmd_serve(args) -> int:
     spec = get_spec(args.query)
     g = get_graph(args.graph)
     _emit_graph_loaded(args.graph.upper(), g)
-    cg = get_cg(args.graph, spec)
     sources = get_sources(args.graph, k=min(args.requests, 16))
     cfg = ServiceConfig(
         workers=args.workers,
@@ -364,9 +381,55 @@ def _cmd_serve(args) -> int:
         breaker_failure_threshold=args.breaker_failures,
         breaker_cooldown_s=args.cooldown,
     )
-    svc = QueryService(g, cg, cfg)
+    maintainer = supervisor = churn_thread = None
+    stop_churn = threading.Event()
+    churn_stats = {"batches": 0, "rolled_back": 0}
+    if args.mutate_stream:
+        from repro.evolve import (
+            EpochMaintainer,
+            RebuildSupervisor,
+            next_batch,
+        )
+        from repro.resilience.faults import InjectedFault
+
+        maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
+        supervisor = RebuildSupervisor(
+            maintainer, poll_interval_s=args.mutate_interval
+        )
+        svc = QueryService(config=cfg, epochs=maintainer.store)
+
+        def churn() -> None:
+            step = 0
+            while not stop_churn.is_set():
+                batch = next_batch(
+                    maintainer.graph, step,
+                    batch_size=args.mutate_batch,
+                    delete_fraction=args.delete_fraction,
+                    seed=11,
+                )
+                try:
+                    maintainer.apply(batch.inserts, batch.deletes)
+                    churn_stats["batches"] += 1
+                except InjectedFault:
+                    # The maintainer restored its state; the batch is
+                    # simply lost, which is the crash semantics under
+                    # test — keep the storm going.
+                    churn_stats["rolled_back"] += 1
+                step += 1
+                stop_churn.wait(args.mutate_interval)
+
+        churn_thread = threading.Thread(
+            target=churn, name="serve-churn", daemon=True
+        )
+    else:
+        cg = get_cg(args.graph, spec)
+        svc = QueryService(g, cg, cfg)
     start = time.perf_counter()
     with svc:
+        if supervisor is not None:
+            supervisor.start()
+        if churn_thread is not None:
+            churn_thread.start()
         if args.export_port is not None:
             exporter = svc.start_exporter(port=args.export_port)
             print(f"exporter: {exporter.url('/metrics')} "
@@ -384,6 +447,11 @@ def _cmd_serve(args) -> int:
         ]
         drained = svc.drain(timeout=args.timeout)
         elapsed = time.perf_counter() - start
+        stop_churn.set()
+        if churn_thread is not None:
+            churn_thread.join(timeout=5.0)
+        if supervisor is not None:
+            supervisor.stop()
         if args.export_port is not None and args.linger > 0:
             # Keep the endpoints up for outside scrapers (the CI smoke
             # curls /metrics while the drained service lingers).
@@ -398,11 +466,130 @@ def _cmd_serve(args) -> int:
         f"({args.requests / elapsed:.1f}/s), lost={stats.lost}, "
         f"unresolved={unresolved}"
     )
-    if stats.lost != 0 or unresolved or not drained:
+    failed = stats.lost != 0 or unresolved or not drained
+    if maintainer is not None:
+        # Live-graph invariants. A sanitizer epoch_integrity violation
+        # kills the worker mid-request, so a torn epoch surfaces as a
+        # failed outcome naming the probe — zero of those means no
+        # request ever saw a mixed graph/CG pair. Every answer from a
+        # superseded epoch must have carried a certificate.
+        outcomes = [t.result(0) for t in tickets if t.done()]
+        torn = sum(
+            1 for o in outcomes
+            if o.error is not None and "epoch_integrity" in o.error
+        )
+        certified = sum(1 for o in outcomes if o.staleness is not None)
+        maintainer.emit_stats()
+        print(
+            f"mutate stream: epoch={stats.graph_epoch}, "
+            f"batches={churn_stats['batches']} "
+            f"(+{churn_stats['rolled_back']} rolled back), "
+            f"rebuilds={supervisor.stats.rebuilds}, "
+            f"restarts={supervisor.stats.supervisor_restarts}, "
+            f"torn={torn}, stale={stats.stale_answers}, "
+            f"certified={certified}"
+        )
+        if torn != 0 or certified != stats.stale_answers:
+            print(
+                "serve smoke FAILED: torn epoch observed or an "
+                "uncertified stale answer was served", file=sys.stderr,
+            )
+            failed = True
+    if failed:
         print("serve smoke FAILED: requests were lost or never resolved",
               file=sys.stderr)
         return 1
     return 0
+
+
+def _cmd_evolve(args) -> int:
+    """Live-graph demo: churn an evolving CG, probe, optionally rebuild.
+
+    Applies ``--batches`` insert/delete batches through an
+    :class:`repro.evolve.EpochMaintainer` (each publishing a new epoch),
+    prints the epoch history with probe precision, and — with
+    ``--rebuild`` — runs a supervised background rebuild under a budget
+    with checkpointed progress. Exits 1 if the final epoch's 2Phase
+    answer is not exact against a from-scratch evaluation.
+    """
+    import time
+
+    import numpy as np
+
+    from repro.core.twophase import two_phase
+    from repro.engines.frontier import evaluate_query
+    from repro.evolve import EpochMaintainer, RebuildSupervisor, next_batch
+    from repro.harness.cache import get_graph, get_sources
+    from repro.queries.registry import get_spec
+    from repro.resilience.budget import Budget
+
+    spec = get_spec(args.query)
+    g = get_graph(args.graph)
+    _emit_graph_loaded(args.graph.upper(), g)
+    t0 = time.perf_counter()
+    maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
+    built = time.perf_counter() - t0
+    epoch0 = maintainer.store.current()
+    print(
+        f"epoch 0: {epoch0.graph.num_edges} edges, "
+        f"CG {epoch0.proxy.num_edges} edges "
+        f"({args.hubs} hubs, built in {built:.2f}s)"
+    )
+    for step in range(args.batches):
+        batch = next_batch(
+            maintainer.graph, step,
+            batch_size=args.batch_size,
+            delete_fraction=args.delete_fraction,
+            seed=args.seed,
+        )
+        epoch = maintainer.apply(batch.inserts, batch.deletes)
+        print(
+            f"epoch {epoch.number}: +{len(batch.inserts)} "
+            f"-{len(batch.deletes)} edges "
+            f"(cumulative +{epoch.inserted_edges} -{epoch.deleted_edges}), "
+            f"CG {epoch.proxy.num_edges} edges, "
+            f"triangle_safe={epoch.triangle_safe}"
+        )
+    precision = maintainer.probe()
+    print(f"probe precision after churn: {precision:.1f}%")
+    if args.rebuild:
+        supervisor = RebuildSupervisor(
+            maintainer,
+            poll_interval_s=0.01,
+            budget_factory=(
+                None if args.deadline is None
+                else lambda: Budget(deadline_s=args.deadline)
+            ),
+            checkpoint_path=args.checkpoint,
+        )
+        supervisor.request_rebuild()
+        supervisor.start()
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline:
+            with supervisor.stats._lock:
+                done = supervisor.stats.rebuilds > 0
+            if done:
+                break
+            time.sleep(0.02)
+        supervisor.stop()
+        print(f"rebuild: {supervisor.describe()}")
+        epoch = maintainer.store.current()
+        print(
+            f"epoch {epoch.number}: CG {epoch.proxy.num_edges} edges, "
+            f"triangle_safe={epoch.triangle_safe} "
+            f"(rebuilt from snapshot of epoch {epoch.rebuilt_from})"
+        )
+        print(f"probe precision after rebuild: {maintainer.probe():.1f}%")
+    maintainer.emit_stats()
+    final = maintainer.store.current()
+    source = int(get_sources(args.graph, k=1)[0])
+    res = two_phase(final.graph, final.proxy, spec,
+                    None if spec.multi_source else source)
+    baseline = evaluate_query(final.graph, spec,
+                              None if spec.multi_source else source)
+    exact = bool(np.allclose(res.values, baseline, equal_nan=True))
+    print(f"2Phase on epoch {final.number} exact vs from-scratch: {exact}")
+    return 0 if exact else 1
 
 
 def _cmd_obs_report(args) -> int:
@@ -514,8 +701,8 @@ def _cmd_obs_baseline(args) -> int:
 def _cmd_obs_check(args) -> int:
     """Gate a journal against a committed baseline (file or directory)."""
     from repro.obs.compare import (
-        Thresholds, align, compare, load_baselines, regressions,
-        summarize_run,
+        Thresholds, align, compare, drift_skipped, load_baselines,
+        regressions, summarize_run,
     )
     from repro.obs.report import render_diff, render_html
 
@@ -526,6 +713,20 @@ def _cmd_obs_check(args) -> int:
         return 2
     baseline = align(summary, baselines)
     if baseline is None:
+        drifted = drift_skipped(summary, baselines)
+        if drifted:
+            # Same experiment, different graph bytes: a comparison would
+            # report phantom regressions, so skip it loudly instead.
+            for b in drifted:
+                print(
+                    f"SKIPPED baseline {b.label()} ({b.source}): graph "
+                    f"content drifted (fingerprint "
+                    f"{b.key.get('graph_fingerprint', '?')[:12]} vs "
+                    f"{summary.key.get('graph_fingerprint', '?')[:12]}); "
+                    "re-record the baseline on the current graph",
+                    file=sys.stderr,
+                )
+            return 0
         print(
             f"no baseline matches run key {summary.key} "
             f"(checked {len(baselines)} under {args.baseline})",
@@ -831,7 +1032,51 @@ def build_parser() -> argparse.ArgumentParser:
                          metavar="SECONDS",
                          help="keep the exporter up this long after the "
                               "burst drains (for outside scrapers)")
+    serve_p.add_argument("--mutate-stream", action="store_true",
+                         help="live-graph mode: apply mutation batches "
+                              "concurrently with the burst (epoch-swapped "
+                              "double buffering + background CG rebuilds)")
+    serve_p.add_argument("--mutate-batch", type=int, default=16,
+                         metavar="EDGES",
+                         help="edges mutated per batch in --mutate-stream")
+    serve_p.add_argument("--delete-fraction", type=float, default=0.25,
+                         metavar="FRAC",
+                         help="fraction of each mutation batch that "
+                              "deletes existing edges")
+    serve_p.add_argument("--mutate-interval", type=float, default=0.005,
+                         metavar="SECONDS",
+                         help="pause between mutation batches (also the "
+                              "rebuild supervisor's poll interval)")
+    serve_p.add_argument("--hubs", type=int, default=16,
+                         help="hubs for the CG built in --mutate-stream "
+                              "(static mode reuses the cached CG)")
     serve_p.set_defaults(func=_cmd_serve)
+
+    evolve_p = sub.add_parser(
+        "evolve",
+        help="live-graph demo: churn batches, probe precision, rebuild",
+        parents=[tele],
+    )
+    evolve_p.add_argument("--graph", default="PK", help="zoo graph name")
+    evolve_p.add_argument("--query", default="SSSP")
+    evolve_p.add_argument("--batches", type=int, default=10,
+                          help="mutation batches to apply")
+    evolve_p.add_argument("--batch-size", type=int, default=16,
+                          metavar="EDGES", help="edges per batch")
+    evolve_p.add_argument("--delete-fraction", type=float, default=0.25,
+                          metavar="FRAC")
+    evolve_p.add_argument("--hubs", type=int, default=16,
+                          help="hubs for the initial and rebuilt CG")
+    evolve_p.add_argument("--seed", type=int, default=11,
+                          help="mutation stream seed")
+    evolve_p.add_argument("--rebuild", action="store_true",
+                          help="run a supervised rebuild after the churn")
+    evolve_p.add_argument("--checkpoint", metavar="PATH", default=None,
+                          help="rebuild progress checkpoint file")
+    evolve_p.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="per-attempt rebuild budget deadline")
+    evolve_p.set_defaults(func=_cmd_evolve)
 
     # Regression thresholds shared by `obs diff` and `obs check`.
     thresh = argparse.ArgumentParser(add_help=False)

@@ -37,7 +37,9 @@ from repro.resilience.atomic import atomic_open
 BASELINE_SCHEMA = "repro-obs-baseline/v1"
 
 #: Manifest fields that must agree for two runs to be comparable.
-KEY_FIELDS = ("graph", "query", "source", "seed")
+#: ``graph_fingerprint`` is the content digest of the loaded graph — two
+#: runs on drifted graphs are a different experiment, not a regression.
+KEY_FIELDS = ("graph", "query", "source", "seed", "graph_fingerprint")
 
 
 @dataclass
@@ -132,6 +134,7 @@ def summarize_run(events: EventsOrPath, source: str = "") -> RunSummary:
         "graph": None,
         "query": None,
         "source": None,
+        "graph_fingerprint": None,
     }
     if isinstance(manifest.get("experiment"), str):
         key["query"] = manifest["experiment"]
@@ -152,6 +155,8 @@ def summarize_run(events: EventsOrPath, source: str = "") -> RunSummary:
             name = event.get("name")
             if name == "graph.loaded":
                 key["graph"] = event.get("graph")
+                if event.get("graph_fingerprint") is not None:
+                    key["graph_fingerprint"] = event.get("graph_fingerprint")
             elif name in ("twophase.result", "cg.built"):
                 key["query"] = event.get("query") or key["query"]
                 if event.get("source") is not None:
@@ -241,6 +246,33 @@ def align(
         if keys_match(summary.key, baseline.key):
             return baseline
     return None
+
+
+def graph_drifted(a: Dict[str, Any], b: Dict[str, Any]) -> bool:
+    """Whether two run keys name *different versions* of the same graph.
+
+    True when both sides carry a known ``graph_fingerprint`` and they
+    disagree while every other key field matches — the cross-version case
+    ``obs check``/``obs diff`` must skip-and-flag instead of reporting
+    phantom regressions.
+    """
+    fa, fb = a.get("graph_fingerprint"), b.get("graph_fingerprint")
+    if fa is None or fb is None or fa == fb:
+        return False
+    for field_name in KEY_FIELDS:
+        if field_name == "graph_fingerprint":
+            continue
+        va, vb = a.get(field_name), b.get(field_name)
+        if va is not None and vb is not None and va != vb:
+            return False
+    return True
+
+
+def drift_skipped(
+    summary: RunSummary, baselines: List[RunSummary]
+) -> List[RunSummary]:
+    """Baselines skipped purely because the graph content drifted."""
+    return [b for b in baselines if graph_drifted(summary.key, b.key)]
 
 
 def _pct(base: float, new: float) -> Optional[float]:

@@ -164,6 +164,80 @@ class Journal:
 
 _active: Optional[Journal] = None
 
+# ----------------------------------------------------------------------
+# Event context: ambient fields stamped onto every type=="event" payload.
+#
+# The process-global layer carries run-wide identity (graph_epoch,
+# graph_fingerprint — set by the CLI at load time and advanced by the
+# epoch maintainer on every swap); the thread-local layer lets a request
+# pin the epoch it actually executed on, so events emitted mid-query are
+# stamped with the *pinned* epoch even while the store has moved on.
+# Explicit fields in an event always win over ambient context.
+# ----------------------------------------------------------------------
+_context_lock = threading.Lock()
+_global_context: Dict[str, Any] = {}
+_context_local = threading.local()
+
+
+def set_global_context(**fields: Any) -> None:
+    """Merge ``fields`` into the process-global event context.
+
+    A value of ``None`` removes the key.
+    """
+    with _context_lock:
+        for key, value in fields.items():
+            if value is None:
+                _global_context.pop(key, None)
+            else:
+                _global_context[key] = value
+
+
+def clear_global_context() -> None:
+    with _context_lock:
+        _global_context.clear()
+
+
+class _ContextFrame:
+    def __init__(self, fields: Dict[str, Any]) -> None:
+        self._fields = fields
+
+    def __enter__(self) -> "_ContextFrame":
+        stack = getattr(_context_local, "stack", None)
+        if stack is None:
+            stack = _context_local.stack = []
+        stack.append(self._fields)
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        _context_local.stack.pop()
+        return False
+
+
+def context(**fields: Any) -> _ContextFrame:
+    """Thread-local context frame: ``with context(graph_epoch=3): ...``."""
+    return _ContextFrame({k: v for k, v in fields.items() if v is not None})
+
+
+def current_context() -> Dict[str, Any]:
+    """The merged ambient context (global layer, then thread-local frames)."""
+    with _context_lock:
+        merged = dict(_global_context)
+    for frame in getattr(_context_local, "stack", ()):
+        merged.update(frame)
+    return merged
+
+
+def _stamp_context(event: Dict[str, Any]) -> Dict[str, Any]:
+    if event.get("type") != "event":
+        return event
+    ambient = current_context()
+    if not ambient:
+        return event
+    stamped = dict(event)
+    for key, value in ambient.items():
+        stamped.setdefault(key, value)
+    return stamped
+
 
 def activate(journal: Journal) -> None:
     global _active
@@ -188,7 +262,13 @@ def emit(event: Dict[str, Any]) -> None:
     trace-collector dispatch is not: an installed :class:`TraceStore`
     still buffers trace-stamped events, which is what makes live traces
     inspectable on services run without ``--trace``.
+
+    ``type == "event"`` payloads are stamped with the ambient event
+    context (see :func:`set_global_context` / :func:`context`) — how
+    result events gain ``graph_epoch``/``graph_fingerprint`` without
+    threading those through every emitter's signature.
     """
+    event = _stamp_context(event)
     if "trace" not in event:
         trace_id = trace.current_trace_id()
         if trace_id is not None:

@@ -35,6 +35,7 @@ NAMESPACES: FrozenSet[str] = frozenset({
     "serve",
     "obs",
     "proc",
+    "evolve",
 })
 
 #: Every counter/gauge/histogram name the codebase may record.
@@ -116,6 +117,20 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "obs.trace.truncated",
     "obs.trace.store.traces",
     "obs.trace.store.events",
+    # Live-graph epoch maintenance (repro.evolve): mutation batches,
+    # epoch swaps, background rebuilds, and staleness accounting.
+    "evolve.epoch",
+    "evolve.batches",
+    "evolve.inserted_edges",
+    "evolve.deleted_edges",
+    "evolve.swaps",
+    "evolve.rebuilds",
+    "evolve.rebuild.failures",
+    "evolve.rebuild.retries",
+    "evolve.stale_answers",
+    "evolve.epoch_lag",
+    "evolve.probe_precision",
+    "evolve.pinned",
     # Process runtime gauges sampled at scrape time (repro.obs.live.proc).
     "proc.rss_bytes",
     "proc.cpu_seconds",
@@ -140,6 +155,9 @@ SPAN_NAMES: FrozenSet[str] = frozenset({
     "serve.admit",
     "serve.queue.wait",
     "serve.execute",
+    # Epoch maintenance: one batch application, one background rebuild.
+    "evolve.apply",
+    "evolve.rebuild",
 })
 
 #: Every ``name`` a ``{"type": "event", ...}`` journal line may carry.
@@ -160,6 +178,10 @@ EVENT_NAMES: FrozenSet[str] = frozenset({
     "serve.slo.alert",
     "serve.explain",
     "obs.profile",
+    "evolve.batch",
+    "evolve.swap",
+    "evolve.rebuild",
+    "evolve.stats",
 })
 
 

@@ -132,6 +132,32 @@ def _resilience_rows(events: List[Dict[str, Any]]) -> List[List[Any]]:
                 f"shed {ev.get('shed_completions', 0)}, "
                 f"poisoned {ev.get('poisoned', 0)}",
             ])
+        elif name == "evolve.swap":
+            rows.append([
+                "epoch swap",
+                f"epoch {ev.get('retired_epoch')} -> {ev.get('epoch')}",
+                f"{ev.get('num_edges', '-')} edges "
+                f"({ev.get('cg_edges', '-')} in CG), "
+                f"triangle_safe={ev.get('triangle_safe')}",
+            ])
+        elif name == "evolve.rebuild":
+            rows.append([
+                "CG rebuild",
+                f"epoch {ev.get('epoch')} "
+                f"(built on {ev.get('built_on_epoch', '-')})",
+                f"rebased={ev.get('rebased')}, "
+                f"cg_edges={ev.get('cg_edges', '-')}",
+            ])
+        elif name == "evolve.stats":
+            rows.append([
+                "evolve",
+                f"epoch {ev.get('epoch')}, "
+                f"{ev.get('batches', 0)} batches",
+                f"+{ev.get('inserted_edges', 0)} "
+                f"-{ev.get('deleted_edges', 0)} edges, "
+                f"{ev.get('rebuilds', 0)} rebuilds, "
+                f"{ev.get('swaps', 0)} swaps",
+            ])
     if checkpoints:
         rows.append([
             "checkpoints",

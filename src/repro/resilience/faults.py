@@ -26,7 +26,9 @@ Known sites (grep for ``fault_point`` for ground truth):
 ``engine.async.round``, ``engine.pull.round``, ``twophase.core.begin``,
 ``twophase.completion.begin``, ``checkpoint.save``, ``io.load``,
 ``artifacts.read``, ``journal.close``, ``serve.worker.request``,
-``obs.live.profiler.sample``, ``obs.live.exporter.serve``.
+``obs.live.profiler.sample``, ``obs.live.exporter.serve``,
+``graph.mutate.add``, ``graph.mutate.remove``, ``evolve.apply``,
+``evolve.rebuild``, ``evolve.swap``, ``evolve.supervisor.tick``.
 """
 
 from __future__ import annotations

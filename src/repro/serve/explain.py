@@ -74,6 +74,9 @@ class ExplainRecord:
     hubs: Optional[int] = None
     sampled: Optional[bool] = None
     sample_reason: Optional[str] = None
+    graph_epoch: Optional[int] = None
+    graph_fingerprint: Optional[str] = None
+    staleness: Optional[Dict[str, Any]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -108,6 +111,9 @@ class ExplainRecord:
             "hubs": self.hubs,
             "sampled": self.sampled,
             "sample_reason": self.sample_reason,
+            "graph_epoch": self.graph_epoch,
+            "graph_fingerprint": self.graph_fingerprint,
+            "staleness": self.staleness,
         }
         out.update({k: v for k, v in optional.items() if v is not None})
         out.update(self.extra)
@@ -143,6 +149,12 @@ def build_explain(
         breaker_state=breaker_state,
         cg_edge_fraction=cg_edge_fraction,
         hubs=hubs,
+        graph_epoch=outcome.epoch,
+        graph_fingerprint=outcome.graph_fingerprint,
+        staleness=(
+            None if outcome.staleness is None
+            else outcome.staleness.to_dict()
+        ),
     )
     if req.max_iterations is not None or req.deadline_s is not None:
         rec.budget = {
@@ -219,6 +231,19 @@ def render_explain(payload: Dict[str, Any]) -> str:
     if cg is not None:
         row("cg_edges", f"{cg:.4f} of full graph")
     row("hubs", payload.get("hubs"))
+    epoch = payload.get("graph_epoch")
+    if epoch is not None:
+        fp = payload.get("graph_fingerprint") or ""
+        row("epoch", f"{epoch}" + (f" (fp {fp[:12]})" if fp else ""))
+    stale = payload.get("staleness")
+    if stale:
+        probe = stale.get("probe_precision")
+        row(
+            "staleness",
+            f"lag={stale.get('epoch_lag')} "
+            f"churned={stale.get('churned_edges')} "
+            f"probe={'n/a' if probe is None else f'{probe:.1f}%'}",
+        )
     if payload.get("sampled") is not None:
         row(
             "sampling",

@@ -96,6 +96,14 @@ class Outcome:
     shed: bool = False
     wait_s: float = 0.0
     service_s: float = 0.0
+    #: Epoch the answer was computed on (live-graph services only).
+    epoch: Optional[int] = None
+    #: Content fingerprint of that epoch's graph.
+    graph_fingerprint: Optional[str] = None
+    #: Staleness certificate when newer epochs existed at resolve time
+    #: (a :class:`repro.evolve.StalenessCertificate`); None means the
+    #: answer is fresh — computed on the epoch that was still latest.
+    staleness: Optional[object] = None
 
     @property
     def values(self):

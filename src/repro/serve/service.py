@@ -16,6 +16,12 @@ shutdown (leftover queue entries become ``shutdown`` rejections). The
 ``ServiceStats.lost == 0`` identity over that contract is what the chaos
 CI step asserts under injected worker kills.
 
+With an :class:`~repro.evolve.EpochStore` (live-graph mode) the service
+pins one immutable epoch per request: the graph and CG the engines see
+are always a matched pair, mutations publish *new* epochs concurrently,
+and answers computed on a superseded epoch carry a
+:class:`~repro.evolve.StalenessCertificate` quantifying the lag.
+
 Thread-safety notes: 2Phase itself keeps all mutable state per-call (see
 :mod:`repro.core.twophase`); the shared caches the workers touch
 (``symmetric_view``, :mod:`repro.harness.cache`,
@@ -29,8 +35,11 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.checks.sanitize import probes as san_probes
+from repro.checks.sanitize import runtime as san_runtime
 from repro.core.coregraph import CoreGraph
 from repro.core.twophase import two_phase
+from repro.evolve.epoch import EpochStore
 from repro.graph.csr import Graph
 from repro.obs import journal as obs_journal
 from repro.obs import metrics as obs_metrics
@@ -98,13 +107,25 @@ class QueryService:
 
     def __init__(
         self,
-        g: Graph,
-        proxy: Union[CoreGraph, Graph],
+        g: Optional[Graph] = None,
+        proxy: Optional[Union[CoreGraph, Graph]] = None,
         config: Optional[ServiceConfig] = None,
         clock: Callable[[], float] = time.monotonic,
+        epochs: Optional[EpochStore] = None,
     ) -> None:
+        if epochs is not None:
+            # Live-graph mode: the store owns the pair; requests pin an
+            # epoch for their lifetime instead of touching self.g/proxy.
+            initial = epochs.current()
+            g = initial.graph if g is None else g
+            proxy = initial.proxy if proxy is None else proxy
+        if g is None or proxy is None:
+            raise ValueError(
+                "QueryService needs either (g, proxy) or an EpochStore"
+            )
         self.g = g
         self.proxy = proxy
+        self.epochs = epochs
         self.config = config or ServiceConfig()
         self._clock = clock
         self._queue = AdmissionQueue(self.config.queue_capacity)
@@ -299,12 +320,16 @@ class QueryService:
                 obs_metrics.counter("serve.shed").inc()
         spec = get_spec(req.query)
         t0 = self._clock()
-        with span("serve.execute", query=req.query, request=req.id):
-            res = two_phase(
-                self.g, self.proxy, spec, req.source,
-                triangle=req.triangle, budget=budget,
-                anytime=True, completion=not shed,
-            )
+        if self.epochs is not None:
+            res, epoch, stale = self._execute_pinned(req, spec, budget, shed)
+        else:
+            epoch, stale = None, None
+            with span("serve.execute", query=req.query, request=req.id):
+                res = two_phase(
+                    self.g, self.proxy, spec, req.source,
+                    triangle=req.triangle, budget=budget,
+                    anytime=True, completion=not shed,
+                )
         service_s = self._clock() - t0
 
         alpha = self.config.ewma_alpha
@@ -327,10 +352,57 @@ class QueryService:
         else:
             status = STATUS_OK
             self.breaker.record_success(res.phase2.wall_time)
+        if stale is not None:
+            self._tally.inc("stale_answers")
+            if obs_runtime._enabled:
+                obs_metrics.counter("evolve.stale_answers").inc()
+                obs_metrics.gauge("evolve.epoch_lag").set(stale.epoch_lag)
         return Outcome(
             request=req, status=status, result=res, shed=shed,
             wait_s=wait_s, service_s=service_s,
+            epoch=None if epoch is None else epoch.number,
+            graph_fingerprint=None if epoch is None else epoch.fingerprint,
+            staleness=stale,
         )
+
+    def _execute_pinned(self, req, spec, budget, shed):
+        """Run one request against a pinned epoch (live-graph services).
+
+        The pin holds the (graph, proxy) pair stable for the request's
+        whole execution — concurrent mutations publish *new* epochs and
+        never touch a pinned one, so the 2Phase exactness argument holds
+        unchanged. If newer epochs exist by the time the answer is
+        computed, a :class:`~repro.evolve.StalenessCertificate`
+        quantifying the lag rides back on the Outcome.
+        """
+        assert self.epochs is not None
+        with self.epochs.pin() as epoch:
+            if san_runtime._enabled:
+                san_probes.check_epoch_integrity(epoch, "serve.execute")
+            # Theorem-1 triangle inequalities were certified against the
+            # CG *as built*; any churn since invalidates them, so the
+            # fast path is gated per-epoch (answers stay exact either
+            # way — 2Phase just re-derives what the certificate skipped).
+            triangle = req.triangle and epoch.triangle_safe
+            with obs_journal.context(
+                graph_epoch=epoch.number,
+                graph_fingerprint=epoch.fingerprint,
+            ):
+                with span(
+                    "serve.execute", query=req.query, request=req.id,
+                    epoch=epoch.number,
+                ):
+                    res = two_phase(
+                        epoch.graph, epoch.proxy, spec, req.source,
+                        triangle=triangle, budget=budget,
+                        anytime=True, completion=not shed,
+                    )
+            latest = self.epochs.current()
+            stale = (
+                epoch.staleness(latest)
+                if latest.number > epoch.number else None
+            )
+        return res, epoch, stale
 
     # ------------------------------------------------------------------
     def _resolve(self, req: QueryRequest, outcome: Outcome) -> None:
@@ -576,6 +648,10 @@ class QueryService:
             queue_depth=self._queue.depth(),
             latency_p50_ms=self._tally.percentile_ms(0.50),
             latency_p95_ms=self._tally.percentile_ms(0.95),
+            stale_answers=c.get("stale_answers", 0),
+            graph_epoch=(
+                0 if self.epochs is None else self.epochs.latest_number()
+            ),
         )
 
     def latency_snapshot(self):
@@ -648,6 +724,12 @@ class QueryService:
             ("stream_hist", "serve.queue_wait_ms", (),
              self._tally.wait_histogram()),
         ]
+        if self.epochs is not None:
+            rows.extend([
+                ("gauge", "evolve.epoch", (), stats.graph_epoch),
+                ("gauge", "evolve.pinned", (), self.epochs.pinned_count()),
+                ("counter", "evolve.stale_answers", (), stats.stale_answers),
+            ])
         tstats = self.traces.stats()
         rows.extend([
             ("counter", "obs.trace.retained", (), tstats.get("retained", 0)),

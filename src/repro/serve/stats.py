@@ -45,6 +45,12 @@ class ServiceStats:
     queue_depth: int = 0
     latency_p50_ms: Optional[float] = None
     latency_p95_ms: Optional[float] = None
+    #: Answers computed on an epoch that was superseded before resolve
+    #: (live-graph services only; every one carries a staleness
+    #: certificate — the chaos job asserts certified == stale).
+    stale_answers: int = 0
+    #: Current epoch number (0 for static services).
+    graph_epoch: int = 0
 
     @property
     def rejected(self) -> int:
@@ -83,6 +89,8 @@ class ServiceStats:
             "queue_depth": self.queue_depth,
             "latency_p50_ms": self.latency_p50_ms,
             "latency_p95_ms": self.latency_p95_ms,
+            "stale_answers": self.stale_answers,
+            "graph_epoch": self.graph_epoch,
             "lost": self.lost,
         }
 

@@ -86,7 +86,7 @@ class TestSubgraphInvariant:
     def test_triangle_disabled_after_insertion(self, evolving):
         """Stale hub values can over-bound improved vertices: an inserted
         shortcut makes certificates unsound, so they must switch off."""
-        evolving.insert_edges([(0, 1, 1.0)])
+        evolving.insert_edges(random_edge_batch(evolving.graph, 1, seed=3))
         res = evolving.answer(3, triangle=True)  # silently downgraded
         assert res.certified_precise == 0
         assert np.array_equal(

@@ -1,0 +1,17 @@
+"""Shared fixtures for the live-graph (epoch/maintainer/rebuild) tests."""
+
+import pytest
+
+from repro.evolve import EpochMaintainer
+from repro.generators.random_graphs import random_weighted_graph
+from repro.queries import SSSP
+
+
+@pytest.fixture()
+def live_graph():
+    return random_weighted_graph(150, 900, seed=13)
+
+
+@pytest.fixture()
+def maintainer(live_graph):
+    return EpochMaintainer(live_graph, SSSP, num_hubs=8)

@@ -1,0 +1,111 @@
+"""RebuildSupervisor: crash restart, budget retry, checkpoint lifecycle."""
+
+import time
+
+import pytest
+
+from repro.evolve import RebuildSupervisor, next_batch
+from repro.resilience.budget import Budget
+from repro.resilience.faults import injected
+
+
+def _wait(predicate, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.01)
+    return False
+
+
+def _churn(maintainer, steps=2, seed=17):
+    for step in range(steps):
+        b = next_batch(maintainer.graph, step, batch_size=12, seed=seed)
+        maintainer.apply(b.inserts, b.deletes)
+
+
+class TestSupervisedRebuild:
+    def test_forced_rebuild_lands(self, maintainer):
+        _churn(maintainer)
+        sup = RebuildSupervisor(maintainer, poll_interval_s=0.005)
+        sup.request_rebuild()
+        sup.start()
+        try:
+            assert _wait(lambda: sup.stats.rebuilds >= 1)
+        finally:
+            sup.stop()
+        assert maintainer.store.current().triangle_safe
+        assert sup.stats.failures == 0
+
+    def test_crash_restarts_and_retries(self, maintainer):
+        """An injected crash inside the build kills the attempt; the
+        supervisor restarts with backoff and the rebuild still lands."""
+        _churn(maintainer)
+        sup = RebuildSupervisor(
+            maintainer, poll_interval_s=0.005, backoff_base_s=0.001
+        )
+        with injected("evolve.rebuild", "crash"):
+            sup.request_rebuild()
+            sup.start()
+            try:
+                assert _wait(lambda: sup.stats.rebuilds >= 1)
+            finally:
+                sup.stop()
+        assert sup.stats.supervisor_restarts >= 1
+        assert sup.stats.failures >= 1
+        assert maintainer.store.current().triangle_safe
+
+    def test_budget_exceeded_counts_retry_not_crash(self, maintainer):
+        _churn(maintainer)
+        calls = {"n": 0}
+
+        def budgets():
+            calls["n"] += 1
+            # First attempt: an already-expired deadline. Later: roomy.
+            if calls["n"] == 1:
+                return Budget(deadline_s=0.0)
+            return Budget(deadline_s=60.0)
+
+        sup = RebuildSupervisor(
+            maintainer, poll_interval_s=0.005, budget_factory=budgets
+        )
+        sup.request_rebuild()
+        sup.start()
+        try:
+            assert _wait(lambda: sup.stats.rebuilds >= 1)
+        finally:
+            sup.stop()
+        assert sup.stats.retries >= 1
+        assert sup.stats.supervisor_restarts == 0
+
+    def test_checkpoint_written_and_cleared(self, maintainer, tmp_path):
+        _churn(maintainer)
+        ck = tmp_path / "rebuild.json"
+        seen = {}
+
+        class Spy(RebuildSupervisor):
+            def _checkpoint(self, epoch, attempt, done, total):
+                super()._checkpoint(epoch, attempt, done, total)
+                seen.update(self.read_checkpoint() or {})
+
+        sup = Spy(maintainer, poll_interval_s=0.005, checkpoint_path=ck)
+        sup.request_rebuild()
+        sup.start()
+        try:
+            assert _wait(lambda: sup.stats.rebuilds >= 1)
+        finally:
+            sup.stop()
+        # Progress was checkpointed during the build...
+        assert seen.get("schema") == "repro-evolve-rebuild/v1"
+        assert seen.get("hubs_total", 0) >= seen.get("hubs_done", 0) > 0
+        # ...and cleared once the rebuild landed.
+        assert sup.read_checkpoint() is None
+
+    def test_double_start_rejected(self, maintainer):
+        sup = RebuildSupervisor(maintainer, poll_interval_s=0.005)
+        sup.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                sup.start()
+        finally:
+            sup.stop()

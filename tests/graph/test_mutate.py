@@ -4,7 +4,16 @@ import numpy as np
 import pytest
 
 from repro.graph.builder import from_edges
-from repro.graph.mutate import add_edges, random_edge_batch, remove_edges
+from repro.graph.mutate import (
+    DuplicateEdgeError,
+    EdgeNotFoundError,
+    MutationError,
+    SelfLoopError,
+    add_edges,
+    random_edge_batch,
+    remove_edges,
+    sample_edge_pairs,
+)
 
 
 class TestAddEdges:
@@ -38,6 +47,32 @@ class TestAddEdges:
         add_edges(tiny_graph, [(4, 0, 2.0)])
         assert tiny_graph.num_edges == before
 
+    def test_rejects_self_loop(self, tiny_graph):
+        with pytest.raises(SelfLoopError) as exc:
+            add_edges(tiny_graph, [(4, 4, 1.0)])
+        assert exc.value.vertex == 4
+
+    def test_rejects_duplicate_of_existing(self, tiny_graph):
+        # (0, 1) is already in tiny_graph; silently appending it would
+        # inflate CSR degree and skew degree-based hub selection
+        with pytest.raises(DuplicateEdgeError) as exc:
+            add_edges(tiny_graph, [(0, 1, 5.0)])
+        assert exc.value.pair == (0, 1)
+        assert "already in graph" in str(exc.value)
+
+    def test_rejects_duplicate_within_batch(self, tiny_graph):
+        with pytest.raises(DuplicateEdgeError) as exc:
+            add_edges(tiny_graph, [(4, 0, 1.0), (4, 0, 2.0)])
+        assert exc.value.pair == (4, 0)
+        assert "repeated in batch" in str(exc.value)
+
+    def test_typed_errors_are_value_errors(self):
+        # callers catching the historical ValueError keep working
+        assert issubclass(MutationError, ValueError)
+        assert issubclass(SelfLoopError, MutationError)
+        assert issubclass(DuplicateEdgeError, MutationError)
+        assert issubclass(EdgeNotFoundError, MutationError)
+
 
 class TestRemoveEdges:
     def test_removes_named_pair(self, tiny_graph):
@@ -61,6 +96,41 @@ class TestRemoveEdges:
     def test_empty_batch(self, tiny_graph):
         g, mask = remove_edges(tiny_graph, [])
         assert g is tiny_graph
+
+    def test_strict_names_missing_pair(self, tiny_graph):
+        with pytest.raises(EdgeNotFoundError) as exc:
+            remove_edges(tiny_graph, [(0, 1), (4, 2)], strict=True)
+        assert exc.value.pair == (4, 2)
+        assert "(4, 2)" in str(exc.value)
+
+    def test_strict_accepts_present_pairs(self, tiny_graph):
+        g, mask = remove_edges(tiny_graph, [(0, 1)], strict=True)
+        assert not g.has_edge(0, 1)
+        assert mask.sum() == 1
+
+    def test_fault_point_fires(self, tiny_graph):
+        from repro.resilience.faults import InjectedCrash, injected
+
+        with injected("graph.mutate.remove", "crash", at_hit=1):
+            with pytest.raises(InjectedCrash):
+                remove_edges(tiny_graph, [(0, 1)])
+
+
+class TestSampleEdgePairs:
+    def test_samples_existing_pairs(self, tiny_graph):
+        pairs = sample_edge_pairs(tiny_graph, 3, seed=4)
+        assert len(pairs) == 3
+        for u, v in pairs:
+            assert tiny_graph.has_edge(u, v)
+
+    def test_distinct_and_deterministic(self, tiny_graph):
+        pairs = sample_edge_pairs(tiny_graph, 4, seed=9)
+        assert len(set(pairs)) == len(pairs)
+        assert pairs == sample_edge_pairs(tiny_graph, 4, seed=9)
+
+    def test_caps_at_available(self, tiny_graph):
+        pairs = sample_edge_pairs(tiny_graph, 10_000, seed=1)
+        assert len(pairs) <= tiny_graph.num_edges
 
 
 class TestPreferentialBatch:
@@ -117,3 +187,16 @@ class TestRandomBatch:
     def test_deterministic(self, medium_graph):
         assert random_edge_batch(medium_graph, 5, seed=2) == \
             random_edge_batch(medium_graph, 5, seed=2)
+
+    def test_batches_are_valid_insertions(self, medium_graph):
+        # generated batches feed straight into strict add_edges
+        batch = random_edge_batch(medium_graph, 50, seed=3)
+        g2 = add_edges(medium_graph, batch)
+        assert g2.num_edges == medium_graph.num_edges + 50
+
+    def test_no_self_loops_or_duplicates(self, medium_graph):
+        batch = random_edge_batch(medium_graph, 100, seed=5)
+        pairs = [(e[0], e[1]) for e in batch]
+        assert len(set(pairs)) == len(pairs)
+        assert all(u != v for u, v in pairs)
+        assert not any(medium_graph.has_edge(u, v) for u, v in pairs)

@@ -208,3 +208,43 @@ def test_thresholds_from_args_fall_back_to_defaults():
     assert th.time_pct == 15.0
     assert th.counter_pct == 25.0
     assert th.quality_drop == 0.01
+
+
+def _events_with_fingerprint(fp, **kw):
+    events = _events(**kw)
+    for ev in events:
+        if ev.get("name") == "graph.loaded":
+            ev["graph_fingerprint"] = fp
+    return events
+
+
+def test_summary_key_carries_graph_fingerprint():
+    summary = compare.summarize_run(_events_with_fingerprint("ab" * 16))
+    assert summary.key["graph_fingerprint"] == "ab" * 16
+    # Old journals without the field still summarize (key stays None).
+    assert compare.summarize_run(_events()).key["graph_fingerprint"] is None
+
+
+def test_fingerprint_in_key_fields_blocks_cross_version_align():
+    new = compare.summarize_run(_events_with_fingerprint("aa" * 16))
+    old = compare.summarize_run(_events_with_fingerprint("bb" * 16))
+    assert not compare.keys_match(new.key, old.key)
+    assert compare.align(new, [old]) is None
+
+
+def test_fingerprintless_baseline_still_aligns():
+    new = compare.summarize_run(_events_with_fingerprint("aa" * 16))
+    legacy = compare.summarize_run(_events())
+    assert compare.keys_match(new.key, legacy.key)
+    assert compare.align(new, [legacy]) is legacy
+
+
+def test_graph_drifted_requires_matching_experiment():
+    new = compare.summarize_run(_events_with_fingerprint("aa" * 16))
+    drifted = compare.summarize_run(_events_with_fingerprint("bb" * 16))
+    other = compare.summarize_run(
+        _events_with_fingerprint("bb" * 16, seed=99)
+    )
+    assert compare.graph_drifted(new.key, drifted.key)
+    assert not compare.graph_drifted(new.key, other.key)  # seed differs
+    assert compare.drift_skipped(new, [drifted, other]) == [drifted]

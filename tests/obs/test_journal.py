@@ -108,3 +108,75 @@ def test_telemetry_fresh_resets_prior_state():
     obs.REGISTRY.counter("stale").inc()
     with obs.telemetry():
         assert obs.REGISTRY.snapshot() == {}
+
+
+class TestAmbientContext:
+    """Global + thread-local context stamped onto journaled events."""
+
+    @pytest.fixture(autouse=True)
+    def _clean_context(self):
+        journal.clear_global_context()
+        yield
+        journal.clear_global_context()
+
+    def _record(self, tmp_path, emit):
+        path = tmp_path / "run.jsonl"
+        j = Journal(path, build_manifest())
+        journal.activate(j)
+        try:
+            emit()
+        finally:
+            journal.deactivate()
+            j.close()
+        return read_events(path)
+
+    def test_global_context_stamps_events(self, tmp_path):
+        journal.set_global_context(graph_fingerprint="ff" * 16)
+
+        def emit():
+            journal.emit({"type": "event", "name": "twophase.result"})
+            journal.emit({"type": "span", "name": "x", "duration_s": 0.0})
+
+        events = self._record(tmp_path, emit)
+        ev = next(e for e in events if e.get("name") == "twophase.result")
+        assert ev["graph_fingerprint"] == "ff" * 16
+        # Only type == "event" payloads are stamped.
+        sp = next(e for e in events if e.get("type") == "span")
+        assert "graph_fingerprint" not in sp
+
+    def test_scoped_context_overlays_and_restores(self, tmp_path):
+        journal.set_global_context(graph_epoch=1)
+
+        def emit():
+            with journal.context(graph_epoch=4):
+                journal.emit({"type": "event", "name": "inner"})
+            journal.emit({"type": "event", "name": "outer"})
+
+        events = self._record(tmp_path, emit)
+        inner = next(e for e in events if e.get("name") == "inner")
+        outer = next(e for e in events if e.get("name") == "outer")
+        assert inner["graph_epoch"] == 4
+        assert outer["graph_epoch"] == 1
+
+    def test_explicit_fields_win_over_context(self, tmp_path):
+        journal.set_global_context(graph_epoch=1)
+
+        def emit():
+            journal.emit(
+                {"type": "event", "name": "e", "graph_epoch": 9}
+            )
+
+        events = self._record(tmp_path, emit)
+        ev = next(e for e in events if e.get("name") == "e")
+        assert ev["graph_epoch"] == 9
+
+    def test_none_removes_global_key(self, tmp_path):
+        journal.set_global_context(graph_epoch=1)
+        journal.set_global_context(graph_epoch=None)
+
+        def emit():
+            journal.emit({"type": "event", "name": "e"})
+
+        events = self._record(tmp_path, emit)
+        ev = next(e for e in events if e.get("name") == "e")
+        assert "graph_epoch" not in ev

@@ -20,21 +20,32 @@ def churn_scenario(draw):
     dst = rng.integers(0, n, m)
     weights = rng.integers(1, 8, m).astype(float)
     g = from_arrays(n, src, dst, weights)
+    # batches must be valid under strict add_edges semantics: no
+    # self-loops, no duplicates within the batch or vs the live edge set
+    current = {(int(u), int(v)) for u, v, _ in g.iter_edges()}
     ops = []
     for _ in range(draw(st.integers(1, 4))):
         if draw(st.booleans()):
             k = draw(st.integers(1, 6))
-            ops.append(("insert", [
-                (int(rng.integers(n)), int(rng.integers(n)),
-                 float(rng.integers(1, 8)))
-                for _ in range(k)
-            ]))
+            batch = []
+            for _ in range(4 * k):
+                u, v = int(rng.integers(n)), int(rng.integers(n))
+                if u == v or (u, v) in current:
+                    continue
+                current.add((u, v))
+                batch.append((u, v, float(rng.integers(1, 8))))
+                if len(batch) == k:
+                    break
+            if batch:
+                ops.append(("insert", batch))
         else:
             k = draw(st.integers(1, 4))
-            ops.append(("delete", [
+            batch = [
                 (int(rng.integers(n)), int(rng.integers(n)))
                 for _ in range(k)
-            ]))
+            ]
+            current -= set(batch)
+            ops.append(("delete", batch))
     source = draw(st.integers(0, n - 1))
     return g, ops, source
 
