@@ -1,26 +1,100 @@
-"""``repro-coregraph check``: run the static analyzer and sanitizer smoke.
+"""``repro-coregraph check``: static analysis, races, noqa audit, smoke.
 
-Two entry points, usable programmatically or via the harness CLI:
+Entry points, usable programmatically or via the harness CLI:
 
-* :func:`run_static` — lint the given paths with the RC rule catalog.
-  Exit code 1 when any violation survives suppression. Optionally also
-  runs ``ruff`` and ``mypy`` when they are installed (``--ruff`` /
-  ``--mypy``; both skip gracefully with a note when the tool is absent,
-  so the subcommand works in the minimal container and is strict in CI).
+* :func:`run_static` — lint the given paths with the RC001–RC010 rule
+  catalog. Exit code 1 when any violation survives suppression.
+  Optionally also runs ``ruff`` and ``mypy`` when they are installed
+  (``--ruff`` / ``--mypy``; both skip gracefully with a note when the
+  tool is absent, so the subcommand works in the minimal container and
+  is strict in CI).
+* :func:`run_races` — the whole-program concurrency analyzer
+  (RC101–RC105, :mod:`repro.checks.race`).
+* :func:`run_strict_noqa` — the stale/unjustified suppression audit
+  (RC100, :mod:`repro.checks.noqa`).
 * :func:`run_sanitize_smoke` — enable the runtime sanitizer and drive a
   full two-phase evaluation of every query kind over the example
   dataset, plus one round trip through each alternative engine. Exit
   code 1 on the first :class:`SanitizerViolation`.
+
+Every analysis mode takes ``as_json``: instead of the human report it
+prints one JSON object, ``{"violations": [{"path", "line", "rule",
+"message"}, ...], "count": N}`` — stable fields CI consumes for PR
+annotations (see ``.github/problem-matcher.json`` for the text form).
 """
 
 from __future__ import annotations
 
+import json
 import shutil
 import subprocess
 import sys
-from typing import List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
+
+from repro.checks.lint.framework import Violation
 
 DEFAULT_PATHS = ("src/repro",)
+
+
+def collect_static(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Surviving lint violations for ``paths`` (default ``src/repro``)."""
+    from repro.checks.lint import ALL_RULES, rule_by_id, run_lint
+
+    selected = ALL_RULES if not rules else [rule_by_id(r) for r in rules]
+    return run_lint(paths or DEFAULT_PATHS, rules=selected)
+
+
+def collect_races(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Surviving concurrency-analyzer violations for ``paths``."""
+    from repro.checks.race import analyze
+
+    return analyze(paths or DEFAULT_PATHS, rules=rules)
+
+
+def collect_noqa(
+    paths: Optional[Sequence[str]] = None,
+) -> List[Violation]:
+    """Stale/unjustified suppressions (RC100) under ``paths``."""
+    from repro.checks.noqa import audit
+
+    return audit(paths or DEFAULT_PATHS)
+
+
+def violations_payload(violations: Sequence[Violation]) -> Dict:
+    """The machine-readable form of a violation list."""
+    return {
+        "violations": [
+            {
+                "path": str(v.path),
+                "line": v.line,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in violations
+        ],
+        "count": len(violations),
+    }
+
+
+def _report(
+    violations: Sequence[Violation], as_json: bool, clean: str
+) -> int:
+    """Print the report (text or JSON); 0 = clean, 1 = violations."""
+    if as_json:
+        print(json.dumps(violations_payload(violations), indent=2))
+    elif not violations:
+        print(clean)
+    else:
+        from repro.checks.lint import render_report
+
+        print(render_report(violations))
+    return 1 if violations else 0
 
 
 def run_static(
@@ -28,16 +102,11 @@ def run_static(
     rules: Optional[Sequence[str]] = None,
     with_ruff: bool = False,
     with_mypy: bool = False,
+    as_json: bool = False,
 ) -> int:
     """Lint ``paths`` (default ``src/repro``); 0 = clean, 1 = violations."""
-    from repro.checks.lint import ALL_RULES, render_report, rule_by_id, run_lint
-
-    selected = (
-        ALL_RULES if not rules else [rule_by_id(r) for r in rules]
-    )
-    violations = run_lint(paths or DEFAULT_PATHS, rules=selected)
-    print(render_report(violations))
-    rc = 1 if violations else 0
+    violations = collect_static(paths, rules)
+    rc = _report(violations, as_json, clean="static analysis: clean")
     for tool, wanted, argv in (
         ("ruff", with_ruff, ["ruff", "check", *(paths or DEFAULT_PATHS)]),
         ("mypy", with_mypy, ["mypy"]),
@@ -50,6 +119,28 @@ def run_static(
         proc = subprocess.run(argv)
         rc = rc or proc.returncode
     return rc
+
+
+def run_races(
+    paths: Optional[Sequence[str]] = None,
+    rules: Optional[Sequence[str]] = None,
+    as_json: bool = False,
+) -> int:
+    """Concurrency analysis of ``paths``; 0 = clean, 1 = violations."""
+    violations = collect_races(paths, rules)
+    return _report(violations, as_json, clean="race analysis: clean")
+
+
+def run_strict_noqa(
+    paths: Optional[Sequence[str]] = None,
+    as_json: bool = False,
+) -> int:
+    """Suppression audit of ``paths``; 0 = clean, 1 = findings."""
+    violations = collect_noqa(paths)
+    return _report(
+        violations, as_json,
+        clean="noqa audit: every suppression is live and justified",
+    )
 
 
 def run_sanitize_smoke(sources: Sequence[int] = (0,)) -> int:
@@ -121,8 +212,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-checks")
     parser.add_argument("--static", action="store_true",
                         help="run the RC static-analysis rules")
+    parser.add_argument("--races", action="store_true",
+                        help="run the whole-program concurrency analyzer "
+                             "(RC101-RC105)")
+    parser.add_argument("--strict-noqa", action="store_true",
+                        help="fail on stale or unjustified '# repro: noqa' "
+                             "suppressions (RC100)")
     parser.add_argument("--sanitize-run", action="store_true",
                         help="run the sanitized end-to-end smoke")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit violations as one JSON object instead "
+                             "of the text report")
     parser.add_argument("paths", nargs="*", default=None,
                         help="files/directories to lint (default src/repro)")
     parser.add_argument("--rule", action="append", dest="rules",
@@ -132,12 +232,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--mypy", action="store_true",
                         help="also run mypy when installed")
     args = parser.parse_args(argv)
-    if not args.static and not args.sanitize_run:
+    if not any((args.static, args.races, args.strict_noqa,
+                args.sanitize_run)):
         args.static = True
     rc = 0
     if args.static:
         rc = run_static(args.paths or None, rules=args.rules,
-                        with_ruff=args.ruff, with_mypy=args.mypy)
+                        with_ruff=args.ruff, with_mypy=args.mypy,
+                        as_json=args.as_json)
+    if args.races:
+        rc = run_races(args.paths or None, rules=args.rules,
+                       as_json=args.as_json) or rc
+    if args.strict_noqa:
+        rc = run_strict_noqa(args.paths or None,
+                             as_json=args.as_json) or rc
     if args.sanitize_run:
         rc = run_sanitize_smoke() or rc
     return rc

@@ -1,0 +1,163 @@
+"""Stale-suppression audit (rule RC100, ``check --strict-noqa``).
+
+A ``# repro: noqa`` that suppresses nothing is worse than noise: it
+documents a violation that no longer exists, and it will silently eat
+the *next* real finding on that line. This audit re-runs every analysis
+with suppressions disabled — the per-file RC lint rules and the
+whole-program concurrency analyzer — and then checks each suppression
+comment against the raw findings:
+
+* **stale** — the comment names a rule (or blanket-suppresses a line)
+  that raises no violation there; delete it or narrow it;
+* **unjustified** — nothing but whitespace follows the rule ids; every
+  suppression must say *why* the finding is acceptable, because the
+  reviewer of the next diff can't re-derive the argument from a bare id.
+
+Comments are located with :mod:`tokenize`, not a substring scan, so
+prose *about* suppressions inside docstrings (this one included) is
+never mistaken for a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.checks.lint.framework import (
+    ALL_RULES_SENTINEL,
+    PathLike,
+    Violation,
+    _NOQA_FILE,
+    _NOQA_LINE,
+    discover_files,
+    make_context,
+)
+
+RULE = "RC100"
+RULE_TITLE = "stale or unjustified suppression"
+
+_WORD = re.compile(r"\w")
+#: Minimum word characters after the ids for a justification to count.
+_MIN_JUSTIFICATION_CHARS = 3
+
+
+def _raw_lint(path: Path, root: Optional[PathLike]) -> List[Violation]:
+    """Every lint finding for ``path`` with suppressions ignored."""
+    from repro.checks.lint.rules import ALL_RULES
+
+    try:
+        ctx = make_context(path, root=root)
+    except (SyntaxError, UnicodeDecodeError, OSError):
+        return []
+    out: List[Violation] = []
+    for rule in ALL_RULES:
+        if rule.applies_to(ctx):
+            out.extend(rule.check(ctx))
+    return out
+
+
+def _noqa_comments(source: str) -> Iterator[Tuple[int, str]]:
+    """(line, text) for every real comment token mentioning ``repro:``."""
+    reader = io.StringIO(source).readline
+    try:
+        for tok in tokenize.generate_tokens(reader):
+            if tok.type == tokenize.COMMENT and "repro:" in tok.string:
+                yield tok.start[0], tok.string
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return
+
+
+def audit(
+    paths: Iterable[PathLike], root: Optional[PathLike] = None
+) -> List[Violation]:
+    """RC100 findings for every suppression under ``paths``."""
+    from repro.checks.race import analyze
+
+    files = discover_files(paths)
+    race_by_file: Dict[Path, List[Violation]] = {}
+    for v in analyze(files, respect_suppressions=False):
+        race_by_file.setdefault(Path(v.path), []).append(v)
+    out: List[Violation] = []
+    for path in files:
+        try:
+            source = path.read_text()
+        except (OSError, UnicodeDecodeError):
+            continue
+        raw = _raw_lint(path, root) + race_by_file.get(path, [])
+        by_line: Dict[int, Set[str]] = {}
+        file_ids: Set[str] = set()
+        for v in raw:
+            by_line.setdefault(v.line, set()).add(v.rule)
+            file_ids.add(v.rule)
+        for lineno, comment in _noqa_comments(source):
+            out.extend(
+                _audit_comment(path, lineno, comment, by_line, file_ids)
+            )
+    out.sort(key=lambda v: (str(v.path), v.line, v.message))
+    return out
+
+
+def _audit_comment(
+    path: Path,
+    lineno: int,
+    comment: str,
+    by_line: Dict[int, Set[str]],
+    file_ids: Set[str],
+) -> List[Violation]:
+    match = _NOQA_FILE.search(comment)
+    file_wide = match is not None
+    if match is None:
+        match = _NOQA_LINE.search(comment)
+    if match is None:
+        return []  # mentions "repro:" but is not a suppression
+    ids_text = match.group("ids")
+    out: List[Violation] = []
+    trailing = comment[match.end():]
+    if len(_WORD.findall(trailing)) < _MIN_JUSTIFICATION_CHARS:
+        out.append(Violation(
+            rule=RULE,
+            path=path,
+            line=lineno,
+            message=(
+                "suppression lacks a justification — say why after the "
+                "ids, e.g. '# repro: noqa RC004 — bounded by config'"
+            ),
+        ))
+    present = file_ids if file_wide else by_line.get(lineno, set())
+    if ids_text is None:
+        if not present:
+            out.append(Violation(
+                rule=RULE,
+                path=path,
+                line=lineno,
+                message=(
+                    "stale suppression: no rule raises anything on this "
+                    "line — delete the '# repro: noqa'"
+                ),
+            ))
+        return out
+    ids = sorted(x.strip() for x in ids_text.split(","))
+    stale = [i for i in ids if i not in present]
+    if stale:
+        where = "anywhere in this file" if file_wide else "on this line"
+        out.append(Violation(
+            rule=RULE,
+            path=path,
+            line=lineno,
+            message=(
+                f"stale suppression: {', '.join(stale)} raises nothing "
+                f"{where} — delete or narrow the noqa"
+            ),
+        ))
+    return out
+
+
+__all__ = [
+    "RULE",
+    "RULE_TITLE",
+    "ALL_RULES_SENTINEL",
+    "audit",
+]

@@ -1,0 +1,125 @@
+"""Resource-pairing (typestate) checks: pins, bare locks, budgets, files.
+
+These are intraprocedural protocol checks over the walker's event
+streams — the shapes that leak resources on exception edges:
+
+* ``pin()`` on an epoch-store-like object (any modeled class with a
+  ``pin`` method) must be consumed by a ``with`` statement. Calling it
+  bare — or driving ``__enter__`` by hand — skips the ``finally`` that
+  unpins, so one exception strands the epoch refcount and the store can
+  never retire that epoch.
+* ``lock.acquire()`` outside a ``with`` must have a ``release()`` in a
+  ``finally`` block of the same method; anything else leaks the lock the
+  first time the critical section raises.
+* A :class:`~repro.resilience.budget.Budget` is single-claim:
+  ``begin_run`` inside a loop on a budget bound outside it (with no
+  ``reset`` alongside) raises ``BudgetReuseError`` on the second lap, as
+  does a straight-line double claim.
+* A file handle opened in ``__init__`` pairs with a ``close()``
+  somewhere on the class; a class that opens and never closes leaks the
+  descriptor (and, for journal-style streams, the crash-visible
+  ``.partial`` file never gets renamed into place).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.checks.lint.framework import Violation
+from repro.checks.race.model import ProgramModel
+
+RULE = "RC105"
+
+
+def check_pairing(model: ProgramModel) -> List[Violation]:
+    out: List[Violation] = []
+    for key, summary in sorted(model.methods.items()):
+        for pin in summary.pins:
+            if pin.in_with:
+                continue
+            out.append(Violation(
+                rule=RULE,
+                path=summary.path,
+                line=pin.line,
+                message=(
+                    f"{pin.owner}.pin() outside a with-statement — an "
+                    f"exception before unpin strands the epoch refcount"
+                ),
+            ))
+        released_in_finally = {
+            r.lock for r in summary.releases if r.in_finally
+        }
+        for acq in summary.acquires:
+            if acq.via_with or acq.lock in released_in_finally:
+                continue
+            out.append(Violation(
+                rule=RULE,
+                path=summary.path,
+                line=acq.line,
+                message=(
+                    f"{acq.lock[0]}.{acq.lock[1]}.acquire() without a "
+                    f"release() in a finally — the lock leaks on "
+                    f"exception paths (use a with-statement)"
+                ),
+            ))
+        out.extend(_check_claims(summary))
+    for ci in sorted(model.classes.values(), key=lambda c: c.name):
+        for fld, line in sorted(ci.opens_in_init.items()):
+            if fld in ci.closes:
+                continue
+            out.append(Violation(
+                rule=RULE,
+                path=ci.path,
+                line=line,
+                message=(
+                    f"{ci.name}.__init__ opens self.{fld} but no method "
+                    f"of the class closes it — the handle (and any "
+                    f"rename-on-close protocol) leaks"
+                ),
+            ))
+    return out
+
+
+def _check_claims(summary) -> List[Violation]:
+    out: List[Violation] = []
+    by_recv: dict = {}
+    for ev in summary.claims:
+        by_recv.setdefault(ev.recv, []).append(ev)
+    for recv, events in sorted(by_recv.items()):
+        events.sort(key=lambda e: e.line)
+        resets = [e for e in events if e.kind == "reset"]
+        last_begin = None
+        for ev in events:
+            if ev.kind == "reset":
+                last_begin = None
+                continue
+            # begin_run inside a loop on a budget bound outside it, with
+            # no reset at (or below) that loop level to re-arm it.
+            if ev.depth > ev.bind_depth and not any(
+                r.depth >= ev.depth for r in resets
+            ):
+                out.append(Violation(
+                    rule=RULE,
+                    path=summary.path,
+                    line=ev.line,
+                    message=(
+                        f"{recv}.begin_run() inside a loop on a budget "
+                        f"created outside it — the second iteration "
+                        f"raises BudgetReuseError (budgets are "
+                        f"single-claim; reset() or build one per lap)"
+                    ),
+                ))
+                continue
+            if last_begin is not None and ev.depth == last_begin.depth:
+                out.append(Violation(
+                    rule=RULE,
+                    path=summary.path,
+                    line=ev.line,
+                    message=(
+                        f"{recv}.begin_run() re-claims a budget already "
+                        f"claimed at line {last_begin.line} without an "
+                        f"intervening reset()"
+                    ),
+                ))
+            last_begin = ev
+    return out

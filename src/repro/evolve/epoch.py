@@ -160,7 +160,9 @@ class EpochStore:
         ``evolve.swap`` fault point fires *before* visibility: an
         injected crash aborts the publish entirely, never tearing it.
         """
-        fault_point("evolve.swap")
+        # The maintainer calls this with its writer lock held: the crash
+        # site must sit inside the all-or-nothing region (see docstring).
+        fault_point("evolve.swap")  # repro: noqa RC104 — pre-publish chaos
         with self._lock:
             retired = self._current
             if new.number != retired.number + 1:

@@ -99,7 +99,10 @@ class EpochMaintainer:
                           inserts=len(inserts), deletes=len(deletes)):
                     if inserts:
                         ev.insert_edges(inserts)
-                    fault_point("evolve.apply")
+                    # Deliberately inside the writer lock: the chaos
+                    # model kills mid-batch, and the except-branch below
+                    # must restore state before anyone else writes.
+                    fault_point("evolve.apply")  # repro: noqa RC104 — chaos site
                     if deletes:
                         ev.delete_edges(deletes)
                     deleted_now = (
@@ -285,14 +288,20 @@ class EpochMaintainer:
     def emit_stats(self) -> None:
         """Journal an ``evolve.stats`` snapshot (end-of-run summary)."""
         current = self.store.current()
+        # Snapshot the writer-lock-guarded counters together so the
+        # journal line is internally consistent even if a batch is
+        # applying concurrently.
+        with self._lock:
+            batches = self._batches
+            rebuilds = self._ev.stats.rebuilds
         obs_journal.emit({
             "type": "event",
             "name": "evolve.stats",
             "epoch": current.number,
-            "batches": self._batches,
+            "batches": batches,
             "inserted_edges": current.inserted_edges,
             "deleted_edges": current.deleted_edges,
-            "rebuilds": self._ev.stats.rebuilds,
+            "rebuilds": rebuilds,
             "swaps": self.store.swap_count(),
             "pinned": self.store.pinned_count(),
             "triangle_safe": current.triangle_safe,

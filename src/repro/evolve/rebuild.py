@@ -216,8 +216,12 @@ class RebuildSupervisor:
 
     def describe(self) -> str:
         s = self.stats
-        return (
-            f"rebuilds={s.rebuilds} attempts={s.attempts} "
-            f"failures={s.failures} retries={s.retries} "
-            f"restarts={s.supervisor_restarts}"
-        )
+        # Snapshot under the stats lock: the supervisor thread bumps
+        # these counters, and a line mixing counts from two different
+        # rebuilds would misreport progress.
+        with s._lock:
+            return (
+                f"rebuilds={s.rebuilds} attempts={s.attempts} "
+                f"failures={s.failures} retries={s.retries} "
+                f"restarts={s.supervisor_restarts}"
+            )

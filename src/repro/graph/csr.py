@@ -152,7 +152,10 @@ class Graph:
             h.update(np.ascontiguousarray(self.offsets).tobytes())
             h.update(np.ascontiguousarray(self.dst).tobytes())
             h.update(np.ascontiguousarray(self.edge_weights()).tobytes())
-            self._fingerprint = h.hexdigest()
+            # Benign write race: the arrays are immutable here, so every
+            # contender derives the identical digest and last-write-wins
+            # is correct — a lock on a value object would be overkill.
+            self._fingerprint = h.hexdigest()  # repro: noqa RC101 — idempotent
         return self._fingerprint
 
     # ------------------------------------------------------------------

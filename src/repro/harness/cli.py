@@ -324,14 +324,28 @@ def _cmd_summarize(args) -> int:
 
 
 def _cmd_check(args) -> int:
-    """Static analysis and/or the sanitized end-to-end smoke."""
-    from repro.checks.cli import run_sanitize_smoke, run_static
+    """Static analysis, race analysis, noqa audit, sanitized smoke."""
+    from repro.checks.cli import (
+        run_races,
+        run_sanitize_smoke,
+        run_static,
+        run_strict_noqa,
+    )
 
-    static = args.static or not args.sanitize_run
+    static = args.static or not (
+        args.races or args.strict_noqa or args.sanitize_run
+    )
     rc = 0
     if static:
         rc = run_static(args.paths or None, rules=args.rules,
-                        with_ruff=args.ruff, with_mypy=args.mypy)
+                        with_ruff=args.ruff, with_mypy=args.mypy,
+                        as_json=args.as_json)
+    if args.races:
+        rc = run_races(args.paths or None, rules=args.rules,
+                       as_json=args.as_json) or rc
+    if args.strict_noqa:
+        rc = run_strict_noqa(args.paths or None,
+                             as_json=args.as_json) or rc
     if args.sanitize_run:
         rc = run_sanitize_smoke() or rc
     return rc
@@ -984,6 +998,15 @@ def build_parser() -> argparse.ArgumentParser:
     chk_p.add_argument("--static", action="store_true",
                        help="run the RC lint rules (default when no mode "
                             "flag is given)")
+    chk_p.add_argument("--races", action="store_true",
+                       help="whole-program concurrency analyzer "
+                            "(RC101-RC105)")
+    chk_p.add_argument("--strict-noqa", action="store_true",
+                       dest="strict_noqa",
+                       help="fail on stale or unjustified "
+                            "'# repro: noqa' suppressions (RC100)")
+    chk_p.add_argument("--json", action="store_true", dest="as_json",
+                       help="emit violations as one JSON object")
     chk_p.add_argument("--sanitize-run", action="store_true",
                        help="REPRO_SANITIZE smoke: sanitized two_phase of "
                             "every query kind on the example dataset")

@@ -72,8 +72,10 @@ class ArtifactCache:
             if path.exists():
                 def _read() -> Graph:
                     # Inside the retried callable so injected transient IO
-                    # errors exercise the same recovery as real ones.
-                    fault_point("artifacts.read")
+                    # errors exercise the same recovery as real ones; the
+                    # cache lock stays held because the build-vs-read race
+                    # is exactly what this cache serializes.
+                    fault_point("artifacts.read")  # repro: noqa RC104 — cache
                     return load_graph(path)
 
                 return retry_call(_read, label="artifact.graph")
@@ -89,7 +91,9 @@ class ArtifactCache:
         with self._lock:
             if path.exists():
                 def _read() -> CoreGraph:
-                    fault_point("artifacts.read")
+                    # Same retried-read-under-the-cache-lock shape as
+                    # graph() above, and serialized for the same reason.
+                    fault_point("artifacts.read")  # repro: noqa RC104 — cache
                     return load_core_graph(path)
 
                 return retry_call(_read, label="artifact.cg")

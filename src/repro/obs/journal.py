@@ -116,7 +116,7 @@ class Journal:
         # Streaming journal: events append to the visible .partial file,
         # which close() renames into place — the atomic protocol itself,
         # open-coded because the stream outlives any `with` block.
-        self._fh = self._partial.open("w")  # repro: noqa RC002
+        self._fh = self._partial.open("w")  # repro: noqa RC002 — see above
         self._lock = threading.Lock()
         self._seq = 0
         self._t0 = time.perf_counter()
@@ -148,9 +148,12 @@ class Journal:
 
         with self._lock:
             if not self._fh.closed:
-                fault_point("journal.close")
+                # The flush/fsync/rename must hold the emit lock: a
+                # writer racing past close would hit a closed stream and
+                # drop its event instead of landing in .partial.
+                fault_point("journal.close")  # repro: noqa RC104 — final flush
                 self._fh.flush()
-                os.fsync(self._fh.fileno())
+                os.fsync(self._fh.fileno())  # repro: noqa RC104 — final flush
                 self._fh.close()
                 os.replace(self._partial, self.path)
 

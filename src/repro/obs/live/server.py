@@ -76,7 +76,9 @@ class MetricsServer:
 
     # ------------------------------------------------------------------
     def add_collector(self, collector: Collector) -> None:
-        self._collectors.append(collector)
+        # Collectors are registered before start(); the append itself is
+        # atomic under the GIL and scrapes only iterate the list.
+        self._collectors.append(collector)  # repro: noqa RC101 — see above
 
     def render_metrics(self) -> str:
         """The /metrics document: collectors, registry, process gauges.
@@ -113,22 +115,35 @@ class MetricsServer:
         self._httpd.timeout = 0.2  # bounds stop() latency
         self._httpd.daemon_threads = True
         self._thread = threading.Thread(
-            target=self._serve_loop, name="obs-live-exporter", daemon=True
+            target=self._serve_loop,
+            args=(self._httpd,),
+            name="obs-live-exporter",
+            daemon=True,
         )
         self._thread.start()
         return self
 
-    def _serve_loop(self) -> None:
-        """Accept loop with a survivable fault site (chaos CI kills here)."""
-        assert self._httpd is not None
+    def _serve_loop(self, httpd: ThreadingHTTPServer) -> None:
+        """Accept loop with a survivable fault site (chaos CI kills here).
+
+        The server is passed in by ``start()`` rather than re-read from
+        ``self._httpd``: ``stop()`` clears that field (and closes the
+        socket) from another thread, so reading it here would race —
+        between the stop-flag check and the accept the field can become
+        ``None`` or a closed socket.
+        """
         while not self._stop.is_set():
             try:
                 fault_point("obs.live.exporter.serve")
-                self._httpd.handle_request()
+                httpd.handle_request()
             except InjectedFault:
                 # The exporter absorbs injected kills and keeps serving:
                 # losing a scrape must never lose the workload.
                 obs_metrics.counter("obs.live.exporter.errors").inc()
+            except OSError:
+                if self._stop.is_set():
+                    return  # stop() closed the socket under us
+                raise
 
     def stop(self, timeout: float = 2.0) -> None:
         self._stop.set()

@@ -395,12 +395,15 @@ class TraceStore:
             buffered = sum(len(b) for b in self._in_flight.values())
             stored = sum(len(r.events) for r in self._retained.values())
             out = dict(self._counts)
-        out.update(
-            in_flight=len(self._in_flight),
-            traces=len(self._retained),
-            events=stored,
-            buffered_events=buffered,
-        )
+            # The container sizes must come from the same critical
+            # section as the sums above, or a concurrent finish() makes
+            # the snapshot internally inconsistent.
+            out.update(
+                in_flight=len(self._in_flight),
+                traces=len(self._retained),
+                events=stored,
+                buffered_events=buffered,
+            )
         return out
 
     def clear(self) -> None:

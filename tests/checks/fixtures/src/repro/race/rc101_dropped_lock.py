@@ -1,0 +1,21 @@
+"""Seeded RC101 mutant: a shared counter written without its lock."""
+
+import threading
+
+
+class DroppedLockTally:
+    """The drain thread reads under the lock; ``submit`` writes bare."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pending = 0
+        self._done = 0
+        self._thread = threading.Thread(target=self._drain, daemon=True)
+
+    def submit(self, n: int) -> None:
+        self._pending = self._pending + n  # the dropped lock
+
+    def _drain(self) -> None:
+        while True:
+            with self._lock:
+                self._done = self._done + self._pending

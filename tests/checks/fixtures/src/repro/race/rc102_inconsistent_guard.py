@@ -1,0 +1,45 @@
+"""Seeded RC102 mutants: a split guard and a torn multi-word read."""
+
+import threading
+
+
+class SplitGuard:
+    """One write path guards ``_count`` with the wrong lock."""
+
+    def __init__(self) -> None:
+        self._red = threading.Lock()
+        self._blue = threading.Lock()
+        self._count = 0
+        self._thread = threading.Thread(target=self._spin, daemon=True)
+
+    def bump(self) -> None:
+        with self._red:
+            self._count = self._count + 1
+
+    def bump_wrong(self) -> None:
+        with self._blue:  # every other write holds _red
+            self._count = self._count + 1
+
+    def _spin(self) -> None:
+        while True:
+            with self._red:
+                self._count = self._count + 2
+
+
+class TornPair:
+    """``snapshot`` reads a lock-guarded pair without the lock."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._lo = 0
+        self._hi = 0
+        self._thread = threading.Thread(target=self._advance, daemon=True)
+
+    def _advance(self) -> None:
+        while True:
+            with self._lock:
+                self._lo = self._lo + 1
+                self._hi = self._hi + 1
+
+    def snapshot(self):
+        return (self._lo, self._hi)  # torn between the two updates

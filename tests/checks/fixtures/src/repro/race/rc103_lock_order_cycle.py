@@ -1,0 +1,24 @@
+"""Seeded RC103 mutant: two locks taken in both nesting orders."""
+
+import threading
+
+
+class OrderCycle:
+    """Worker nests red->blue; ``poke`` nests blue->red. Deadlock."""
+
+    def __init__(self) -> None:
+        self._red = threading.Lock()
+        self._blue = threading.Lock()
+        self._balance = 0
+        self._thread = threading.Thread(target=self._worker, daemon=True)
+
+    def _worker(self) -> None:
+        while True:
+            with self._red:
+                with self._blue:
+                    self._balance = self._balance + 1
+
+    def poke(self) -> None:
+        with self._blue:
+            with self._red:
+                self._balance = self._balance - 1

@@ -1,0 +1,24 @@
+"""Seeded RC104 mutants: a sleep and file I/O inside a critical section."""
+
+import threading
+import time
+
+
+class SleepyWriter:
+    """Holds the writer lock across a sleep and across file I/O."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._beats = 0
+        self._thread = threading.Thread(target=self._beat, daemon=True)
+
+    def _beat(self) -> None:
+        while True:
+            with self._lock:
+                self._beats = self._beats + 1
+                time.sleep(0.1)  # stalls every contender
+
+    def read_config(self, path):
+        with self._lock:
+            with open(path) as fh:  # file I/O under the writer lock
+                return fh.read()

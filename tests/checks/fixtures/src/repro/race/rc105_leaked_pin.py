@@ -1,0 +1,38 @@
+"""Seeded RC105 mutants: a leaked epoch pin and a bare lock acquire."""
+
+import threading
+from contextlib import contextmanager
+
+
+class MiniEpochStore:
+    """Refcounted pins, plus one acquire/release pair with no finally."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._pins = 0
+
+    @contextmanager
+    def pin(self):
+        with self._lock:
+            self._pins = self._pins + 1
+        try:
+            yield self._pins
+        finally:
+            with self._lock:
+                self._pins = self._pins - 1
+
+    def unsafe_bump(self) -> None:
+        self._lock.acquire()
+        self._pins = self._pins + 1
+        self._lock.release()  # not in a finally: leaks on exception
+
+
+class LeakyReader:
+    """Drives ``pin()`` by hand instead of a with-statement."""
+
+    def __init__(self, store: MiniEpochStore) -> None:
+        self._store = store
+
+    def read_once(self) -> int:
+        handle = self._store.pin().__enter__()  # leaked on exception
+        return handle

@@ -1,12 +1,20 @@
 """Exit-code contract of the ``repro-coregraph check`` subcommand."""
 
+import json
 from pathlib import Path
 
 import pytest
 
-from repro.checks.cli import main, run_sanitize_smoke, run_static
+from repro.checks.cli import (
+    main,
+    run_races,
+    run_sanitize_smoke,
+    run_static,
+    run_strict_noqa,
+)
 
 FIXTURES = Path(__file__).parent / "fixtures" / "src" / "repro"
+RACE_FIXTURES = FIXTURES / "race"
 REPO_SRC = Path(__file__).resolve().parents[2] / "src" / "repro"
 
 
@@ -58,3 +66,114 @@ def test_sanitize_smoke_clean(capsys):
     assert run_sanitize_smoke() == 0
     out = capsys.readouterr().out
     assert "sanitized smoke clean" in out
+
+
+# ----------------------------------------------------------------------
+# --races
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "name", sorted(p.name for p in RACE_FIXTURES.glob("rc1*.py"))
+)
+def test_races_nonzero_on_each_seeded_mutant(name, capsys):
+    # The acceptance contract: every mutant in the corpus exits non-zero.
+    assert main(["--races", str(RACE_FIXTURES / name)]) == 1
+    assert name.split("_")[0].upper() in capsys.readouterr().out
+
+
+def test_races_zero_on_shipped_tree(capsys):
+    assert main(["--races", str(REPO_SRC)]) == 0
+    assert "race analysis: clean" in capsys.readouterr().out
+
+
+def test_races_rule_filter(capsys):
+    # RC103 never fires in the RC101 mutant, so filtering cleans it.
+    assert run_races([str(RACE_FIXTURES / "rc101_dropped_lock.py")],
+                     rules=["RC103"]) == 0
+
+
+# ----------------------------------------------------------------------
+# --json
+# ----------------------------------------------------------------------
+def test_json_output_is_machine_readable(capsys):
+    rel = RACE_FIXTURES / "rc103_lock_order_cycle.py"
+    assert main(["--races", "--json", str(rel)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["count"] == len(payload["violations"]) > 0
+    first = payload["violations"][0]
+    assert set(first) == {"path", "line", "rule", "message"}
+    assert first["rule"] == "RC103"
+    assert isinstance(first["line"], int)
+
+
+def test_json_clean_tree_has_zero_count(capsys):
+    assert main(["--races", "--json", str(REPO_SRC)]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload == {"violations": [], "count": 0}
+
+
+def test_json_static_mode(capsys):
+    assert main(["--static", "--json",
+                 str(FIXTURES / "util" / "rc007_mutable_default.py")]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert {v["rule"] for v in payload["violations"]} == {"RC007"}
+
+
+# ----------------------------------------------------------------------
+# --strict-noqa
+# ----------------------------------------------------------------------
+def _noqa_case(tmp_path, body):
+    out = tmp_path / "src" / "repro" / "util" / "case.py"
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(body)
+    return str(out)
+
+
+def test_strict_noqa_clean_on_shipped_tree(capsys):
+    assert main(["--strict-noqa", str(REPO_SRC)]) == 0
+    assert "every suppression is live" in capsys.readouterr().out
+
+
+def test_strict_noqa_accepts_live_justified_suppression(tmp_path):
+    path = _noqa_case(
+        tmp_path,
+        "def f(seen=[]):  # repro: noqa RC007 — accumulator by design\n"
+        "    return seen\n",
+    )
+    assert run_strict_noqa([path]) == 0
+
+
+def test_strict_noqa_flags_stale_suppression(tmp_path, capsys):
+    path = _noqa_case(
+        tmp_path,
+        "def f(seen):  # repro: noqa RC007 — nothing fires here\n"
+        "    return seen\n",
+    )
+    assert run_strict_noqa([path]) == 1
+    assert "stale suppression" in capsys.readouterr().out
+
+
+def test_strict_noqa_flags_missing_justification(tmp_path, capsys):
+    path = _noqa_case(
+        tmp_path,
+        "def f(seen=[]):  # repro: noqa RC007\n    return seen\n",
+    )
+    assert run_strict_noqa([path]) == 1
+    assert "justification" in capsys.readouterr().out
+
+
+def test_strict_noqa_ignores_docstring_prose(tmp_path):
+    path = _noqa_case(
+        tmp_path,
+        '"""Explains that `# repro: noqa RC007` suppresses a line."""\n',
+    )
+    assert run_strict_noqa([path]) == 0
+
+
+def test_strict_noqa_checks_file_wide_suppressions(tmp_path, capsys):
+    path = _noqa_case(
+        tmp_path,
+        "# repro: noqa-file RC009 — no RC009 anywhere below\n"
+        "def f():\n    return 1\n",
+    )
+    assert run_strict_noqa([path]) == 1
+    assert "anywhere in this file" in capsys.readouterr().out

@@ -1,0 +1,112 @@
+"""The rule catalog and the docs must not drift apart.
+
+``docs/static-analysis.md`` is the contract readers see; ``ALL_RULES``,
+``RACE_RULES``, and the RC100 audit are the contract the CI gate
+enforces. These tests pin the bijection between them, plus the framework
+scoping edge cases the docs describe (module inference anchored at
+``src``, prefix scoping that cannot leak across sibling packages).
+"""
+
+import re
+from pathlib import Path
+
+from repro.checks.lint.framework import FileContext, Rule, infer_module
+from repro.checks.lint.rules import ALL_RULES
+from repro.checks.noqa import RULE as NOQA_RULE
+from repro.checks.race import RACE_RULES
+
+REPO = Path(__file__).resolve().parents[2]
+STATIC_DOC = REPO / "docs" / "static-analysis.md"
+API_DOC = REPO / "docs" / "api.md"
+
+_ROW = re.compile(r"^\|\s*(RC\d{3})\s*\|", re.MULTILINE)
+
+
+def _documented_ids() -> set:
+    return set(_ROW.findall(STATIC_DOC.read_text()))
+
+
+def _implemented_ids() -> set:
+    ids = {r.id for r in ALL_RULES}
+    ids.update(r.id for r in RACE_RULES)
+    ids.add(NOQA_RULE)
+    return ids
+
+
+def test_every_rule_has_a_docs_row():
+    missing = _implemented_ids() - _documented_ids()
+    assert not missing, f"rules with no docs/static-analysis.md row: {missing}"
+
+
+def test_every_docs_row_has_a_rule():
+    phantom = _documented_ids() - _implemented_ids()
+    assert not phantom, f"docs rows for nonexistent rules: {phantom}"
+
+
+def test_rule_ids_are_unique_across_catalogs():
+    ids = [r.id for r in ALL_RULES] + [r.id for r in RACE_RULES] + [NOQA_RULE]
+    assert len(ids) == len(set(ids))
+
+
+def test_api_doc_covers_checks_package():
+    text = API_DOC.read_text()
+    assert "repro.checks" in text
+    assert "race.analyze" in text
+    assert "--strict-noqa" in text
+
+
+def test_static_doc_shows_example_finding_and_suppression():
+    text = STATIC_DOC.read_text()
+    assert "check --races" in text
+    assert "repro: noqa RC104" in text  # the worked suppression example
+
+
+# ----------------------------------------------------------------------
+# Framework scoping edge cases
+# ----------------------------------------------------------------------
+def _ctx(module: str) -> FileContext:
+    import ast
+
+    return FileContext(
+        path=Path(f"{module.replace('.', '/')}.py"),
+        module=module,
+        tree=ast.parse(""),
+        source="",
+    )
+
+
+def test_scope_prefix_does_not_leak_to_sibling_packages():
+    rule = Rule()
+    rule.scopes = ("repro.serve.",)
+    assert rule.applies_to(_ctx("repro.serve.workers"))
+    # "repro.server" shares the string prefix "repro.serve" but is a
+    # different package; the trailing dot in the scope must exclude it.
+    assert not rule.applies_to(_ctx("repro.server"))
+
+
+def test_scope_matches_package_root_exactly():
+    rule = Rule()
+    rule.scopes = ("repro.serve.",)
+    # The package's own __init__ module (module == scope sans dot).
+    assert rule.applies_to(_ctx("repro.serve"))
+
+
+def test_empty_scope_applies_everywhere():
+    rule = Rule()
+    assert rule.applies_to(_ctx("anything.at.all"))
+
+
+def test_infer_module_anchors_at_last_src_component():
+    path = Path("home/src/stale/src/repro/obs/live/server.py")
+    assert infer_module(path) == "repro.obs.live.server"
+
+
+def test_infer_module_strips_dunder_init():
+    assert infer_module(Path("src/repro/checks/__init__.py")) \
+        == "repro.checks"
+
+
+def test_infer_module_falls_back_to_root():
+    root = Path("/tmp/scan")
+    path = root / "pkg" / "mod.py"
+    assert infer_module(path, root=root) == "pkg.mod"
