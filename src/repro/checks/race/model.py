@@ -146,6 +146,9 @@ class MethodSummary:
     blocking: List[Blocking] = field(default_factory=list)
     pins: List[PinUse] = field(default_factory=list)
     claims: List[ClaimEvent] = field(default_factory=list)
+    #: Lines calling ``os.replace``/``os.rename`` — paired by RC105 with
+    #: an ``os.fsync`` earlier in the method (or in a callee before it).
+    renames: List[int] = field(default_factory=list)
 
 
 @dataclass
@@ -165,6 +168,9 @@ class ClassInfo:
     owned: bool = False  # constructed as a field of another modeled class
     has_pin: bool = False
     opens_in_init: Dict[str, int] = field(default_factory=dict)
+    #: ``self.x = <...>.open(...)`` outside ``__init__`` (WAL segment
+    #: rotation, journal reopen): the handle still needs a class close.
+    opens_elsewhere: Dict[str, int] = field(default_factory=dict)
     closes: Set[str] = field(default_factory=set)
 
     def lockish(self, name: str) -> bool:
@@ -261,8 +267,22 @@ class ProgramModel:
                     continue
                 self._classify_init_field(ci, target.attr, sub.value,
                                           param_types)
-        # Thread targets + close() calls anywhere in the class body.
+        # Thread targets, close() calls, and handle-opening assignments
+        # anywhere in the class body.
         for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Assign)
+                and len(sub.targets) == 1
+                and isinstance(sub.targets[0], ast.Attribute)
+                and isinstance(sub.targets[0].value, ast.Name)
+                and sub.targets[0].value.id == "self"
+                and isinstance(sub.value, ast.Call)
+                and isinstance(sub.value.func, ast.Attribute)
+                and sub.value.func.attr == "open"
+            ):
+                fld = sub.targets[0].attr
+                if fld not in ci.opens_in_init:
+                    ci.opens_elsewhere.setdefault(fld, sub.value.lineno)
             if not isinstance(sub, ast.Call):
                 continue
             func = _dotted(sub.func)
@@ -637,6 +657,8 @@ class _MethodWalker:
             self.out.blocking.append(
                 Blocking(dotted, self._heldset(), node.lineno)
             )
+        if dotted in ("os.replace", "os.rename"):
+            self.out.renames.append(node.lineno)
         if isinstance(func, ast.Attribute):
             self._attr_call(node, func)
         elif isinstance(func, ast.Name):

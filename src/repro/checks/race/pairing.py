@@ -15,10 +15,17 @@ streams — the shapes that leak resources on exception edges:
   ``begin_run`` inside a loop on a budget bound outside it (with no
   ``reset`` alongside) raises ``BudgetReuseError`` on the second lap, as
   does a straight-line double claim.
-* A file handle opened in ``__init__`` pairs with a ``close()``
-  somewhere on the class; a class that opens and never closes leaks the
-  descriptor (and, for journal-style streams, the crash-visible
-  ``.partial`` file never gets renamed into place).
+* A file handle opened in ``__init__`` — or anywhere else a method
+  stores one on ``self`` (WAL segment rotation, journal reopen) — pairs
+  with a ``close()`` somewhere on the class; a class that opens and
+  never closes leaks the descriptor (and, for journal-style streams,
+  the crash-visible ``.partial`` file never gets renamed into place).
+* ``os.replace``/``os.rename`` must be preceded by an ``os.fsync`` in
+  the same method (or in a callee invoked before it): rename atomicity
+  orders the *names* only, so a renamed-but-unsynced file can legally
+  read back empty after a power loss — the WAL/snapshot durability
+  contract dies silently. Route writes through
+  :func:`repro.resilience.atomic.atomic_path` instead.
 """
 
 from __future__ import annotations
@@ -63,20 +70,58 @@ def check_pairing(model: ProgramModel) -> List[Violation]:
                 ),
             ))
         out.extend(_check_claims(summary))
+        out.extend(_check_renames(model, key, summary))
     for ci in sorted(model.classes.values(), key=lambda c: c.name):
-        for fld, line in sorted(ci.opens_in_init.items()):
+        opens = dict(ci.opens_in_init)
+        opens.update(ci.opens_elsewhere)
+        for fld, line in sorted(opens.items()):
             if fld in ci.closes:
                 continue
+            where = (
+                "__init__" if fld in ci.opens_in_init else "a method"
+            )
             out.append(Violation(
                 rule=RULE,
                 path=ci.path,
                 line=line,
                 message=(
-                    f"{ci.name}.__init__ opens self.{fld} but no method "
+                    f"{ci.name}: {where} opens self.{fld} but no method "
                     f"of the class closes it — the handle (and any "
                     f"rename-on-close protocol) leaks"
                 ),
             ))
+    return out
+
+
+def _method_fsyncs(summary) -> List[int]:
+    return [b.line for b in summary.blocking if b.what == "os.fsync"]
+
+
+def _check_renames(model: ProgramModel, key, summary) -> List[Violation]:
+    """fsync-before-rename: every ``os.replace``/``os.rename`` needs an
+    ``os.fsync`` earlier in the method, or a pre-rename call into a
+    method that fsyncs (the helper-mediated form)."""
+    out: List[Violation] = []
+    for rline in summary.renames:
+        direct = any(line < rline for line in _method_fsyncs(summary))
+        helper = any(
+            edge.line < rline
+            and edge.callee in model.methods
+            and _method_fsyncs(model.methods[edge.callee])
+            for edge in summary.calls
+        )
+        if direct or helper:
+            continue
+        out.append(Violation(
+            rule=RULE,
+            path=summary.path,
+            line=rline,
+            message=(
+                f"{key[0]}.{key[1]} renames a file with no fsync before "
+                f"it — after a crash the new name can surface over empty "
+                f"data (fsync the temp file first, or use atomic_path)"
+            ),
+        ))
     return out
 
 

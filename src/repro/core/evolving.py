@@ -91,6 +91,7 @@ class EvolvingCoreGraph:
         rebuild_below_precision: float = 95.0,
         probe_sources: int = 3,
         probe_seed: int = 7,
+        cg: Optional[CoreGraph] = None,
     ) -> None:
         self.spec = spec
         self.num_hubs = num_hubs
@@ -98,7 +99,12 @@ class EvolvingCoreGraph:
         self.probe_sources = probe_sources
         self.probe_seed = probe_seed
         self.graph = g
-        self.cg: CoreGraph = build_cg(g, spec, num_hubs=num_hubs)
+        # ``cg`` lets recovery re-adopt a persisted proxy (snapshot +
+        # WAL replay) without re-running Algorithm 1/2; fresh
+        # construction identifies the CG from scratch.
+        self.cg: CoreGraph = (
+            cg if cg is not None else build_cg(g, spec, num_hubs=num_hubs)
+        )
         self.stats = MaintenanceStats()
         self._triangle_safe = True
 

@@ -18,22 +18,58 @@ background:
 * :mod:`repro.evolve.rebuild` — a supervised background rebuilder running
   Algorithm 1/2 under a budget with checkpoints and crash retry;
 * :mod:`repro.evolve.stream` — deterministic mutation-batch streams for
-  tests, chaos runs, and benchmarks.
+  tests, chaos runs, and benchmarks;
+* :mod:`repro.evolve.wal` — segmented CRC-checksummed write-ahead log of
+  mutation batches (durable append before every ack);
+* :mod:`repro.evolve.snapshot` — atomic epoch-stamped full-graph
+  snapshots anchoring WAL compaction;
+* :mod:`repro.evolve.recovery` — recovery-on-start: latest valid
+  snapshot plus WAL tail replay back to the exact pre-crash epoch.
 """
 
 from repro.evolve.certificate import StalenessCertificate
 from repro.evolve.epoch import Epoch, EpochStore
 from repro.evolve.maintainer import EpochMaintainer
 from repro.evolve.rebuild import RebuildStats, RebuildSupervisor
+from repro.evolve.recovery import (
+    RecoveryError,
+    RecoveryReport,
+    RecoveryVerifyError,
+    recover,
+)
+from repro.evolve.snapshot import LoadedSnapshot, SnapshotError, SnapshotStore
 from repro.evolve.stream import MutationBatch, next_batch
+from repro.evolve.wal import (
+    CorruptWalError,
+    TornTail,
+    WalError,
+    WalRecord,
+    WalWriter,
+    read_wal,
+    truncate_torn_tail,
+)
 
 __all__ = [
+    "CorruptWalError",
     "Epoch",
     "EpochStore",
     "EpochMaintainer",
+    "LoadedSnapshot",
     "MutationBatch",
     "RebuildStats",
     "RebuildSupervisor",
+    "RecoveryError",
+    "RecoveryReport",
+    "RecoveryVerifyError",
+    "SnapshotError",
+    "SnapshotStore",
     "StalenessCertificate",
+    "TornTail",
+    "WalError",
+    "WalRecord",
+    "WalWriter",
     "next_batch",
+    "read_wal",
+    "recover",
+    "truncate_torn_tail",
 ]

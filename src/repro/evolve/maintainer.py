@@ -21,11 +21,13 @@ certificates die on any churn). This module adds the serving discipline:
 from __future__ import annotations
 
 import threading
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.coregraph import CoreGraph
 from repro.core.evolving import EvolvingCoreGraph, _membership_mask
 from repro.evolve.epoch import Epoch, EpochStore, make_epoch
+from repro.evolve.snapshot import LoadedSnapshot, SnapshotStore
+from repro.evolve.wal import WalError, WalWriter
 from repro.graph.csr import Graph
 from repro.graph.mutate import remove_edges
 from repro.obs import journal as obs_journal
@@ -52,24 +54,99 @@ class EpochMaintainer:
         rebuild_below_precision: float = 95.0,
         probe_sources: int = 3,
         probe_seed: int = 7,
+        *,
+        wal: Optional[WalWriter] = None,
+        snapshots: Optional[SnapshotStore] = None,
+        snapshot_every: int = 8,
+        _resume: Optional[LoadedSnapshot] = None,
     ) -> None:
         self.spec = spec
         self._lock = threading.Lock()
-        self._ev = EvolvingCoreGraph(
-            g,
-            spec,
-            num_hubs=num_hubs,
-            rebuild_below_precision=rebuild_below_precision,
-            probe_sources=probe_sources,
-            probe_seed=probe_seed,
-        )
+        self.wal: Optional[WalWriter] = None
+        self.snapshots: Optional[SnapshotStore] = None
+        self.snapshot_every = 0
+        if _resume is not None:
+            # Recovery path: re-adopt a persisted (graph, proxy) pair and
+            # resume epoch numbering where the snapshot left it. The WAL
+            # is attached *after* the tail replay (see attach_wal), so
+            # replayed records are never re-journaled.
+            self._ev = EvolvingCoreGraph(
+                _resume.graph,
+                spec,
+                num_hubs=num_hubs,
+                rebuild_below_precision=rebuild_below_precision,
+                probe_sources=probe_sources,
+                probe_seed=probe_seed,
+                cg=_resume.proxy,
+            )
+            self._ev._triangle_safe = _resume.triangle_safe
+            initial = Epoch(
+                number=_resume.epoch,
+                graph=_resume.graph,
+                proxy=_resume.proxy,
+                fingerprint=_resume.fingerprint,
+                triangle_safe=_resume.triangle_safe,
+                inserted_edges=_resume.inserted_edges,
+                deleted_edges=_resume.deleted_edges,
+                probe_precision=_resume.probe_precision,
+                rebuilt_from=_resume.rebuilt_from,
+            )
+        else:
+            self._ev = EvolvingCoreGraph(
+                g,
+                spec,
+                num_hubs=num_hubs,
+                rebuild_below_precision=rebuild_below_precision,
+                probe_sources=probe_sources,
+                probe_seed=probe_seed,
+            )
+            initial = make_epoch(0, self._ev.graph, self._ev.cg)
         self._batches = 0
-        self.store = EpochStore(
-            make_epoch(0, self._ev.graph, self._ev.cg)
-        )
+        self.store = EpochStore(initial)
         obs_journal.set_global_context(
-            graph_epoch=0, graph_fingerprint=self.store.current().fingerprint
+            graph_epoch=initial.number,
+            graph_fingerprint=initial.fingerprint,
         )
+        if _resume is None and wal is not None:
+            self.attach_wal(
+                wal, snapshots=snapshots, snapshot_every=snapshot_every
+            )
+            # The recovery base: without an epoch-stamped snapshot under
+            # the log, a replay would have no graph to start from.
+            if self.snapshots is not None and not self.snapshots.paths():
+                self._snapshot_and_compact(initial)
+
+    def attach_wal(
+        self,
+        wal: WalWriter,
+        snapshots: Optional[SnapshotStore] = None,
+        snapshot_every: int = 8,
+    ) -> None:
+        """Wire a durable log (and its snapshot anchor) to this writer.
+
+        Every subsequent acknowledged batch/install/probe is appended to
+        ``wal`` before its epoch swap. ``snapshots`` defaults to a
+        ``snapshots/`` directory under the log; ``snapshot_every`` is the
+        batch cadence of full-graph snapshots (0 disables periodic ones —
+        rebuild installs still snapshot, anchoring compaction).
+        """
+        store = (
+            snapshots if snapshots is not None
+            else SnapshotStore(wal.directory / "snapshots")
+        )
+        with self._lock:
+            self.wal = wal
+            self.snapshots = store
+            self.snapshot_every = max(0, int(snapshot_every))
+
+    def durability(self) -> Dict[str, Any]:
+        """The explain-facing durability summary of this maintainer."""
+        if self.wal is None:
+            return {"mode": "volatile"}
+        info = self.wal.durability()
+        if self.snapshots is not None:
+            info["snapshot_every"] = self.snapshot_every
+        return info
 
     # ------------------------------------------------------------------
     # Mutation batches
@@ -84,6 +161,13 @@ class EpochMaintainer:
         All-or-nothing: any failure (typed mutation error, injected
         crash, swap abort) restores the pre-batch state and re-raises;
         the previously current epoch stays published.
+
+        **Acknowledgement contract** (when a WAL is attached): the batch
+        record is durably appended *before* the epoch swap, and this
+        method returns only after both — so every acknowledged batch is
+        replayable. A failure after the append but before the swap
+        journals a best-effort ``abort`` record, so recovery rolls the
+        batch back instead of resurrecting it.
         """
         inserts = list(inserts)
         deletes = list(deletes)
@@ -94,6 +178,7 @@ class EpochMaintainer:
                 ev.stats.inserted_edges, ev.stats.deleted_edges,
             )
             base = self.store.current()
+            logged = False
             try:
                 with span("evolve.apply", epoch=base.number + 1,
                           inserts=len(inserts), deletes=len(deletes)):
@@ -118,12 +203,23 @@ class EpochMaintainer:
                         probe_precision=base.probe_precision,
                         rebuilt_from=base.rebuilt_from,
                     )
+                    if self.wal is not None:
+                        self.wal.append(
+                            "batch", epoch.number,
+                            fingerprint=epoch.fingerprint,
+                            inserts=[list(e) for e in inserts],
+                            deletes=[list(p) for p in deletes],
+                        )
+                        logged = True
                     self.store.swap(epoch)
             except BaseException:
                 (ev.graph, ev.cg, ev._triangle_safe,
                  ev.stats.inserted_edges, ev.stats.deleted_edges) = saved
+                if logged:
+                    self._abort_record(base.number + 1)
                 raise
             self._batches += 1
+        self._maybe_snapshot(epoch)
         if obs_runtime._enabled:
             obs_metrics.counter("evolve.batches").inc()
             obs_metrics.counter("evolve.inserted_edges").inc(len(inserts))
@@ -136,6 +232,162 @@ class EpochMaintainer:
                 "deletes": deleted_now,
                 "num_edges": epoch.graph.num_edges,
             })
+        return epoch
+
+    # ------------------------------------------------------------------
+    # Durability plumbing
+    # ------------------------------------------------------------------
+    def _abort_record(self, epoch_number: int) -> None:
+        """Best-effort ``abort`` marker for a logged-but-unswapped batch.
+
+        Failing to write it is tolerable: recovery then replays the
+        batch, landing one epoch *ahead* of the last acknowledged one —
+        the allowed direction. What the marker buys is exact pre-crash
+        state when the append succeeded but the swap did not.
+        """
+        if self.wal is None:
+            return
+        try:
+            self.wal.append("abort", epoch_number)
+        except Exception:  # repro: noqa RC004 — best-effort marker: the log is already suspect after a failed append; recovery tolerates a missing abort (epoch-supersession drops the orphan)
+            return
+        if obs_runtime._enabled:
+            obs_metrics.counter("evolve.wal.aborts").inc()
+
+    def _maybe_snapshot(self, epoch: Epoch) -> None:
+        """Periodic snapshot trigger (outside the writer lock — the
+        epoch is immutable, so the batch stream keeps flowing)."""
+        with self._lock:
+            store = self.snapshots
+            every = self.snapshot_every
+        if store is None or every <= 0 or epoch.number % every != 0:
+            return
+        self._snapshot_and_compact(epoch)
+
+    def _snapshot_and_compact(self, epoch: Epoch) -> None:
+        """Write a snapshot of ``epoch``; drop WAL segments it covers.
+
+        An IO failure is absorbed (and counted): the WAL still holds
+        every acknowledged batch, so durability is unaffected — the next
+        recovery just replays a longer tail.
+        """
+        if self.snapshots is None:
+            return
+        try:
+            self.snapshots.save(epoch)
+        except OSError:
+            if obs_runtime._enabled:
+                obs_metrics.counter("evolve.snapshot.failures").inc()
+            return
+        if self.wal is not None:
+            try:
+                self.wal.compact(epoch.number)
+            except (WalError, OSError, ValueError):
+                # A compaction hiccup only costs disk, never data.
+                pass
+
+    # ------------------------------------------------------------------
+    # Recovery replay (no WAL writes: the records already exist)
+    # ------------------------------------------------------------------
+    def replay_batch(
+        self,
+        epoch_number: int,
+        inserts: Sequence[Sequence[float]],
+        deletes: Sequence[Sequence[int]],
+    ) -> Epoch:
+        """Re-apply one logged mutation batch during recovery."""
+        with self._lock:
+            ev = self._ev
+            base = self.store.current()
+            if epoch_number != base.number + 1:
+                raise ValueError(
+                    f"replay out of order: at epoch {base.number}, "
+                    f"record says {epoch_number}"
+                )
+            inserts = [tuple(e) for e in inserts]
+            deletes = [(int(u), int(v)) for u, v in deletes]
+            deleted_before = ev.stats.deleted_edges
+            if inserts:
+                ev.insert_edges(inserts)
+            if deletes:
+                ev.delete_edges(deletes)
+            epoch = make_epoch(
+                epoch_number,
+                ev.graph,
+                ev.cg,
+                triangle_safe=ev.triangle_safe,
+                inserted_edges=base.inserted_edges + len(inserts),
+                deleted_edges=(
+                    base.deleted_edges
+                    + ev.stats.deleted_edges - deleted_before
+                ),
+                probe_precision=base.probe_precision,
+                rebuilt_from=base.rebuilt_from,
+            )
+            self.store.swap(epoch)
+            self._batches += 1
+        return epoch
+
+    def replay_install(
+        self, epoch_number: int, triangle_safe: bool,
+        built_on: Optional[int] = None,
+    ) -> Epoch:
+        """Re-run a logged rebuild install during recovery.
+
+        The original proxy is gone (it lived in the crashed process), so
+        Algorithm 1/2 runs again on the replayed graph — same graph,
+        equivalent proxy. ``triangle_safe`` comes from the record: the
+        original install may have been rebased onto churn this rebuild
+        no longer sees.
+        """
+        from repro.core.dispatch import build_cg
+
+        with self._lock:
+            ev = self._ev
+            base = self.store.current()
+            if epoch_number != base.number + 1:
+                raise ValueError(
+                    f"replay out of order: at epoch {base.number}, "
+                    f"record says {epoch_number}"
+                )
+            ev.cg = build_cg(ev.graph, self.spec, num_hubs=ev.num_hubs)
+            ev._triangle_safe = bool(triangle_safe)
+            epoch = make_epoch(
+                epoch_number,
+                ev.graph,
+                ev.cg,
+                triangle_safe=bool(triangle_safe),
+                inserted_edges=base.inserted_edges,
+                deleted_edges=base.deleted_edges,
+                probe_precision=None,
+                rebuilt_from=built_on,
+            )
+            self.store.swap(epoch)
+            ev.stats.rebuilds += 1
+        return epoch
+
+    def replay_probe(
+        self, epoch_number: int, precision: Optional[float]
+    ) -> Epoch:
+        """Re-publish a logged probe-refresh epoch during recovery."""
+        with self._lock:
+            base = self.store.current()
+            if epoch_number != base.number + 1:
+                raise ValueError(
+                    f"replay out of order: at epoch {base.number}, "
+                    f"record says {epoch_number}"
+                )
+            epoch = make_epoch(
+                epoch_number,
+                base.graph,
+                base.proxy,
+                triangle_safe=base.triangle_safe,
+                inserted_edges=base.inserted_edges,
+                deleted_edges=base.deleted_edges,
+                probe_precision=precision,
+                rebuilt_from=base.rebuilt_from,
+            )
+            self.store.swap(epoch)
         return epoch
 
     # ------------------------------------------------------------------
@@ -161,6 +413,14 @@ class EpochMaintainer:
                     probe_precision=precision,
                     rebuilt_from=current.rebuilt_from,
                 )
+                if self.wal is not None:
+                    # Probe refreshes consume an epoch number, so they
+                    # must be journaled or replay numbering would gap.
+                    self.wal.append(
+                        "probe", refreshed.number,
+                        fingerprint=refreshed.fingerprint,
+                        precision=precision,
+                    )
                 self.store.swap(refreshed)
         if obs_runtime._enabled:
             obs_metrics.gauge("evolve.probe_precision").set(precision)
@@ -225,8 +485,21 @@ class EpochMaintainer:
                 probe_precision=None,
                 rebuilt_from=snapshot.number,
             )
+            if self.wal is not None:
+                # The install marker tells recovery which replayed
+                # epochs had a freshly identified CG (and whether
+                # Theorem-1 certificates were sound on them).
+                self.wal.append(
+                    "install", epoch.number,
+                    fingerprint=epoch.fingerprint,
+                    built_on=snapshot.number,
+                    triangle_safe=clean,
+                )
             self.store.swap(epoch)
             ev.stats.rebuilds += 1
+        # A rebuild install is the natural snapshot anchor: persisting
+        # the fresh proxy means recovery replays mutations, not builds.
+        self._snapshot_and_compact(epoch)
         if obs_runtime._enabled:
             obs_metrics.counter("evolve.rebuilds").inc()
             obs_journal.emit({
@@ -306,3 +579,11 @@ class EpochMaintainer:
             "pinned": self.store.pinned_count(),
             "triangle_safe": current.triangle_safe,
         })
+        if self.wal is not None:
+            obs_journal.emit({
+                "type": "event",
+                "name": "evolve.wal.stats",
+                "epoch": current.number,
+                "durability": self.durability(),
+                **self.wal.stats(),
+            })

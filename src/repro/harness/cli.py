@@ -406,11 +406,16 @@ def _cmd_serve(args) -> int:
         )
         from repro.resilience.faults import InjectedFault
 
-        maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
+        if args.wal:
+            maintainer = _open_durable_maintainer(args, g, spec)
+        else:
+            maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
         supervisor = RebuildSupervisor(
             maintainer, poll_interval_s=args.mutate_interval
         )
-        svc = QueryService(config=cfg, epochs=maintainer.store)
+        svc = QueryService(
+            config=cfg, epochs=maintainer.store, maintainer=maintainer
+        )
 
         def churn() -> None:
             step = 0
@@ -494,6 +499,16 @@ def _cmd_serve(args) -> int:
         )
         certified = sum(1 for o in outcomes if o.staleness is not None)
         maintainer.emit_stats()
+        if maintainer.wal is not None:
+            info = maintainer.durability()
+            wstats = maintainer.wal.stats()
+            print(
+                f"durability: wal fsync={info['fsync']} "
+                f"appends={wstats['appends']} fsyncs={wstats['fsyncs']} "
+                f"segments={wstats['segments']} "
+                f"(compacted {wstats['compacted_segments']})"
+            )
+            maintainer.wal.close()
         print(
             f"mutate stream: epoch={stats.graph_epoch}, "
             f"batches={churn_stats['batches']} "
@@ -513,6 +528,74 @@ def _cmd_serve(args) -> int:
         print("serve smoke FAILED: requests were lost or never resolved",
               file=sys.stderr)
         return 1
+    return 0
+
+
+def _open_durable_maintainer(args, g, spec):
+    """Recover-or-create an :class:`EpochMaintainer` behind ``--wal DIR``.
+
+    An existing log (segments or snapshots present) is recovered and
+    resumed — the crash→restart sequence the CI chaos job drives; an
+    empty directory starts a fresh durable maintainer whose epoch 0
+    snapshot anchors future recoveries.
+    """
+    from pathlib import Path
+
+    from repro.evolve import EpochMaintainer, WalWriter, recover
+    from repro.evolve.snapshot import SnapshotStore
+    from repro.evolve.wal import list_segments
+
+    wal_dir = Path(args.wal)
+    existing = (
+        list_segments(wal_dir)
+        or SnapshotStore(wal_dir / "snapshots").paths()
+    )
+    if existing:
+        maintainer, report = recover(
+            wal_dir, spec, num_hubs=args.hubs, fsync=args.fsync,
+            snapshot_every=args.snapshot_every,
+        )
+        print(report.render())
+        return maintainer
+    maintainer = EpochMaintainer(
+        g, spec, num_hubs=args.hubs,
+        wal=WalWriter(wal_dir, fsync=args.fsync),
+        snapshot_every=args.snapshot_every,
+    )
+    info = maintainer.durability()
+    print(f"durability: wal dir={info['dir']} fsync={info['fsync']} "
+          f"snapshot_every={info.get('snapshot_every')}")
+    return maintainer
+
+
+def _cmd_evolve_recover(args) -> int:
+    """Rebuild the pre-crash epoch from a WAL directory and report it.
+
+    Exits non-zero when recovery cannot reach a consistent epoch: mid-log
+    corruption (typed ``CorruptWalError``), no usable snapshot, or — under
+    ``--verify`` — any fingerprint mismatch between a replayed epoch and
+    its WAL record.
+    """
+    from repro.evolve import (
+        CorruptWalError,
+        RecoveryError,
+        recover,
+    )
+    from repro.queries.registry import get_spec
+
+    spec = get_spec(args.recover_query) if args.recover_query else None
+    try:
+        _, report = recover(
+            args.path, spec,
+            verify=args.verify,
+            to_epoch=args.to_epoch,
+            num_hubs=args.hubs,
+            attach=False,
+        )
+    except (CorruptWalError, RecoveryError) as exc:
+        print(f"recover FAILED: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
     return 0
 
 
@@ -541,13 +624,16 @@ def _cmd_evolve(args) -> int:
     g = get_graph(args.graph)
     _emit_graph_loaded(args.graph.upper(), g)
     t0 = time.perf_counter()
-    maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
+    if args.wal:
+        maintainer = _open_durable_maintainer(args, g, spec)
+    else:
+        maintainer = EpochMaintainer(g, spec, num_hubs=args.hubs)
     built = time.perf_counter() - t0
     epoch0 = maintainer.store.current()
     print(
-        f"epoch 0: {epoch0.graph.num_edges} edges, "
+        f"epoch {epoch0.number}: {epoch0.graph.num_edges} edges, "
         f"CG {epoch0.proxy.num_edges} edges "
-        f"({args.hubs} hubs, built in {built:.2f}s)"
+        f"({args.hubs} hubs, ready in {built:.2f}s)"
     )
     for step in range(args.batches):
         batch = next_batch(
@@ -595,6 +681,8 @@ def _cmd_evolve(args) -> int:
         )
         print(f"probe precision after rebuild: {maintainer.probe():.1f}%")
     maintainer.emit_stats()
+    if maintainer.wal is not None:
+        maintainer.wal.close()
     final = maintainer.store.current()
     source = int(get_sources(args.graph, k=1)[0])
     res = two_phase(final.graph, final.proxy, spec,
@@ -1073,6 +1161,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--hubs", type=int, default=16,
                          help="hubs for the CG built in --mutate-stream "
                               "(static mode reuses the cached CG)")
+    serve_p.add_argument("--wal", metavar="DIR", default=None,
+                         help="durable live-graph mode: journal every "
+                              "acknowledged batch to a WAL under DIR "
+                              "(recovers and resumes an existing log)")
+    serve_p.add_argument("--fsync", default="always",
+                         metavar="POLICY",
+                         help="WAL fsync policy: always, never, or "
+                              "group[:MS] (default always)")
+    serve_p.add_argument("--snapshot-every", type=int, default=8,
+                         metavar="N",
+                         help="full-graph snapshot every N epochs "
+                              "(anchors WAL compaction; 0 disables)")
     serve_p.set_defaults(func=_cmd_serve)
 
     evolve_p = sub.add_parser(
@@ -1099,7 +1199,38 @@ def build_parser() -> argparse.ArgumentParser:
     evolve_p.add_argument("--deadline", type=float, default=None,
                           metavar="SECONDS",
                           help="per-attempt rebuild budget deadline")
+    evolve_p.add_argument("--wal", metavar="DIR", default=None,
+                          help="journal acknowledged batches to a WAL "
+                               "under DIR (recovers an existing log)")
+    evolve_p.add_argument("--fsync", default="always", metavar="POLICY",
+                          help="WAL fsync policy: always, never, or "
+                               "group[:MS] (default always)")
+    evolve_p.add_argument("--snapshot-every", type=int, default=8,
+                          metavar="N",
+                          help="full-graph snapshot every N epochs "
+                               "(0 disables periodic snapshots)")
     evolve_p.set_defaults(func=_cmd_evolve)
+
+    evolve_sub = evolve_p.add_subparsers(dest="evolve_cmd")
+    recover_p = evolve_sub.add_parser(
+        "recover",
+        help="replay a WAL directory back to the exact pre-crash epoch",
+        parents=[tele],
+    )
+    recover_p.add_argument("path", help="WAL directory (with snapshots/)")
+    recover_p.add_argument("--verify", action="store_true",
+                           help="exit non-zero on any fingerprint "
+                                "mismatch or internal inconsistency")
+    recover_p.add_argument("--to-epoch", type=int, default=None,
+                           metavar="N",
+                           help="stop the replay at epoch N "
+                                "(point-in-time recovery)")
+    recover_p.add_argument("--query", dest="recover_query", default=None,
+                           help="query spec override (default: the spec "
+                                "named in the snapshot)")
+    recover_p.add_argument("--hubs", type=int, default=16,
+                           help="hubs for any replayed rebuild installs")
+    recover_p.set_defaults(func=_cmd_evolve_recover)
 
     # Regression thresholds shared by `obs diff` and `obs check`.
     thresh = argparse.ArgumentParser(add_help=False)

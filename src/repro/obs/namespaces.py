@@ -131,6 +131,19 @@ METRIC_NAMES: FrozenSet[str] = frozenset({
     "evolve.epoch_lag",
     "evolve.probe_precision",
     "evolve.pinned",
+    # Durability plane (repro.evolve.wal / snapshot / recovery): append
+    # latency, fsync amortization, segment churn, and replay accounting.
+    "evolve.wal.appends",
+    "evolve.wal.append_ms",
+    "evolve.wal.fsyncs",
+    "evolve.wal.segments",
+    "evolve.wal.compacted_segments",
+    "evolve.wal.aborts",
+    "evolve.snapshot.saves",
+    "evolve.snapshot.failures",
+    "evolve.recovery.replayed",
+    "evolve.recovery.skipped",
+    "evolve.recovery.truncated_bytes",
     # Process runtime gauges sampled at scrape time (repro.obs.live.proc).
     "proc.rss_bytes",
     "proc.cpu_seconds",
@@ -182,6 +195,9 @@ EVENT_NAMES: FrozenSet[str] = frozenset({
     "evolve.swap",
     "evolve.rebuild",
     "evolve.stats",
+    "evolve.snapshot",
+    "evolve.recovery",
+    "evolve.wal.stats",
 })
 
 

@@ -4,7 +4,13 @@ POSIX ``os.replace`` within one filesystem is atomic, so readers (and the
 next process after a crash) only ever observe either the previous complete
 file or the new complete file — never a truncated artifact. Every persisted
 product in the repo (results JSON, journals, artifact npz, baselines,
-checkpoints) funnels through these helpers.
+checkpoints, WAL snapshots) funnels through these helpers.
+
+The rename is preceded by an fsync of the temp file: rename-atomicity
+alone only orders the *names*, not the *data* — after a power loss a
+renamed-but-unsynced file can legally read back empty. The concurrency
+analyzer's RC105 rule enforces this fsync-before-rename discipline on
+any code that calls ``os.replace``/``os.rename`` directly.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ def atomic_path(path: PathLike, suffix: str = "") -> Iterator[Path]:
     tmp = Path(tmp_name)
     try:
         yield tmp
+        _fsync_file(tmp)
         os.replace(tmp, path)
     except BaseException:
         try:
@@ -44,6 +51,16 @@ def atomic_path(path: PathLike, suffix: str = "") -> Iterator[Path]:
         except OSError:
             pass
         raise
+
+
+def _fsync_file(path: Path) -> None:
+    """Flush ``path``'s data to stable storage before it is renamed into
+    place — otherwise a crash can surface the new name over empty data."""
+    fd = os.open(path, os.O_RDONLY)
+    try:
+        os.fsync(fd)
+    finally:
+        os.close(fd)
 
 
 @contextmanager

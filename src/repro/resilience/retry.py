@@ -15,15 +15,27 @@ time — and skipped entirely (the last error re-raises immediately,
 counted under ``resilience.retry.deadline_skips``) when no time remains.
 A retried call can therefore never overshoot its request's deadline by
 more than one attempt's duration.
+
+Backoff is *full-jitter*: each sleep is drawn uniformly from
+``[0, capped_exponential_delay]``, so a fleet of callers that failed
+together (a shared-storage blip, a breaker reopening) does not retry in
+lockstep and re-create the very stampede that failed them. Under
+``REPRO_FAULTS`` the draw is deterministic — seeded from ``(label,
+attempt)`` — so fault-injection runs replay the exact same schedule
+(the seeded-stream convention the chaos harness relies on).
 """
 
 from __future__ import annotations
 
 import functools
+import os
+import random
 import time
+import zlib
 from typing import Any, Callable, Optional, Tuple, Type, TypeVar
 
 from repro.resilience.budget import Budget
+from repro.resilience.faults import ENV_VAR as _FAULTS_ENV_VAR
 
 T = TypeVar("T")
 
@@ -33,10 +45,30 @@ DEFAULT_RETRY_ON: Tuple[Type[BaseException], ...] = (OSError,)
 def backoff_delays(
     attempts: int, base_delay: float = 0.05, max_delay: float = 2.0
 ) -> Tuple[float, ...]:
-    """The sleep schedule between attempts: base * 2^k, capped."""
+    """The *maximum* sleep between attempts: base * 2^k, capped.
+
+    The actual sleep is a full-jitter draw in ``[0, schedule[k]]`` —
+    see :func:`jittered_delay`.
+    """
     return tuple(
         min(max_delay, base_delay * (2 ** k)) for k in range(max(0, attempts - 1))
     )
+
+
+def jittered_delay(ceiling: float, label: str, attempt: int) -> float:
+    """Full-jitter draw in ``[0, ceiling]``.
+
+    With ``REPRO_FAULTS`` set the draw comes from a stream seeded by
+    ``(label, attempt)`` — same inputs, same sleep — so injected-fault
+    runs (and the crash-recovery chaos harness) are exactly replayable.
+    Without it, the shared global PRNG decorrelates concurrent callers.
+    """
+    if ceiling <= 0.0:
+        return 0.0
+    if os.environ.get(_FAULTS_ENV_VAR):
+        seed = zlib.crc32(label.encode("utf-8")) * 1_000_003 + attempt
+        return random.Random(seed).uniform(0.0, ceiling)
+    return random.uniform(0.0, ceiling)
 
 
 def retry_call(
@@ -50,6 +82,7 @@ def retry_call(
     sleep: Callable[[float], None] = time.sleep,
     budget: Optional[Budget] = None,
     deadline_s: Optional[float] = None,
+    jitter: bool = True,
 ) -> T:
     """Call ``fn`` with up to ``attempts`` tries; re-raises the last error.
 
@@ -57,6 +90,8 @@ def retry_call(
     and/or ``deadline_s`` (relative to the first attempt) bound the total
     backoff: a sleep is capped to the remaining time, and when nothing
     remains the retry is abandoned and the last error re-raised.
+    ``jitter=False`` sleeps the full exponential schedule (tests that
+    assert exact timing use it).
     """
     from repro.obs import metrics as obs_metrics
 
@@ -85,6 +120,8 @@ def retry_call(
                 ).inc()
                 raise
             delay = delays[attempt - 1]
+            if jitter:
+                delay = jittered_delay(delay, label, attempt)
             remaining = _remaining()
             if remaining is not None:
                 if remaining <= 0.0:

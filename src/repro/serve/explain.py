@@ -77,6 +77,7 @@ class ExplainRecord:
     graph_epoch: Optional[int] = None
     graph_fingerprint: Optional[str] = None
     staleness: Optional[Dict[str, Any]] = None
+    durability: Optional[Dict[str, Any]] = None
     extra: Dict[str, Any] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, Any]:
@@ -114,6 +115,7 @@ class ExplainRecord:
             "graph_epoch": self.graph_epoch,
             "graph_fingerprint": self.graph_fingerprint,
             "staleness": self.staleness,
+            "durability": self.durability,
         }
         out.update({k: v for k, v in optional.items() if v is not None})
         out.update(self.extra)
@@ -127,6 +129,7 @@ def build_explain(
     cg_edge_fraction: Optional[float] = None,
     hubs: Optional[int] = None,
     num_vertices: Optional[int] = None,
+    durability: Optional[Dict[str, Any]] = None,
 ) -> ExplainRecord:
     """Assemble the explain record for one terminal outcome."""
     rec = ExplainRecord(
@@ -155,6 +158,7 @@ def build_explain(
             None if outcome.staleness is None
             else outcome.staleness.to_dict()
         ),
+        durability=durability,
     )
     if req.max_iterations is not None or req.deadline_s is not None:
         rec.budget = {
@@ -235,6 +239,17 @@ def render_explain(payload: Dict[str, Any]) -> str:
     if epoch is not None:
         fp = payload.get("graph_fingerprint") or ""
         row("epoch", f"{epoch}" + (f" (fp {fp[:12]})" if fp else ""))
+    durable = payload.get("durability")
+    if durable:
+        mode = durable.get("mode")
+        if mode == "wal":
+            row(
+                "durability",
+                f"wal fsync={durable.get('fsync')} "
+                f"dir={durable.get('dir')}",
+            )
+        else:
+            row("durability", mode)
     stale = payload.get("staleness")
     if stale:
         probe = stale.get("probe_precision")

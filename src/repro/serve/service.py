@@ -33,7 +33,7 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.checks.sanitize import probes as san_probes
 from repro.checks.sanitize import runtime as san_runtime
@@ -112,6 +112,7 @@ class QueryService:
         config: Optional[ServiceConfig] = None,
         clock: Callable[[], float] = time.monotonic,
         epochs: Optional[EpochStore] = None,
+        maintainer: Optional[Any] = None,
     ) -> None:
         if epochs is not None:
             # Live-graph mode: the store owns the pair; requests pin an
@@ -126,6 +127,9 @@ class QueryService:
         self.g = g
         self.proxy = proxy
         self.epochs = epochs
+        # The EpochMaintainer (when serving a live graph) — the source of
+        # the durability facet on explain records and the wal metric rows.
+        self.maintainer = maintainer
         self.config = config or ServiceConfig()
         self._clock = clock
         self._queue = AdmissionQueue(self.config.queue_capacity)
@@ -452,6 +456,10 @@ class QueryService:
             cg_edge_fraction=self._cg_edge_fraction,
             hubs=self._num_hubs,
             num_vertices=self._num_vertices,
+            durability=(
+                None if self.maintainer is None
+                else self.maintainer.durability()
+            ),
         ).to_dict()
         total_ms = (outcome.wait_s + outcome.service_s) * 1000.0
         sample_reason: Optional[str] = None
@@ -729,6 +737,16 @@ class QueryService:
                 ("gauge", "evolve.epoch", (), stats.graph_epoch),
                 ("gauge", "evolve.pinned", (), self.epochs.pinned_count()),
                 ("counter", "evolve.stale_answers", (), stats.stale_answers),
+            ])
+        wal = getattr(self.maintainer, "wal", None)
+        if wal is not None:
+            wstats = wal.stats()
+            rows.extend([
+                ("counter", "evolve.wal.appends", (), wstats["appends"]),
+                ("counter", "evolve.wal.fsyncs", (), wstats["fsyncs"]),
+                ("counter", "evolve.wal.compacted_segments", (),
+                 wstats["compacted_segments"]),
+                ("gauge", "evolve.wal.segments", (), wstats["segments"]),
             ])
         tstats = self.traces.stats()
         rows.extend([

@@ -1,0 +1,25 @@
+"""Seeded RC105 mutant: rename-into-place with no fsync of the data.
+
+``os.replace`` is atomic over *names*, not *data*: after a power loss a
+renamed-but-unsynced file can legally read back empty, so a snapshot
+"published" this way silently voids the durability contract. The fix is
+an ``os.fsync`` of the temp file before the rename (what
+``repro.resilience.atomic.atomic_path`` does).
+"""
+
+import os
+
+
+class SloppySnapshotWriter:
+    """Publishes checkpoints by bare rename — data never hits the disk."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+
+    def publish(self, name: str, payload: bytes) -> str:
+        tmp = os.path.join(self.directory, name + ".tmp")
+        final = os.path.join(self.directory, name)
+        with open(tmp, "wb") as fh:
+            fh.write(payload)
+        os.replace(tmp, final)  # no fsync: crash can expose empty data
+        return final

@@ -23,6 +23,7 @@ EXPECTED = {
     "rc103_lock_order_cycle.py": "RC103",
     "rc104_blocking_under_lock.py": "RC104",
     "rc105_leaked_pin.py": "RC105",
+    "rc105_rename_without_fsync.py": "RC105",
 }
 
 

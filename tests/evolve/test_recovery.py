@@ -1,0 +1,239 @@
+"""Recovery: snapshot + WAL tail replay reaches the exact pre-crash state.
+
+These are the deterministic (non-chaos) recovery tests: rollback
+cancellation, point-in-time replay, torn-tail handling, verify-mode
+failures, and resumability of the recovered maintainer. Randomized
+crash storms live in ``test_recovery_chaos.py``.
+"""
+
+import pytest
+
+from repro.evolve import (
+    EpochMaintainer,
+    RecoveryError,
+    RecoveryVerifyError,
+    SnapshotStore,
+    WalWriter,
+    next_batch,
+    read_wal,
+    recover,
+)
+from repro.evolve.recovery import _cancel_rolled_back
+from repro.evolve.wal import WalRecord, list_segments
+from repro.generators.random_graphs import random_weighted_graph
+from repro.queries import SSSP
+
+
+def _rec(kind, epoch):
+    return WalRecord(kind=kind, epoch=epoch, payload={"kind": kind},
+                     segment=1, offset=0)
+
+
+@pytest.fixture()
+def wal_dir(tmp_path):
+    return tmp_path / "wal"
+
+
+def _durable_maintainer(wal_dir, **kw):
+    g = random_weighted_graph(120, 700, seed=21)
+    kw.setdefault("snapshot_every", 4)
+    return EpochMaintainer(
+        g, SSSP, num_hubs=6,
+        wal=WalWriter(wal_dir, fsync="always"), **kw,
+    )
+
+
+def _apply_batches(m, n, start=0, batch_size=8):
+    epochs = []
+    for step in range(start, start + n):
+        b = next_batch(m.graph, step, batch_size=batch_size, seed=3)
+        epochs.append(m.apply(b.inserts, b.deletes))
+    return epochs
+
+
+class TestCancelRolledBack:
+    def test_abort_cancels_nearest_preceding_epoch(self):
+        kept, dropped = _cancel_rolled_back(
+            [_rec("batch", 1), _rec("batch", 2), _rec("abort", 2)]
+        )
+        assert [r.epoch for r in kept] == [1]
+        assert dropped == 1
+
+    def test_abort_without_match_is_inert(self):
+        kept, dropped = _cancel_rolled_back(
+            [_rec("batch", 1), _rec("abort", 5)]
+        )
+        assert [r.epoch for r in kept] == [1] and dropped == 0
+
+    def test_later_record_supersedes_lost_abort(self):
+        # Epoch 2's abort never made it to disk; the re-applied epoch 2
+        # proves the first attempt rolled back.
+        kept, dropped = _cancel_rolled_back(
+            [_rec("batch", 1), _rec("batch", 2), _rec("batch", 2),
+             _rec("batch", 3)]
+        )
+        assert [r.epoch for r in kept] == [1, 2, 3]
+        assert dropped == 1
+
+    def test_supersession_pops_whole_rolled_back_run(self):
+        kept, dropped = _cancel_rolled_back(
+            [_rec("batch", 1), _rec("batch", 2), _rec("batch", 3),
+             _rec("batch", 2)]
+        )
+        assert [r.epoch for r in kept] == [1, 2]
+        assert dropped == 2
+
+    def test_clean_sequence_passes_through(self):
+        recs = [_rec("batch", i) for i in range(1, 6)]
+        kept, dropped = _cancel_rolled_back(recs)
+        assert kept == recs and dropped == 0
+
+
+class TestRecover:
+    def test_recovers_exact_pre_crash_state(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        epochs = _apply_batches(m, 6)
+        last = epochs[-1]
+        m.wal.close()  # simulate process death (no snapshot on close)
+
+        recovered, report = recover(wal_dir, SSSP, verify=True,
+                                    num_hubs=6, attach=False)
+        cur = recovered.store.current()
+        assert cur.number == last.number
+        assert cur.fingerprint == last.fingerprint
+        assert report.verified
+        assert report.final_epoch == last.number
+        assert report.mismatches == []
+
+    def test_point_in_time_recovery(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        epochs = _apply_batches(m, 6)
+        m.wal.close()
+        target = epochs[2]  # epoch 3
+
+        recovered, report = recover(
+            wal_dir, SSSP, verify=True, to_epoch=target.number,
+            num_hubs=6, attach=False,
+        )
+        cur = recovered.store.current()
+        assert cur.number == target.number
+        assert cur.fingerprint == target.fingerprint
+
+    def test_no_snapshot_raises_recovery_error(self, wal_dir):
+        with WalWriter(wal_dir) as w:
+            w.append("batch", 1)
+        with pytest.raises(RecoveryError):
+            recover(wal_dir, SSSP, attach=False)
+
+    def test_spec_defaults_to_snapshot_stamp(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        _apply_batches(m, 2)
+        m.wal.close()
+        recovered, _ = recover(wal_dir, num_hubs=6, attach=False)
+        assert recovered.spec.name == SSSP.name
+
+    def test_torn_tail_is_cut_and_reported(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        epochs = _apply_batches(m, 3)
+        m.wal.close()
+        seg = list_segments(wal_dir)[-1]
+        with seg.open("ab") as fh:
+            fh.write(b"torn-partial-frame")
+
+        recovered, report = recover(wal_dir, SSSP, verify=True,
+                                    num_hubs=6, attach=False)
+        assert report.truncated_bytes == len(b"torn-partial-frame")
+        assert report.torn_reason
+        assert recovered.store.current().number == epochs[-1].number
+        # The cut is physical: a second reader sees a clean log.
+        assert read_wal(wal_dir)[1] is None
+
+    def test_recovered_maintainer_resumes_appending(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        epochs = _apply_batches(m, 3)
+        m.wal.close()
+
+        recovered, _ = recover(wal_dir, SSSP, num_hubs=6)
+        nxt = _apply_batches(recovered, 1, start=3)[0]
+        assert nxt.number == epochs[-1].number + 1
+        recovered.wal.close()
+
+        # The resumed batch is itself durable: recover again, land on it.
+        again, report = recover(wal_dir, SSSP, verify=True,
+                                num_hubs=6, attach=False)
+        assert again.store.current().number == nxt.number
+        assert again.store.current().fingerprint == nxt.fingerprint
+
+    def test_replay_is_not_rejournaled(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        _apply_batches(m, 3)
+        m.wal.close()
+        before = len(read_wal(wal_dir)[0])
+        recovered, _ = recover(wal_dir, SSSP, num_hubs=6)
+        recovered.wal.close()
+        assert len(read_wal(wal_dir)[0]) == before
+
+    def test_probe_epochs_replay(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        _apply_batches(m, 2)
+        m.probe()  # consumes an epoch number, journaled as "probe"
+        last = m.store.current()
+        m.wal.close()
+        recovered, report = recover(wal_dir, SSSP, verify=True,
+                                    num_hubs=6, attach=False)
+        assert recovered.store.current().number == last.number
+        assert report.replayed_probes >= 1
+
+
+class TestVerifyFailures:
+    def test_tampered_fingerprint_raises_under_verify(self, wal_dir):
+        m = _durable_maintainer(wal_dir, snapshot_every=0)
+        _apply_batches(m, 3)
+        m.wal.close()
+        # Rewrite the log with a lie in epoch 2's fingerprint stamp.
+        records, _ = read_wal(wal_dir)
+        for seg in list_segments(wal_dir):
+            seg.unlink()
+        with WalWriter(wal_dir) as w:
+            for r in records:
+                fields = {k: v for k, v in r.payload.items()
+                          if k not in ("kind", "epoch")}
+                if r.epoch == 2:
+                    fields["fingerprint"] = "0" * 16
+                w.append(r.kind, r.epoch, **fields)
+
+        with pytest.raises(RecoveryVerifyError):
+            recover(wal_dir, SSSP, verify=True, num_hubs=6, attach=False)
+
+        # Without verify the mismatch is reported, not fatal.
+        _, report = recover(wal_dir, SSSP, num_hubs=6, attach=False)
+        assert len(report.mismatches) == 1
+        assert report.mismatches[0]["epoch"] == 2
+        assert not report.verified
+
+    def test_report_render_mentions_mismatches(self, wal_dir):
+        m = _durable_maintainer(wal_dir)
+        _apply_batches(m, 2)
+        m.wal.close()
+        _, report = recover(wal_dir, SSSP, verify=True,
+                            num_hubs=6, attach=False)
+        text = report.render()
+        assert "epoch" in text and "verified" in text
+        assert "MISMATCH" not in text
+
+
+class TestSnapshotAnchoredCompaction:
+    def test_snapshots_bound_replay_length(self, wal_dir):
+        m = _durable_maintainer(wal_dir, snapshot_every=2)
+        _apply_batches(m, 6)
+        last = m.store.current()
+        m.wal.close()
+        store = SnapshotStore(wal_dir / "snapshots")
+        snap = store.latest()
+        assert snap is not None and snap.epoch >= 4
+
+        recovered, report = recover(wal_dir, SSSP, verify=True,
+                                    num_hubs=6, attach=False)
+        assert report.snapshot_epoch == snap.epoch
+        assert report.replayed_batches == last.number - snap.epoch
+        assert recovered.store.current().fingerprint == last.fingerprint

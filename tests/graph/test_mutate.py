@@ -200,3 +200,49 @@ class TestRandomBatch:
         assert len(set(pairs)) == len(pairs)
         assert all(u != v for u, v in pairs)
         assert not any(medium_graph.has_edge(u, v) for u, v in pairs)
+
+
+class TestFingerprintMemoInvalidation:
+    """The fingerprint memo can never leak across a mutation.
+
+    ``Graph.fingerprint()`` memoizes its digest on first call; every
+    mutation constructs a *new* Graph (value-object discipline), so a
+    derived graph must always hash its own arrays — a stale inherited
+    memo would break epoch identity and WAL recovery verification.
+    """
+
+    def test_add_edges_never_inherits_memo(self, tiny_graph):
+        before = tiny_graph.fingerprint()  # populate the memo
+        g2 = add_edges(tiny_graph, [(4, 0, 2.0)])
+        assert g2._fingerprint is None  # fresh object, empty memo
+        assert g2.fingerprint() != before
+        # the source graph's memo is untouched and still correct
+        assert tiny_graph.fingerprint() == before
+
+    def test_remove_edges_never_inherits_memo(self, tiny_graph):
+        before = tiny_graph.fingerprint()
+        pairs = sample_edge_pairs(tiny_graph, 1, seed=3)
+        g2, removed = remove_edges(tiny_graph, pairs)
+        assert removed.any()
+        assert g2._fingerprint is None
+        assert g2.fingerprint() != before
+        assert tiny_graph.fingerprint() == before
+
+    def test_memo_is_stable_and_content_derived(self, tiny_graph):
+        # Same content, different construction -> same digest, and the
+        # memoized second call returns the identical object state.
+        first = tiny_graph.fingerprint()
+        assert tiny_graph.fingerprint() == first
+        twin = add_edges(add_edges(tiny_graph, []), [])
+        assert twin.fingerprint() == first
+
+    def test_roundtrip_mutation_rehashes_to_original(self, tiny_graph):
+        # add then remove the same edge: content equality must be
+        # reflected by fingerprint equality computed on the new object.
+        before = tiny_graph.fingerprint()
+        g2 = add_edges(tiny_graph, [(4, 0, 2.0)])
+        mid = g2.fingerprint()
+        g3, removed = remove_edges(g2, [(4, 0)])
+        assert removed.any()
+        assert mid != before
+        assert g3.fingerprint() == before

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.obs import metrics as obs_metrics
-from repro.resilience.retry import backoff_delays, retry_call, retrying
+from repro.resilience.retry import (
+    backoff_delays,
+    jittered_delay,
+    retry_call,
+    retrying,
+)
 
 
 class TestBackoffSchedule:
@@ -33,10 +38,27 @@ class TestRetryCall:
             return "ok"
 
         out = retry_call(flaky, attempts=3, base_delay=0.01,
-                         sleep=sleeps.append)
+                         sleep=sleeps.append, jitter=False)
         assert out == "ok"
         assert len(calls) == 3
         assert sleeps == [0.01, 0.02]
+
+    def test_full_jitter_stays_within_schedule(self):
+        calls = []
+        sleeps = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) < 4:
+                raise OSError("transient")
+            return "ok"
+
+        out = retry_call(flaky, attempts=4, base_delay=0.01,
+                         sleep=sleeps.append)
+        assert out == "ok"
+        # Full jitter: each sleep drawn from [0, base * 2^k].
+        for got, ceiling in zip(sleeps, (0.01, 0.02, 0.04)):
+            assert 0.0 <= got <= ceiling
 
     def test_exhaustion_reraises_last_error(self):
         def always():
@@ -206,5 +228,45 @@ class TestDeadlineAwareRetry:
 
         with pytest.raises(OSError):
             retry_call(always, attempts=3, base_delay=0.1,
-                       sleep=sleeps.append)
+                       sleep=sleeps.append, jitter=False)
         assert sleeps == [0.1, 0.2]
+
+
+class TestJitterDeterminism:
+    """Full jitter must be exactly replayable under REPRO_FAULTS."""
+
+    def test_deterministic_under_faults_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "never.fires:crash:999999")
+        a = jittered_delay(1.0, "io.load", 1)
+        b = jittered_delay(1.0, "io.load", 1)
+        assert a == b
+        # Different (label, attempt) keys draw different sleeps.
+        assert jittered_delay(1.0, "io.load", 2) != a
+        assert jittered_delay(1.0, "artifacts.read", 1) != a
+
+    def test_deterministic_retry_schedule_under_faults_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "never.fires:crash:999999")
+
+        def run():
+            sleeps = []
+
+            def always():
+                raise OSError("x")
+
+            with pytest.raises(OSError):
+                retry_call(always, attempts=4, base_delay=0.01,
+                           label="test.jitter", sleep=sleeps.append)
+            return sleeps
+
+        first, second = run(), run()
+        assert first == second
+        assert len(first) == 3
+
+    def test_zero_ceiling_is_zero(self):
+        assert jittered_delay(0.0, "x", 1) == 0.0
+
+    def test_bounds_without_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAULTS", raising=False)
+        for attempt in range(1, 6):
+            d = jittered_delay(0.5, "y", attempt)
+            assert 0.0 <= d <= 0.5
